@@ -1,0 +1,40 @@
+//! E1 bench: full Balls-into-Leaves executions across `n`, failure-free
+//! and under the adaptive splitter (wall time of the simulation; round
+//! counts are produced by `paper-eval e1`).
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_rounds_vs_n");
+    group.sample_size(10);
+    for exp in [6u32, 8, 10, 12] {
+        let n = 1usize << exp;
+        let ff = scenario(Algorithm::BilBase, n, AdversarySpec::None);
+        group.bench_with_input(BenchmarkId::new("failure-free", n), &ff, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(s, seed))
+            });
+        });
+        let adv = scenario(
+            Algorithm::BilBase,
+            n,
+            AdversarySpec::AdaptiveSplitter { budget: n / 2 },
+        );
+        group.bench_with_input(BenchmarkId::new("adaptive-splitter", n), &adv, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

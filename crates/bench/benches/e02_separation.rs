@@ -1,0 +1,44 @@
+//! E2 bench: one execution of each algorithm family at a common size
+//! (the separation's round counts come from `paper-eval e2`).
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1usize << 8;
+    let mut group = c.benchmark_group("e02_separation");
+    group.sample_size(10);
+    let cases = [
+        (
+            "bil+sandwich",
+            scenario(Algorithm::BilBase, n, AdversarySpec::Sandwich { budget: n / 2 }),
+        ),
+        (
+            "detrank+sandwich",
+            scenario(Algorithm::DetRank, n, AdversarySpec::Sandwich { budget: n / 2 }),
+        ),
+        (
+            "retry-eager-strict",
+            scenario(Algorithm::EagerStrict, n, AdversarySpec::None),
+        ),
+        (
+            "flood-rank",
+            scenario(Algorithm::FloodRank, n, AdversarySpec::None),
+        ),
+    ];
+    for (name, s) in cases {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 bench: early-terminating variant, failure-free — constant rounds,
+//! so wall time isolates per-round simulation cost across `n`.
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_early_ff");
+    group.sample_size(10);
+    for exp in [6u32, 10, 14] {
+        let n = 1usize << exp;
+        let s = scenario(Algorithm::BilEarly, n, AdversarySpec::None);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

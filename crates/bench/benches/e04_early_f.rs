@@ -1,0 +1,31 @@
+//! E4 bench: early-terminating variant with `f` crashes in the
+//! initialization round.
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1usize << 10;
+    let mut group = c.benchmark_group("e04_early_f");
+    group.sample_size(10);
+    for f in [4usize, 64, 512] {
+        let s = scenario(
+            Algorithm::BilEarly,
+            n,
+            AdversarySpec::Burst { round: 0, count: f },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(f), &s, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E7 bench: Balls-into-Leaves against each adversary family at a fixed
+//! size (crashes must not slow the run down — compare the wall times).
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1usize << 8;
+    let mut group = c.benchmark_group("e07_crashes");
+    group.sample_size(10);
+    let cases = [
+        ("failure-free", AdversarySpec::None),
+        (
+            "random",
+            AdversarySpec::Random {
+                budget: n / 2,
+                expected_per_round: 2.0,
+            },
+        ),
+        (
+            "burst",
+            AdversarySpec::Burst {
+                round: 1,
+                count: n / 2,
+            },
+        ),
+        (
+            "adaptive-splitter",
+            AdversarySpec::AdaptiveSplitter { budget: n - 1 },
+        ),
+        ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
+        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
+    ];
+    for (name, adv) in cases {
+        let s = scenario(Algorithm::BilBase, n, adv);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E12 bench: the ablation variants side by side.
+
+use bil_bench::{run_once, scenario};
+use bil_harness::{AdversarySpec, Algorithm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1usize << 10;
+    let mut group = c.benchmark_group("e12_ablations");
+    group.sample_size(10);
+    let cases = [
+        ("weighted-coin", Algorithm::BilBase),
+        ("uniform-coin", Algorithm::BilUniformCoin),
+        ("decide-at-leaf", Algorithm::BilDecideAtLeaf),
+        ("early-terminating", Algorithm::BilEarly),
+        ("deterministic-rank", Algorithm::DetRank),
+    ];
+    for (name, algo) in cases {
+        let s = scenario(algo, n, AdversarySpec::None);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&s, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the capacity tree: the per-ball costs that make
+//! up a phase (path sampling, the move-walk, the priority order).
+
+use bil_runtime::{Label, ProcId, SeedTree};
+use bil_tree::{CoinRule, LocalTree, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn full_tree(n: usize) -> LocalTree {
+    let topo = Topology::new(n).expect("valid size");
+    LocalTree::with_balls_at_root(topo, (0..n as u64).map(Label))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_micro");
+    for exp in [8u32, 12] {
+        let n = 1usize << exp;
+        let tree = full_tree(n);
+        let mut rng = SeedTree::new(1).process_rng(ProcId(0));
+
+        group.bench_with_input(BenchmarkId::new("random_path", n), &tree, |b, t| {
+            b.iter(|| {
+                black_box(
+                    t.random_path(Label(7), CoinRule::Weighted, &mut rng)
+                        .expect("ball present"),
+                )
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("ordered_balls", n), &tree, |b, t| {
+            b.iter(|| black_box(t.ordered_balls().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("place_along", n), &tree, |b, t| {
+            let mut tree = t.clone();
+            b.iter(|| {
+                let path = tree
+                    .random_path(Label(3), CoinRule::Weighted, &mut rng)
+                    .expect("ball present");
+                black_box(tree.place_along(Label(3), &path).expect("valid path"))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("update_node_churn", n), &tree, |b, t| {
+            let mut tree = t.clone();
+            let leaf = tree.topology().leaf_for_rank(0).expect("rank 0");
+            b.iter(|| {
+                tree.update_node(Label(5), leaf).expect("valid node");
+                tree.update_node(Label(5), bil_tree::ROOT).expect("valid node");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! # bil-bench — criterion benchmark suite
+//!
+//! One bench target per experiment family (`e01…e12`, mirroring
+//! `DESIGN.md` §5) plus micro-benchmarks of the tree and the runtime.
+//! Criterion measures *simulation wall time*; the round-count *results*
+//! (what the paper's claims are about) come from the `paper-eval`
+//! binary in `bil-harness`.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bil_harness::{AdversarySpec, Algorithm, Scenario};
+
+/// Builds the scenario used by the experiment benches.
+pub fn scenario(algorithm: Algorithm, n: usize, adversary: AdversarySpec) -> Scenario {
+    Scenario::failure_free(algorithm, n).against(adversary)
+}
+
+/// Runs a scenario once with a fixed seed, panicking on configuration
+/// errors (benches are statically valid).
+pub fn run_once(s: &Scenario, seed: u64) -> u64 {
+    s.run(seed).expect("bench scenario is valid").rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_run() {
+        let s = scenario(Algorithm::BilBase, 16, AdversarySpec::None);
+        assert!(run_once(&s, 0) >= 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Configuration of the Balls-into-Leaves family.
+//!
+//! One protocol struct covers the paper's three variants — the base
+//! randomized algorithm (§4), the early-terminating extension (§6), and
+//! the deterministic comparison-based descent used as the
+//! Chaudhuri–Herlihy–Tuttle-style baseline — because they differ *only*
+//! in how a ball composes its candidate path. Everything else
+//! (priorities, capacities, the two-round phase structure, crash
+//! handling) is shared, which is exactly the paper's presentation.
+
+use bil_tree::CoinRule;
+
+/// How a ball composes its candidate path in round 1 of each phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathRule {
+    /// The base algorithm (§4): a fresh random path every phase, with the
+    /// given coin rule at each level ([`CoinRule::Weighted`] is the
+    /// paper's; the others are ablations).
+    Random(CoinRule),
+    /// The early-terminating extension (§6): in phase 1 descend
+    /// deterministically toward the leaf indexed by the ball's rank in
+    /// `OrderedBalls()`; from phase 2 on, behave like
+    /// [`PathRule::Random`].
+    EarlyTerminating(CoinRule),
+    /// Fully deterministic rank-indexed descent in *every* phase — a
+    /// comparison-based deterministic algorithm in the sense of
+    /// Chaudhuri–Herlihy–Tuttle, used as the `Θ(log ·)` baseline (see
+    /// `DESIGN.md`, substitutions).
+    DeterministicRank,
+}
+
+impl Default for PathRule {
+    fn default() -> Self {
+        PathRule::Random(CoinRule::Weighted)
+    }
+}
+
+/// Tuning of the Balls-into-Leaves protocol.
+///
+/// # Examples
+///
+/// ```
+/// use bil_core::{BilConfig, PathRule};
+/// use bil_tree::CoinRule;
+///
+/// // The paper's base algorithm:
+/// let base = BilConfig::default();
+/// assert_eq!(base.path_rule, PathRule::Random(CoinRule::Weighted));
+///
+/// // The early-terminating extension:
+/// let early = BilConfig::early_terminating();
+/// assert_eq!(early.path_rule, PathRule::EarlyTerminating(CoinRule::Weighted));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BilConfig {
+    /// Candidate-path composition rule.
+    pub path_rule: PathRule,
+    /// If `true`, a ball decides as soon as *it* settles on a leaf
+    /// instead of waiting for every ball to reach one — the variant the
+    /// paper sketches after Algorithm 1 ("allow a ball to terminate as
+    /// soon as it reaches a leaf"). The "additional checks" the paper
+    /// alludes to are substantial and implemented in `protocol.rs`: the
+    /// ball broadcasts a *commit* for its synchronized leaf one phase
+    /// after arriving and decides at the end of that round; silent
+    /// uncommitted balls are removed as usual; and capacity conflicts
+    /// caused by partially-delivered commits are resolved by evicting
+    /// committed ghosts with *leaf poisoning*, so a view can never claim
+    /// a name it might have wrongly freed.
+    pub decide_at_leaf: bool,
+}
+
+impl BilConfig {
+    /// The base algorithm exactly as in §4 / Algorithm 1.
+    pub fn new() -> Self {
+        BilConfig::default()
+    }
+
+    /// The early-terminating extension of §6.
+    pub fn early_terminating() -> Self {
+        BilConfig {
+            path_rule: PathRule::EarlyTerminating(CoinRule::Weighted),
+            decide_at_leaf: false,
+        }
+    }
+
+    /// The deterministic comparison-based baseline.
+    pub fn deterministic_rank() -> Self {
+        BilConfig {
+            path_rule: PathRule::DeterministicRank,
+            decide_at_leaf: false,
+        }
+    }
+
+    /// Returns this configuration with [`BilConfig::decide_at_leaf`] set.
+    pub fn with_decide_at_leaf(mut self, on: bool) -> Self {
+        self.decide_at_leaf = on;
+        self
+    }
+
+    /// Returns this configuration with the given path rule.
+    pub fn with_path_rule(mut self, rule: PathRule) -> Self {
+        self.path_rule = rule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_base_algorithm() {
+        let c = BilConfig::new();
+        assert_eq!(c.path_rule, PathRule::Random(CoinRule::Weighted));
+        assert!(!c.decide_at_leaf);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = BilConfig::early_terminating().with_decide_at_leaf(true);
+        assert_eq!(c.path_rule, PathRule::EarlyTerminating(CoinRule::Weighted));
+        assert!(c.decide_at_leaf);
+        let d = BilConfig::new().with_path_rule(PathRule::Random(CoinRule::Uniform));
+        assert_eq!(d.path_rule, PathRule::Random(CoinRule::Uniform));
+    }
+
+    #[test]
+    fn deterministic_rank_config() {
+        let c = BilConfig::deterministic_rank();
+        assert_eq!(c.path_rule, PathRule::DeterministicRank);
+    }
+}

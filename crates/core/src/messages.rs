@@ -1,0 +1,291 @@
+//! The three broadcast messages of Algorithm 1.
+//!
+//! | round | message | paper |
+//! |---|---|---|
+//! | 0 | [`BilMsg::Init`] | line 1: `broadcast ⟨bi⟩` |
+//! | `2φ−1` | [`BilMsg::Path`] | line 11: `broadcast ⟨bi, pathi⟩` |
+//! | `2φ` | [`BilMsg::Pos`] | line 22: `broadcast ⟨bi, CurrentNode(bi)⟩` |
+//!
+//! The sender's label travels in the delivery envelope (the engines key
+//! inboxes by sender), so messages carry only their payload.
+//!
+//! A candidate path is a node-to-leaf chain, so its wire form is the
+//! start node plus one *direction bit* per level — `O(log n)` bits total,
+//! matching the message-size accounting of experiment E11.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bil_runtime::wire::{get_varint, put_varint, varint_len, Wire, WireError};
+use bil_runtime::Label;
+use bil_tree::{CandidatePath, NodeId};
+
+/// Maximum number of direction bits accepted when decoding a path
+/// (matches [`bil_tree::MAX_LEAVES`] = 2^26 leaves → depth ≤ 26).
+const MAX_PATH_STEPS: u64 = 26;
+
+/// A Balls-into-Leaves broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BilMsg {
+    /// Round 0: announce participation (the label rides in the envelope).
+    Init,
+    /// Round 1 of a phase: the sender's candidate path.
+    Path(CandidatePath),
+    /// Round 2 of a phase: the sender's current node, plus (decide-at-
+    /// leaf variant only) an echo of the commits the sender learned in
+    /// the previous round. The echo closes commit-knowledge gaps left by
+    /// partial [`BilMsg::Commit`] deliveries: one full broadcast from any
+    /// correct knower spreads a commit to every view.
+    Pos {
+        /// The sender's current node.
+        node: NodeId,
+        /// `(ball, leaf)` commits learned by the sender last round.
+        echo: Vec<(Label, NodeId)>,
+    },
+    /// Round 1 of a phase, decide-at-leaf variant only: the sender
+    /// claims this (previously synchronized) leaf permanently and
+    /// decides at the end of this round. A *partial* delivery of this
+    /// message proves the sender crashed before deciding — the linchpin
+    /// of the variant's safety argument (see `protocol.rs`).
+    Commit(NodeId),
+}
+
+impl BilMsg {
+    /// Convenience constructor for a plain position announcement.
+    pub fn pos(node: NodeId) -> BilMsg {
+        BilMsg::Pos {
+            node,
+            echo: Vec::new(),
+        }
+    }
+}
+
+const TAG_INIT: u8 = 0;
+const TAG_PATH: u8 = 1;
+const TAG_POS: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+impl Wire for BilMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            BilMsg::Init => buf.put_u8(TAG_INIT),
+            BilMsg::Path(path) => {
+                buf.put_u8(TAG_PATH);
+                let nodes = path.nodes();
+                let start = nodes.first().copied().unwrap_or(0);
+                put_varint(buf, start as u64);
+                let steps = nodes.len().saturating_sub(1);
+                put_varint(buf, steps as u64);
+                // Direction bits: bit i set ⇔ step i goes to the right
+                // child (node 2v+1).
+                let mut bits = vec![0u8; steps.div_ceil(8)];
+                for (i, w) in nodes.windows(2).enumerate() {
+                    if w[1] == 2 * w[0] + 1 {
+                        bits[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                buf.put_slice(&bits);
+            }
+            BilMsg::Pos { node, echo } => {
+                buf.put_u8(TAG_POS);
+                put_varint(buf, *node as u64);
+                put_varint(buf, echo.len() as u64);
+                for (label, leaf) in echo {
+                    put_varint(buf, label.0);
+                    put_varint(buf, *leaf as u64);
+                }
+            }
+            BilMsg::Commit(node) => {
+                buf.put_u8(TAG_COMMIT);
+                put_varint(buf, *node as u64);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        match buf.get_u8() {
+            TAG_INIT => Ok(BilMsg::Init),
+            TAG_PATH => {
+                let start = get_varint(buf)?;
+                let start = NodeId::try_from(start).map_err(|_| WireError::LengthOverflow(start))?;
+                let steps = get_varint(buf)?;
+                if steps > MAX_PATH_STEPS {
+                    return Err(WireError::LengthOverflow(steps));
+                }
+                let steps = steps as usize;
+                let nbytes = steps.div_ceil(8);
+                if buf.remaining() < nbytes {
+                    return Err(WireError::UnexpectedEnd);
+                }
+                let mut bits = vec![0u8; nbytes];
+                buf.copy_to_slice(&mut bits);
+                let mut nodes = Vec::with_capacity(steps + 1);
+                let mut v = start;
+                nodes.push(v);
+                for i in 0..steps {
+                    let right = bits[i / 8] >> (i % 8) & 1 == 1;
+                    v = v
+                        .checked_mul(2)
+                        .and_then(|x| x.checked_add(right as u32))
+                        .ok_or(WireError::LengthOverflow(u64::from(v)))?;
+                    nodes.push(v);
+                }
+                Ok(BilMsg::Path(CandidatePath::from_nodes(nodes)))
+            }
+            TAG_POS => {
+                let node = get_varint(buf)?;
+                let node = NodeId::try_from(node).map_err(|_| WireError::LengthOverflow(node))?;
+                let len = get_varint(buf)?;
+                if len > MAX_PATH_STEPS * 1024 {
+                    return Err(WireError::LengthOverflow(len));
+                }
+                let mut echo = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    let label = Label(get_varint(buf)?);
+                    let leaf = get_varint(buf)?;
+                    let leaf =
+                        NodeId::try_from(leaf).map_err(|_| WireError::LengthOverflow(leaf))?;
+                    echo.push((label, leaf));
+                }
+                Ok(BilMsg::Pos { node, echo })
+            }
+            TAG_COMMIT => {
+                let node = get_varint(buf)?;
+                let node = NodeId::try_from(node).map_err(|_| WireError::LengthOverflow(node))?;
+                Ok(BilMsg::Commit(node))
+            }
+            tag => Err(WireError::BadTag(tag)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            BilMsg::Init => 1,
+            BilMsg::Path(path) => {
+                let nodes = path.nodes();
+                let start = nodes.first().copied().unwrap_or(0);
+                let steps = nodes.len().saturating_sub(1);
+                1 + varint_len(start as u64) + varint_len(steps as u64) + steps.div_ceil(8)
+            }
+            BilMsg::Pos { node, echo } => {
+                1 + varint_len(*node as u64)
+                    + varint_len(echo.len() as u64)
+                    + echo
+                        .iter()
+                        .map(|(l, n)| varint_len(l.0) + varint_len(*n as u64))
+                        .sum::<usize>()
+            }
+            BilMsg::Commit(node) => 1 + varint_len(*node as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: BilMsg) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len: {msg:?}");
+        assert_eq!(BilMsg::from_bytes(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn init_roundtrip() {
+        roundtrip(BilMsg::Init);
+        assert_eq!(BilMsg::Init.encoded_len(), 1);
+    }
+
+    #[test]
+    fn pos_roundtrip() {
+        roundtrip(BilMsg::pos(1));
+        roundtrip(BilMsg::pos(12345));
+        roundtrip(BilMsg::pos(u32::MAX));
+        roundtrip(BilMsg::Pos {
+            node: 9,
+            echo: vec![(Label(7), 33), (Label(1 << 50), 12)],
+        });
+    }
+
+    #[test]
+    fn commit_roundtrip() {
+        roundtrip(BilMsg::Commit(8));
+        roundtrip(BilMsg::Commit(u32::MAX));
+        assert_eq!(BilMsg::Commit(8).encoded_len(), 2);
+    }
+
+    #[test]
+    fn path_roundtrip_various_shapes() {
+        roundtrip(BilMsg::Path(CandidatePath::from_nodes(vec![1])));
+        roundtrip(BilMsg::Path(CandidatePath::from_nodes(vec![1, 2, 4])));
+        roundtrip(BilMsg::Path(CandidatePath::from_nodes(vec![1, 3, 6, 13])));
+        roundtrip(BilMsg::Path(CandidatePath::from_nodes(vec![
+            5, 10, 21, 42, 85, 171,
+        ])));
+        // Nine steps exercises the second bit byte.
+        let mut nodes = vec![1u32];
+        for i in 0..9 {
+            let v = *nodes.last().unwrap();
+            nodes.push(2 * v + (i % 2));
+        }
+        roundtrip(BilMsg::Path(CandidatePath::from_nodes(nodes)));
+    }
+
+    #[test]
+    fn path_encoding_is_compact() {
+        // A 16-level path: 1 tag + 1 start + 1 steps + 2 bit bytes = 5.
+        let mut nodes = vec![1u32];
+        for _ in 0..16 {
+            nodes.push(2 * nodes.last().unwrap());
+        }
+        let msg = BilMsg::Path(CandidatePath::from_nodes(nodes));
+        assert_eq!(msg.encoded_len(), 5);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            BilMsg::from_bytes(Bytes::from_static(&[9])),
+            Err(WireError::BadTag(9))
+        ));
+        assert!(matches!(
+            BilMsg::from_bytes(Bytes::new()),
+            Err(WireError::UnexpectedEnd)
+        ));
+        // Path with an absurd step count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_PATH);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1000);
+        assert!(matches!(
+            BilMsg::from_bytes(buf.freeze()),
+            Err(WireError::LengthOverflow(1000))
+        ));
+        // Path whose bit bytes are truncated.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_PATH);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 9);
+        buf.put_u8(0);
+        assert!(matches!(
+            BilMsg::from_bytes(buf.freeze()),
+            Err(WireError::UnexpectedEnd)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_node_overflow() {
+        // A path starting near u32::MAX overflows on the first step.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_PATH);
+        put_varint(&mut buf, u64::from(u32::MAX - 1));
+        put_varint(&mut buf, 1);
+        buf.put_u8(1);
+        assert!(matches!(
+            BilMsg::from_bytes(buf.freeze()),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+}

@@ -1,0 +1,866 @@
+//! Algorithm 1 — Balls-into-Leaves — as a [`ViewProtocol`].
+//!
+//! The round structure maps onto the paper's pseudocode line by line:
+//!
+//! * **Round 0** (line 1): broadcast the label; insert every heard ball at
+//!   the root.
+//! * **Round `2φ−1`** (phase `φ`, round 1; lines 3–21): compose a
+//!   candidate path per the configured [`PathRule`] and broadcast it.
+//!   On receive, iterate all balls in the priority order `<R` *snapshotted
+//!   at phase start*: balls whose paths arrived follow them until just
+//!   before the first full subtree ([`bil_tree::LocalTree::place_along`]);
+//!   silent balls are removed (lines 19–20) — they crashed, or decided
+//!   and hold a leaf (see below).
+//! * **Round `2φ`** (lines 22–28): broadcast the current node; overwrite
+//!   every heard ball's position; remove silent balls. Then check the
+//!   termination condition (line 29): every ball in the local view on a
+//!   leaf.
+//!
+//! ## Termination and silence
+//!
+//! A decided process stops broadcasting (wait-free termination), so peers
+//! that have not yet decided observe silence and remove it. This is safe:
+//! a ball only decides when *all* balls in its view are on leaves, which
+//! by the paper's Proposition 1 means every correct ball is on a leaf in
+//! every correct view — and leaf balls only ever propose the single-node
+//! path that keeps them in place, so a freed leaf is never re-entered.
+//!
+//! ## The decide-at-leaf variant and its "additional checks"
+//!
+//! The paper remarks that a ball could "terminate as soon as it reaches a
+//! leaf", noting extra checks are needed without spelling them out. Our
+//! property tests showed why naive rules fail: a silent ball on a leaf is
+//! locally indistinguishable from a crashed one, and both keeping and
+//! removing it can be wrong (a kept crash-ghost steals capacity from
+//! views that never saw it land; a removed decider gets its name
+//! reissued). The sound construction used here:
+//!
+//! 1. **Commit broadcast.** A ball whose leaf position has been fully
+//!    synchronized broadcasts [`BilMsg::Commit`] in the next path round
+//!    and decides at the end of that round. If the commit reached
+//!    everyone, the sender decided and every view marks the leaf taken
+//!    forever; if it was partial, the sender *crashed before deciding*,
+//!    so its name was never issued.
+//! 2. **Faithful removal.** Silent balls that are not committed are
+//!    removed, exactly like the base algorithm — no ambiguous keeping.
+//! 3. **Conflict resolution with leaf poisoning.** A partial commit can
+//!    leave some views holding a committed ghost whose leaf other views
+//!    legitimately reassign; the forced position updates then overfill a
+//!    subtree in the ghost-holding views. Such views evict committed
+//!    balls (latest commit first) until capacities hold — and
+//!    [`bil_tree::LocalTree::block_leaf`] *poisons* each evicted leaf so
+//!    this view's owner never routes toward it. Even if the eviction
+//!    heuristic ever removed a genuinely decided ball, no duplicate can
+//!    arise: the only views that consider the leaf free are the ones
+//!    sworn off ever claiming it.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+
+use bil_runtime::{Label, Name, Round, Status, ViewProtocol};
+use bil_tree::{LocalTree, NodeId, Topology, ROOT};
+
+use crate::config::{BilConfig, PathRule};
+use crate::messages::BilMsg;
+
+/// How this view learned about a commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Provenance {
+    /// Received the [`BilMsg::Commit`] broadcast itself. The committer
+    /// may have decided (full delivery) or crashed mid-broadcast.
+    Direct,
+    /// Learned via another ball's echo — which *proves* the commit
+    /// broadcast missed this view, i.e. it was partial, i.e. the
+    /// committer crashed before deciding. Echo-learned commits are
+    /// therefore always safe to evict on conflict.
+    Echoed,
+}
+
+/// One commit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CommitRecord {
+    leaf: NodeId,
+    round: Round,
+    provenance: Provenance,
+}
+
+/// A ball's local view: the local tree, plus (decide-at-leaf variant
+/// only) the commit bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BilView {
+    tree: LocalTree,
+    /// Ball → commit record. Empty in the base algorithm.
+    committed: BTreeMap<Label, CommitRecord>,
+    /// Commits learned in the last applied round, echoed in the next
+    /// `Pos` broadcast (and re-echoed along partial-delivery chains).
+    fresh: Vec<(Label, NodeId)>,
+    /// Committed balls this view has evicted; never re-learned or
+    /// re-echoed (prevents echo chains from resurrecting evicted ghosts
+    /// and re-creating the very overflow that evicted them).
+    dismissed: std::collections::BTreeSet<Label>,
+}
+
+impl BilView {
+    /// Read access to the local tree, for observers and experiments.
+    pub fn tree(&self) -> &LocalTree {
+        &self.tree
+    }
+
+    /// The balls this view knows to have committed their leaves
+    /// (decide-at-leaf variant only).
+    pub fn committed(&self) -> impl Iterator<Item = (Label, NodeId)> + '_ {
+        self.committed.iter().map(|(l, r)| (*l, r.leaf))
+    }
+
+    /// Records a commit, inserting or repositioning the ball at its leaf
+    /// and scheduling the echo. Direct knowledge is never downgraded.
+    fn learn_commit(&mut self, ball: Label, leaf: NodeId, round: Round, provenance: Provenance) {
+        if self.dismissed.contains(&ball) {
+            return;
+        }
+        if let Some(existing) = self.committed.get(&ball) {
+            debug_assert_eq!(existing.leaf, leaf, "conflicting commit leaves");
+            return;
+        }
+        if self.tree.current_node(ball) != Some(leaf) {
+            // Re-add (or reposition) a ball this view had removed before
+            // learning it had committed.
+            let _ = self.tree.update_node(ball, leaf);
+        }
+        self.committed.insert(
+            ball,
+            CommitRecord {
+                leaf,
+                round,
+                provenance,
+            },
+        );
+        self.fresh.push((ball, leaf));
+    }
+}
+
+/// The Balls-into-Leaves protocol (all paper variants, selected by
+/// [`BilConfig`]).
+///
+/// # Examples
+///
+/// Solving tight renaming failure-free:
+///
+/// ```
+/// use bil_core::BallsIntoLeaves;
+/// use bil_runtime::adversary::NoFailures;
+/// use bil_runtime::engine::SyncEngine;
+/// use bil_runtime::{Label, SeedTree};
+///
+/// # fn main() -> Result<(), bil_runtime::engine::ConfigError> {
+/// let labels: Vec<Label> = (0..16).map(|i| Label(1000 + 7 * i)).collect();
+/// let report = SyncEngine::new(
+///     BallsIntoLeaves::base(),
+///     labels,
+///     NoFailures,
+///     SeedTree::new(2014),
+/// )?
+/// .run();
+/// assert!(report.completed());
+/// let mut names: Vec<u32> = report.all_names().iter().map(|n| n.0).collect();
+/// names.sort_unstable();
+/// assert_eq!(names, (0..16).collect::<Vec<u32>>());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BallsIntoLeaves {
+    cfg: BilConfig,
+}
+
+impl BallsIntoLeaves {
+    /// Protocol with an explicit configuration.
+    pub fn new(cfg: BilConfig) -> Self {
+        BallsIntoLeaves { cfg }
+    }
+
+    /// The base randomized algorithm (§4).
+    pub fn base() -> Self {
+        Self::new(BilConfig::new())
+    }
+
+    /// The early-terminating extension (§6).
+    pub fn early_terminating() -> Self {
+        Self::new(BilConfig::early_terminating())
+    }
+
+    /// The deterministic comparison-based baseline.
+    pub fn deterministic_rank() -> Self {
+        Self::new(BilConfig::deterministic_rank())
+    }
+
+    /// This protocol's configuration.
+    pub fn config(&self) -> &BilConfig {
+        &self.cfg
+    }
+
+}
+
+impl ViewProtocol for BallsIntoLeaves {
+    type Msg = BilMsg;
+    type View = BilView;
+
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or exceeds [`bil_tree::MAX_LEAVES`]; the engines
+    /// validate `n ≥ 1` before construction.
+    fn init_view(&self, n: usize) -> BilView {
+        let topo = Topology::new(n).expect("engine guarantees 1 <= n <= MAX_LEAVES");
+        BilView {
+            tree: LocalTree::new(topo),
+            committed: BTreeMap::new(),
+            fresh: Vec::new(),
+            dismissed: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn compose(&self, view: &BilView, ball: Label, round: Round, rng: &mut SmallRng) -> BilMsg {
+        if round.is_init() {
+            return BilMsg::Init;
+        }
+        let tree = &view.tree;
+        if round.is_path_round() {
+            let node = tree.current_node(ball).expect("ball is in its own view");
+            if self.cfg.decide_at_leaf {
+                // A ball whose (synchronized) position is a leaf commits
+                // it and will decide at the end of this round.
+                if tree.topology().is_leaf(node) {
+                    return BilMsg::Commit(node);
+                }
+                // Cornered: every free leaf below is blocked for this
+                // view (poisoned by evictions). The ball passes the
+                // phase, keeping its position, rather than route toward
+                // a leaf whose name may already have been decided.
+                let needed = match self.cfg.path_rule {
+                    PathRule::DeterministicRank => {
+                        tree.rank_at_node(ball).expect("ball in own view") as u32
+                    }
+                    _ => 0,
+                };
+                if tree.routable_below(node) <= needed {
+                    return BilMsg::Pos {
+                        node,
+                        echo: view.fresh.clone(),
+                    };
+                }
+            }
+            let path = match self.cfg.path_rule {
+                PathRule::Random(coin) => tree.random_path(ball, coin, rng),
+                PathRule::EarlyTerminating(coin) => {
+                    if round.0 == 1 {
+                        // §6: descend toward the leaf indexed by the
+                        // ball's rank. In phase 1 every ball is at the
+                        // root, so the overall `<R` rank equals the
+                        // label rank at the ball's node.
+                        let rank = tree.rank_at_node(ball).map(|r| r as u32);
+                        rank.and_then(|r| tree.path_toward_rank(ball, r))
+                    } else {
+                        tree.random_path(ball, coin, rng)
+                    }
+                }
+                PathRule::DeterministicRank => tree.rank_slot_path(ball),
+            };
+            BilMsg::Path(path.expect("ball is in its own view with capacity below"))
+        } else {
+            let mut node = tree.current_node(ball).expect("ball is in its own view");
+            // Cornered recovery (decide-at-leaf variant): a ball whose
+            // whole subtree is routing-blocked *retreats* — it announces
+            // the nearest ancestor that still has routable capacity as
+            // its position ("the remaining balls backtrack towards the
+            // root", §1). Moving up only ever frees capacity below, so
+            // no view's Lemma 1 can be hurt by the forced update.
+            if self.cfg.decide_at_leaf
+                && !tree.topology().is_leaf(node)
+                && tree.routable_below(node) == 0
+            {
+                while node != ROOT && tree.routable_below(node) == 0 {
+                    node = tree.topology().parent(node);
+                }
+            }
+            BilMsg::Pos {
+                node,
+                echo: view.fresh.clone(),
+            }
+        }
+    }
+
+    fn apply(&self, view: &mut BilView, round: Round, inbox: &[(Label, BilMsg)]) {
+        if round.is_init() {
+            for (label, msg) in inbox {
+                debug_assert_eq!(msg, &BilMsg::Init, "round-0 message must be Init");
+                view.tree
+                    .insert(*label, ROOT)
+                    .expect("inbox has one message per sender");
+            }
+            return;
+        }
+
+        if round.is_path_round() {
+            // Priority order snapshotted at phase start (Definition 1 is
+            // evaluated on start-of-phase positions, which Proposition 1
+            // makes identical across correct views).
+            let order = view.tree.ordered_balls();
+            let paths: BTreeMap<Label, &bil_tree::CandidatePath> = inbox
+                .iter()
+                .filter_map(|(l, m)| match m {
+                    BilMsg::Path(p) => Some((*l, p)),
+                    _ => None,
+                })
+                .collect();
+            let commits: BTreeMap<Label, NodeId> = inbox
+                .iter()
+                .filter_map(|(l, m)| match m {
+                    BilMsg::Commit(node) => Some((*l, *node)),
+                    _ => None,
+                })
+                .collect();
+            // Cornered balls pass the phase with a Pos broadcast: they
+            // stay in place (and their echoes are still processed).
+            let mut passes: std::collections::BTreeSet<Label> = Default::default();
+            for (l, m) in inbox {
+                if let BilMsg::Pos { echo, .. } = m {
+                    passes.insert(*l);
+                    for (ball, leaf) in echo {
+                        view.learn_commit(*ball, *leaf, round, Provenance::Echoed);
+                    }
+                }
+            }
+            // NOTE: `fresh` is NOT cleared here — commits learned last
+            // sync round still await their echo in the next Pos
+            // broadcast; this round's direct commits join them.
+            for ball in order {
+                if let Some(leaf) = commits.get(&ball) {
+                    // Commit: the sender's position was synchronized last
+                    // round, so every view already has it there.
+                    debug_assert_eq!(view.tree.current_node(ball), Some(*leaf));
+                    view.learn_commit(ball, *leaf, round, Provenance::Direct);
+                } else if let Some(path) = paths.get(&ball) {
+                    // Lines 13–18: follow the path until the first full
+                    // subtree.
+                    if view.tree.place_along(ball, path).is_err() {
+                        // Unreachable for correct senders; treat a
+                        // malformed path as a crash (defense in depth —
+                        // remove rather than corrupt).
+                        debug_assert!(false, "correct ball sent malformed path");
+                        view.tree.remove(ball);
+                    }
+                } else if !view.committed.contains_key(&ball) && !passes.contains(&ball) {
+                    // Lines 19–20: silence from an uncommitted ball means
+                    // it crashed (committed balls decided; they stay;
+                    // cornered balls passed in place).
+                    view.tree.remove(ball);
+                }
+            }
+        } else {
+            // Round 2 (lines 22–28): adopt announced positions, drop the
+            // silent (committed balls are silent by design and stay).
+            //
+            // Echoes are processed FIRST: a commit learned second-hand
+            // re-establishes the committed ball before the silent sweep
+            // could (wrongly) treat its leaf as free. `learn_commit`
+            // re-echoes, so knowledge spreads along partial-delivery
+            // chains until one full broadcast makes it uniform.
+            view.fresh = Vec::new();
+            for (_, msg) in inbox {
+                if let BilMsg::Pos { echo, .. } = msg {
+                    for (ball, leaf) in echo {
+                        view.learn_commit(*ball, *leaf, round, Provenance::Echoed);
+                    }
+                }
+            }
+            let order = view.tree.ordered_balls();
+            let positions: BTreeMap<Label, NodeId> = inbox
+                .iter()
+                .filter_map(|(l, m)| match m {
+                    BilMsg::Pos { node, .. } => Some((*l, *node)),
+                    _ => None,
+                })
+                .collect();
+            for ball in order {
+                match positions.get(&ball) {
+                    Some(node) => {
+                        view.tree
+                            .update_node(ball, *node)
+                            .expect("announced positions are in range");
+                    }
+                    None => {
+                        if !view.committed.contains_key(&ball) {
+                            view.tree.remove(ball);
+                        }
+                    }
+                }
+            }
+            // Conflict resolution (decide-at-leaf only; see module docs):
+            // a partial commit can leave this view holding a ghost whose
+            // leaf other views reassigned, and the forced updates above
+            // then overfill a subtree here. Evict committed balls until
+            // capacities hold, poisoning their leaves for this view.
+            if !view.committed.is_empty() {
+                resolve_overfull_subtrees(view);
+            }
+            // The paper's Lemma 1 must hold in every view at phase end.
+            debug_assert!(view.tree.validate().is_ok(), "{:?}", view.tree.validate());
+        }
+    }
+
+    fn status(&self, view: &BilView, ball: Label, round: Round) -> Status {
+        if self.cfg.decide_at_leaf {
+            // Per-ball termination: decided at the end of the path round
+            // in which the ball broadcast its commit.
+            if round.is_path_round() {
+                if let Some(record) = view.committed.get(&ball) {
+                    return Status::Decided(Name(view.tree.topology().leaf_rank(record.leaf)));
+                }
+            }
+            return Status::Running;
+        }
+        // Base rule: termination is evaluated at phase boundaries only
+        // (the `until` of Algorithm 1 follows round 2).
+        if !round.is_sync_round() {
+            return Status::Running;
+        }
+        let tree = &view.tree;
+        let Some(node) = tree.current_node(ball) else {
+            debug_assert!(false, "ball missing from its own view");
+            return Status::Running;
+        };
+        if tree.all_at_leaves() {
+            debug_assert!(tree.topology().is_leaf(node));
+            Status::Decided(Name(tree.topology().leaf_rank(node)))
+        } else {
+            Status::Running
+        }
+    }
+}
+
+/// Evicts committed balls from subtrees that forced position updates
+/// pushed over capacity. Deterministic: deepest over-full node first
+/// (ties to the smaller id); within it the preference order is
+///
+/// 1. **echo-learned commits** — provably crashed before deciding (their
+///    broadcast missed this view), so eviction is unconditionally safe;
+/// 2. direct-learned commits, latest round first, larger label first —
+///    a genuinely decided commit is known to *every* view, so it never
+///    causes conflicts; still, because a same-round direct partial
+///    commit is locally indistinguishable, such evictions additionally
+///    **poison** the leaf ([`LocalTree::block_leaf`]): this view's owner
+///    renounces ever routing toward it, so even a theoretically-wrong
+///    pick cannot produce a duplicate claim from this view.
+fn resolve_overfull_subtrees(view: &mut BilView) {
+    loop {
+        // Over-full nodes can only be ancestors of committed balls
+        // (every other placement went through the capacity-respecting
+        // move-walk, and silent uncommitted balls were removed).
+        let mut worst: Option<(u32, NodeId)> = None;
+        for (ball, _) in view.committed.iter() {
+            let Some(node) = view.tree.current_node(*ball) else {
+                continue;
+            };
+            for v in view.tree.topology().ancestors_inclusive(node) {
+                if view.tree.load(v) > view.tree.topology().capacity(v) {
+                    let cand = (view.tree.topology().depth(v), v);
+                    worst = Some(match worst {
+                        None => cand,
+                        Some(w) => {
+                            if (cand.0, std::cmp::Reverse(cand.1)) > (w.0, std::cmp::Reverse(w.1))
+                            {
+                                cand
+                            } else {
+                                w
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        let Some((_, overfull)) = worst else {
+            return;
+        };
+        let victim = view
+            .committed
+            .iter()
+            .filter(|(ball, _)| {
+                view.tree
+                    .current_node(**ball)
+                    .is_some_and(|node| view.tree.topology().is_ancestor_or_self(overfull, node))
+            })
+            .max_by_key(|(ball, record)| {
+                (
+                    record.provenance == Provenance::Echoed,
+                    record.round,
+                    **ball,
+                )
+            })
+            .map(|(ball, record)| (*ball, *record));
+        let Some((ball, record)) = victim else {
+            debug_assert!(false, "over-full subtree without a committed ball");
+            return;
+        };
+        #[cfg(feature = "evict-trace")]
+        eprintln!(
+            "EVICT ball={ball:?} leaf={} round={:?} prov={:?} overfull={overfull}",
+            record.leaf, record.round, record.provenance
+        );
+        view.tree.remove(ball);
+        if record.provenance == Provenance::Direct {
+            view.tree
+                .block_leaf(record.leaf)
+                .expect("committed positions are leaves");
+        }
+        view.committed.remove(&ball);
+        view.dismissed.insert(ball);
+        view.fresh.retain(|(b, _)| *b != ball);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bil_runtime::adversary::{NoFailures, Scripted, ScriptedCrash};
+    use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+    use bil_runtime::SeedTree;
+    use bil_tree::CoinRule;
+
+    fn labels(n: u64) -> Vec<Label> {
+        (0..n).map(|i| Label((i * 29 + 17) % (n * 31))).collect()
+    }
+
+    fn run_base(n: u64, seed: u64) -> bil_runtime::RunReport {
+        SyncEngine::new(
+            BallsIntoLeaves::base(),
+            labels(n),
+            NoFailures,
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn failure_free_solves_tight_renaming() {
+        for n in [1u64, 2, 3, 4, 7, 8, 16, 33] {
+            for seed in 0..4 {
+                let report = run_base(n, seed);
+                assert!(report.completed(), "n={n} seed={seed}");
+                let mut names: Vec<u32> = report.all_names().iter().map(|x| x.0).collect();
+                names.sort_unstable();
+                assert_eq!(
+                    names,
+                    (0..n as u32).collect::<Vec<_>>(),
+                    "n={n} seed={seed}: names must be exactly 0..n"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_init_plus_full_phases() {
+        for n in [2u64, 8, 32] {
+            let report = run_base(n, 7);
+            assert!(report.rounds >= 3);
+            assert_eq!(report.rounds % 2, 1, "init + 2·phases");
+        }
+    }
+
+    #[test]
+    fn single_ball_decides_name_zero_in_one_phase() {
+        let report = run_base(1, 0);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.decisions[0].unwrap().name, Name(0));
+    }
+
+    #[test]
+    fn early_terminating_failure_free_is_constant_rounds_and_order_preserving() {
+        for n in [2u64, 4, 16, 64, 256] {
+            let ls = labels(n);
+            let report = SyncEngine::new(
+                BallsIntoLeaves::early_terminating(),
+                ls.clone(),
+                NoFailures,
+                SeedTree::new(3),
+            )
+            .unwrap()
+            .run();
+            assert!(report.completed());
+            assert_eq!(report.rounds, 3, "Theorem 3: O(1) rounds, here exactly 3");
+            // Rank-indexed descent is order-preserving when failure-free.
+            let mut sorted = ls.clone();
+            sorted.sort_unstable();
+            for (pid, l) in ls.iter().enumerate() {
+                let rank = sorted.iter().position(|x| x == l).unwrap() as u32;
+                assert_eq!(report.decisions[pid].unwrap().name, Name(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rank_failure_free_is_one_phase() {
+        let report = SyncEngine::new(
+            BallsIntoLeaves::deterministic_rank(),
+            labels(32),
+            NoFailures,
+            SeedTree::new(5),
+        )
+        .unwrap()
+        .run();
+        assert!(report.completed());
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn crash_during_init_still_renames_uniquely() {
+        for seed in 0..8 {
+            let adv = Scripted::new(vec![ScriptedCrash {
+                round: Round(0),
+                victim_index: 0,
+                modulus: 2,
+                residue: 1,
+            }]);
+            let report = SyncEngine::new(
+                BallsIntoLeaves::base(),
+                labels(9),
+                adv,
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            assert!(report.completed(), "seed={seed}");
+            assert_eq!(report.failures(), 1);
+            let mut names = report.all_names();
+            names.sort_unstable();
+            let deduped = {
+                let mut d = names.clone();
+                d.dedup();
+                d
+            };
+            assert_eq!(names.len(), deduped.len(), "duplicate names, seed={seed}");
+            assert_eq!(names.len(), 8);
+        }
+    }
+
+    #[test]
+    fn crash_during_path_round_with_split_delivery() {
+        for seed in 0..8 {
+            let adv = Scripted::new(vec![
+                ScriptedCrash {
+                    round: Round(1),
+                    victim_index: 2,
+                    modulus: 2,
+                    residue: 0,
+                },
+                ScriptedCrash {
+                    round: Round(3),
+                    victim_index: 0,
+                    modulus: 3,
+                    residue: 1,
+                },
+            ]);
+            let report = SyncEngine::new(
+                BallsIntoLeaves::base(),
+                labels(12),
+                adv,
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            assert!(report.completed(), "seed={seed}");
+            let names = report.all_names();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), names.len(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn crash_during_sync_round_does_not_break_safety() {
+        for seed in 0..8 {
+            let adv = Scripted::new(vec![ScriptedCrash {
+                round: Round(2),
+                victim_index: 1,
+                modulus: 2,
+                residue: 0,
+            }]);
+            let report = SyncEngine::new(
+                BallsIntoLeaves::base(),
+                labels(10),
+                adv,
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            assert!(report.completed(), "seed={seed}");
+            let names = report.all_names();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), names.len(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn per_process_mode_agrees_with_clustered() {
+        let ls = labels(8);
+        let adv = || {
+            Scripted::new(vec![ScriptedCrash {
+                round: Round(1),
+                victim_index: 1,
+                modulus: 2,
+                residue: 0,
+            }])
+        };
+        for seed in 0..4 {
+            let a = SyncEngine::with_options(
+                BallsIntoLeaves::base(),
+                ls.clone(),
+                adv(),
+                SeedTree::new(seed),
+                EngineOptions {
+                    max_rounds: None,
+                    mode: EngineMode::Clustered,
+                },
+            )
+            .unwrap()
+            .run();
+            let b = SyncEngine::with_options(
+                BallsIntoLeaves::base(),
+                ls.clone(),
+                adv(),
+                SeedTree::new(seed),
+                EngineOptions {
+                    max_rounds: None,
+                    mode: EngineMode::PerProcess,
+                },
+            )
+            .unwrap()
+            .run();
+            assert_eq!(a, b, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn decide_at_leaf_decides_no_later_and_stays_unique() {
+        for seed in 0..6 {
+            let cfg_on = BilConfig::new().with_decide_at_leaf(true);
+            let adv = || {
+                Scripted::new(vec![ScriptedCrash {
+                    round: Round(1),
+                    victim_index: 0,
+                    modulus: 2,
+                    residue: 0,
+                }])
+            };
+            let on = SyncEngine::new(
+                BallsIntoLeaves::new(cfg_on),
+                labels(10),
+                adv(),
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            let off = SyncEngine::new(
+                BallsIntoLeaves::base(),
+                labels(10),
+                adv(),
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            assert!(on.completed() && off.completed(), "seed={seed}");
+            let names = on.all_names();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), names.len(), "seed={seed}");
+            // Per-ball decisions with decide_at_leaf pay one commit round
+            // after arrival, but never lag the global variant by more
+            // than that one phase (and early arrivers decide far sooner).
+            for (a, b) in on.decisions.iter().zip(off.decisions.iter()) {
+                if let (Some(da), Some(db)) = (a, b) {
+                    assert!(da.round.0 <= db.round.0 + 2, "seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_coin_reproduces_figure_2a_pileup() {
+        // n = 4, all balls propose the leftmost leaf: the hand-computed
+        // placement from DESIGN.md §4 (and Figure 2a of the paper).
+        let cfg = BilConfig::new().with_path_rule(PathRule::Random(CoinRule::Leftmost));
+        let ls: Vec<Label> = (1..=4).map(Label).collect();
+        let mut first_phase_positions = Vec::new();
+        {
+            use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
+            let mut obs = FnObserver(|ctx: ObserverCtx<'_>, clusters: &[Cluster<BilView>]| {
+                if ctx.round == Round(1) {
+                    let tree = clusters[0].view.tree();
+                    first_phase_positions = (1..=4)
+                        .map(|l| tree.current_node(Label(l)).unwrap())
+                        .collect();
+                }
+            });
+            SyncEngine::new(
+                BallsIntoLeaves::new(cfg),
+                ls,
+                NoFailures,
+                SeedTree::new(0),
+            )
+            .unwrap()
+            .run_observed(&mut obs);
+        }
+        // Ball 1 wins leaf 4 (=leaf rank 0); ball 2 stops at node 2;
+        // balls 3 and 4 stop at the root.
+        assert_eq!(first_phase_positions, vec![4, 2, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_replay_of_full_protocol() {
+        let mk = || {
+            SyncEngine::new(
+                BallsIntoLeaves::base(),
+                labels(16),
+                Scripted::new(vec![ScriptedCrash {
+                    round: Round(1),
+                    victim_index: 3,
+                    modulus: 2,
+                    residue: 0,
+                }]),
+                SeedTree::new(99),
+            )
+            .unwrap()
+        };
+        assert_eq!(mk().run(), mk().run());
+    }
+
+    #[test]
+    fn all_crash_but_one_still_terminates() {
+        // n−1 crashes (the model's maximum): the survivor must still
+        // decide.
+        let script: Vec<ScriptedCrash> = (0..7)
+            .map(|i| ScriptedCrash {
+                round: Round(i % 3),
+                victim_index: i as usize,
+                modulus: 2,
+                residue: 0,
+            })
+            .collect();
+        let report = SyncEngine::new(
+            BallsIntoLeaves::base(),
+            labels(8),
+            Scripted::new(script),
+            SeedTree::new(1),
+        )
+        .unwrap()
+        .run();
+        assert!(report.completed());
+        let decided = report.decisions.iter().flatten().count();
+        assert!(decided >= 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based verification of Balls-into-Leaves.
+//!
+//! The paper's Theorem 1 (correct balls terminate at distinct leaves) is
+//! proved against *every* crash pattern of the strong adaptive adversary.
+//! These tests approximate that quantifier with proptest: arbitrary crash
+//! schedules (round × victim × partial-delivery pattern), across all
+//! three protocol variants and both termination modes, on all three
+//! executors — checking the §3 specification (termination / validity /
+//! uniqueness), the Lemma 2 path-isolation property, and executor
+//! equivalence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilView, PathRule};
+use bil_runtime::adversary::{Scripted, ScriptedCrash};
+use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+use bil_runtime::threaded::run_threaded;
+use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
+use bil_runtime::{Label, Round, SeedTree};
+use bil_tree::CoinRule;
+use proptest::prelude::*;
+
+/// Arbitrary crash schedules: up to 8 crashes in rounds 0..14 with
+/// arbitrary victims and delivery patterns.
+fn schedules() -> impl Strategy<Value = Vec<ScriptedCrash>> {
+    prop::collection::vec(
+        (0u64..14, 0usize..32, 0usize..5, 0usize..5).prop_map(|(r, v, m, res)| ScriptedCrash {
+            round: Round(r),
+            victim_index: v,
+            modulus: m,
+            residue: res,
+        }),
+        0..8,
+    )
+}
+
+/// All protocol variants under test.
+fn configs() -> Vec<BilConfig> {
+    vec![
+        BilConfig::new(),
+        BilConfig::new().with_decide_at_leaf(true),
+        BilConfig::early_terminating(),
+        BilConfig::early_terminating().with_decide_at_leaf(true),
+        BilConfig::deterministic_rank(),
+        BilConfig::new().with_path_rule(PathRule::Random(CoinRule::Uniform)),
+    ]
+}
+
+/// Shuffle-ish unique labels so algorithms cannot rely on label = slot.
+fn labels(n: usize) -> Vec<Label> {
+    (0..n as u64).map(|i| Label((i * 53 + 19) % 1021)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The §3 specification holds for every variant under every crash
+    /// schedule.
+    #[test]
+    fn renaming_spec_under_arbitrary_schedules(
+        n in 1usize..20,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        for (i, cfg) in configs().into_iter().enumerate() {
+            let report = SyncEngine::new(
+                BallsIntoLeaves::new(cfg),
+                labels(n),
+                Scripted::new(schedule.clone()),
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run();
+            let verdict = check_tight_renaming(&report);
+            prop_assert!(
+                verdict.holds(),
+                "config #{i} ({cfg:?}) n={n} seed={seed}: {verdict}"
+            );
+        }
+    }
+
+    /// Clustered and per-process execution are observationally identical.
+    #[test]
+    fn clustered_equals_per_process(
+        n in 1usize..14,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let run = |mode| {
+            SyncEngine::with_options(
+                BallsIntoLeaves::base(),
+                labels(n),
+                Scripted::new(schedule.clone()),
+                SeedTree::new(seed),
+                EngineOptions { max_rounds: None, mode },
+            )
+            .unwrap()
+            .run()
+        };
+        prop_assert_eq!(run(EngineMode::Clustered), run(EngineMode::PerProcess));
+    }
+
+    /// The thread-per-process channel executor matches the simulator.
+    #[test]
+    fn threaded_equals_sim(
+        n in 1usize..10,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let sim = SyncEngine::new(
+            BallsIntoLeaves::base(),
+            labels(n),
+            Scripted::new(schedule.clone()),
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run();
+        let threaded = run_threaded(
+            BallsIntoLeaves::base(),
+            labels(n),
+            Scripted::new(schedule),
+            SeedTree::new(seed),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(sim, threaded);
+    }
+
+    /// Lemma 2 (Path Isolation): within any single process's view, the
+    /// set of balls on any root-to-leaf-parent path only shrinks from
+    /// phase to phase.
+    #[test]
+    fn path_isolation_property(
+        n in 2usize..14,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        // Per-process mode so each view's evolution is trackable by pid.
+        // History: pid -> (leaf-parent -> ball set at previous phase end).
+        let mut prev: BTreeMap<u32, BTreeMap<u32, BTreeSet<Label>>> = BTreeMap::new();
+        let mut violation: Option<String> = None;
+        {
+            let mut obs = FnObserver(|ctx: ObserverCtx<'_>, clusters: &[Cluster<BilView>]| {
+                if !ctx.round.is_sync_round() {
+                    return;
+                }
+                for cluster in clusters {
+                    for pid in &cluster.members {
+                        let tree = cluster.view.tree();
+                        let topo = *tree.topology();
+                        let mut now: BTreeMap<u32, BTreeSet<Label>> = BTreeMap::new();
+                        // Leaf parents: the level above the leaves (or the
+                        // root itself for n = 1-level trees).
+                        let half = (topo.padded_leaves() / 2).max(1) as u32;
+                        for parent in half..(2 * half).min(topo.padded_leaves() as u32) {
+                            let set: BTreeSet<Label> =
+                                tree.balls_on_chain(parent).into_iter().collect();
+                            now.insert(parent, set);
+                        }
+                        if let Some(old) = prev.get(&pid.0) {
+                            for (parent, set) in &now {
+                                if let Some(old_set) = old.get(parent) {
+                                    // New balls must not appear; survivors
+                                    // must be a subset of the old set.
+                                    if !set.is_subset(old_set) {
+                                        violation = Some(format!(
+                                            "pid {} path {} gained balls: {:?} -> {:?}",
+                                            pid.0, parent, old_set, set
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        prev.insert(pid.0, now);
+                    }
+                }
+            });
+            SyncEngine::with_options(
+                BallsIntoLeaves::base(),
+                labels(n),
+                Scripted::new(schedule),
+                SeedTree::new(seed),
+                EngineOptions {
+                    max_rounds: None,
+                    mode: EngineMode::PerProcess,
+                },
+            )
+            .unwrap()
+            .run_observed(&mut obs);
+        }
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    /// Decided names always equal the left-to-right rank of a real leaf,
+    /// and the assignment is a partial injection into 0..n.
+    #[test]
+    fn names_are_a_partial_injection(
+        n in 1usize..24,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let report = SyncEngine::new(
+            BallsIntoLeaves::base(),
+            labels(n),
+            Scripted::new(schedule),
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run();
+        let names = report.all_names();
+        let mut sorted: Vec<u32> = names.iter().map(|x| x.0).collect();
+        sorted.sort_unstable();
+        let mut deduped = sorted.clone();
+        deduped.dedup();
+        prop_assert_eq!(sorted.len(), deduped.len(), "duplicate names");
+        prop_assert!(sorted.iter().all(|x| (*x as usize) < n), "name out of range");
+        // At least n − f processes decide.
+        prop_assert!(names.len() + report.failures() >= n);
+    }
+
+    /// Deterministic replay: identical inputs give identical reports for
+    /// every variant.
+    #[test]
+    fn deterministic_replay_all_variants(
+        n in 1usize..12,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        for cfg in configs() {
+            let mk = || {
+                SyncEngine::new(
+                    BallsIntoLeaves::new(cfg),
+                    labels(n),
+                    Scripted::new(schedule.clone()),
+                    SeedTree::new(seed),
+                )
+                .unwrap()
+                .run()
+            };
+            prop_assert_eq!(mk(), mk());
+        }
+    }
+}

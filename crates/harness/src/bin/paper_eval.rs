@@ -1,0 +1,65 @@
+//! `paper-eval` — regenerate the paper's evaluation.
+//!
+//! ```text
+//! paper-eval [--quick] [all | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 |
+//!             e11 | e12 | e13 | fig12 | fig4]...
+//! ```
+//!
+//! With no experiment ids, runs everything. `--quick` shrinks sizes and
+//! seed counts (CI/debug builds); the committed `EXPERIMENTS.md` comes
+//! from a full `--release` run.
+
+use std::process::ExitCode;
+
+use bil_harness::experiments::{self, EvalOpts};
+
+fn usage() -> &'static str {
+    "usage: paper-eval [--quick] [all|e1|e2|e3|e4|e5|e6|e7|e8|e11|e12|e13|fig12|fig4]..."
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+    let opts = EvalOpts { quick };
+
+    let mut out = String::new();
+    for id in &ids {
+        let sectioned = match id.as_str() {
+            "all" => experiments::run_all(&opts),
+            "e1" => experiments::e01_rounds_vs_n::run(&opts),
+            "e2" => experiments::e02_separation::run(&opts),
+            "e3" => experiments::e03_early_ff::run(&opts),
+            "e4" => experiments::e04_early_f::run(&opts),
+            "e5" => experiments::e05_bmax::run(&opts),
+            "e6" => experiments::e06_path_drain::run(&opts),
+            "e7" => experiments::e07_crashes::run(&opts),
+            "e8" => experiments::e08_deterministic_termination::run(&opts),
+            "e11" => experiments::e11_messages::run(&opts),
+            "e12" => experiments::e12_ablations::run(&opts),
+            "e13" => experiments::e13_baseline_failures::run(&opts),
+            "fig12" => experiments::figures::run_fig12(&opts),
+            "fig4" => experiments::figures::run_fig4(&opts),
+            unknown => {
+                eprintln!("unknown experiment id `{unknown}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        out.push_str(&sectioned);
+        out.push('\n');
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,127 @@
+//! E1 — Theorem 2: Balls-into-Leaves terminates in `O(log log n)` rounds
+//! w.h.p., failure-free and against adaptive adversaries.
+//!
+//! For each `n` in a geometric sweep we run the base algorithm under
+//! four failure regimes and report round statistics, the
+//! `rounds / log₂log₂ n` ratio (flat ⇔ the claimed growth), and a
+//! growth-model classification of each series.
+
+use crate::experiments::{f2, section, EvalOpts};
+use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::stats::classify_growth;
+use crate::table::Table;
+
+/// The adversary regimes of this experiment, by table column.
+fn regimes(n: usize) -> Vec<(&'static str, AdversarySpec)> {
+    vec![
+        ("failure-free", AdversarySpec::None),
+        (
+            "burst f=n/4",
+            AdversarySpec::Burst {
+                round: 1,
+                count: n / 4,
+            },
+        ),
+        (
+            "random t=n/4",
+            AdversarySpec::Random {
+                budget: n / 4,
+                expected_per_round: 2.0,
+            },
+        ),
+        (
+            "adaptive-splitter t=n/2",
+            AdversarySpec::AdaptiveSplitter { budget: n / 2 },
+        ),
+    ]
+}
+
+/// Runs E1 and renders its markdown section.
+pub fn run(opts: &EvalOpts) -> String {
+    let ns = opts.pow2s(4, 16, 2);
+    let mut table = Table::new([
+        "n".to_string(),
+        "log2log2 n".to_string(),
+        "ff rounds (mean/p95/max)".to_string(),
+        "ff / loglog".to_string(),
+        "burst rounds".to_string(),
+        "random rounds".to_string(),
+        "adaptive rounds".to_string(),
+    ]);
+    let mut series: Vec<(&str, Vec<usize>, Vec<f64>)> = vec![
+        ("failure-free", Vec::new(), Vec::new()),
+        ("burst f=n/4", Vec::new(), Vec::new()),
+        ("random t=n/4", Vec::new(), Vec::new()),
+        ("adaptive-splitter t=n/2", Vec::new(), Vec::new()),
+    ];
+
+    // Adversarial regimes split many views per crash; cap their sweep
+    // so the full run stays in minutes (the failure-free series, which
+    // shares one view, sweeps the full range).
+    let adversarial_cap = 1usize << 12;
+    for &n in &ns {
+        let loglog = (n as f64).log2().log2();
+        let mut cells = vec![n.to_string(), f2(loglog)];
+        for (idx, (_, adv)) in regimes(n).into_iter().enumerate() {
+            if idx > 0 && n > adversarial_cap {
+                cells.push("—".to_string());
+                continue;
+            }
+            let seeds = if idx == 0 {
+                opts.seeds(30)
+            } else {
+                opts.seeds(12)
+            };
+            let scenario = Scenario::failure_free(Algorithm::BilBase, n).against(adv);
+            let batch = Batch::run(scenario, seeds).expect("valid scenario");
+            assert!(
+                (batch.completion_rate() - 1.0).abs() < f64::EPSILON,
+                "E1 run failed to complete at n={n}"
+            );
+            let s = batch.rounds();
+            series[idx].1.push(n);
+            series[idx].2.push(s.mean);
+            if idx == 0 {
+                cells.push(format!("{:.1}/{:.0}/{:.0}", s.mean, s.p95, s.max));
+                cells.push(f2(s.mean / loglog));
+            } else {
+                cells.push(format!("{:.1}/{:.0}", s.mean, s.p95));
+            }
+        }
+        table.row(cells);
+    }
+
+    let mut verdicts = String::new();
+    for (name, ns_used, ys) in &series {
+        if let Some(v) = classify_growth(ns_used, ys) {
+            verdicts.push_str(&format!(
+                "- **{name}**: best fit {} (R²: loglog {:.3}, log {:.3}, linear {:.3})\n",
+                v.best, v.loglog_r2, v.log_r2, v.linear_r2
+            ));
+        }
+    }
+
+    section(
+        "E1 — Theorem 2: rounds vs n (O(log log n) w.h.p.)",
+        &format!(
+            "Base Balls-into-Leaves; rounds include the initialization round \
+             (total = 1 + 2·phases).\n\n{}\nGrowth classification:\n\n{}",
+            table.render(),
+            verdicts
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table_and_verdicts() {
+        let out = run(&EvalOpts { quick: true });
+        assert!(out.contains("E1"));
+        assert!(out.contains("| n "));
+        assert!(out.contains("failure-free"));
+        assert!(out.contains("best fit"));
+    }
+}

@@ -1,0 +1,58 @@
+//! E3 — Theorem 3: the early-terminating extension decides in `O(1)`
+//! rounds when no failures occur — deterministically, for every `n`.
+//!
+//! The §6 first phase sends every ball straight to the leaf indexed by
+//! its label rank; with no crashes all ranks agree, every ball lands in
+//! one phase, and the run takes exactly 3 rounds (initialization + one
+//! two-round phase) regardless of `n`.
+
+use crate::experiments::{section, EvalOpts};
+use crate::scenario::{Algorithm, Batch, Scenario};
+use crate::stats::{classify_growth, GrowthModel};
+use crate::table::Table;
+
+/// Runs E3 and renders its markdown section.
+pub fn run(opts: &EvalOpts) -> String {
+    let ns = opts.pow2s(4, 16, 2);
+    let mut table = Table::new(["n", "rounds (mean)", "rounds (max)", "spec holds"]);
+    let mut ys = Vec::new();
+    for &n in &ns {
+        let batch = Batch::run(
+            Scenario::failure_free(Algorithm::BilEarly, n),
+            opts.seeds(8),
+        )
+        .expect("valid scenario");
+        let s = batch.rounds();
+        ys.push(s.mean);
+        table.row([
+            n.to_string(),
+            format!("{:.1}", s.mean),
+            format!("{:.0}", s.max),
+            if batch.spec_rate() == 1.0 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let verdict = classify_growth(&ns, &ys)
+        .map(|v| v.best)
+        .unwrap_or(GrowthModel::Constant);
+    section(
+        "E3 — Theorem 3: early-terminating variant, failure-free O(1) rounds",
+        &format!(
+            "{}\nGrowth classification: **{verdict}** — every run takes exactly \
+             3 rounds (init + one phase), independent of n.\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_constant_three_rounds() {
+        let out = run(&EvalOpts { quick: true });
+        assert!(out.contains("E3"));
+        assert!(out.contains("O(1)"));
+        assert!(!out.contains("NO"), "spec must hold everywhere:\n{out}");
+    }
+}

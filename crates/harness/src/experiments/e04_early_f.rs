@@ -1,0 +1,103 @@
+//! E4 — Theorem 4: the early-terminating extension decides in
+//! `O(log log f)` rounds w.h.p. when `f` failures actually occur.
+//!
+//! `n` is held fixed while the failure count sweeps a geometric range.
+//! The primary series uses a round-0 burst (crashes during the label
+//! exchange are what §6's analysis bounds: ranks shift by at most `f`,
+//! so phase-1 collisions sit in subtrees of size `O(f)`); the secondary
+//! series uses the adaptive sandwich adversary with budget `f`, which
+//! spreads its crashes across phases (it typically spends far fewer than
+//! `f`, reported in the `actual f` column).
+
+use crate::experiments::{f2, section, EvalOpts};
+use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::stats::classify_growth;
+use crate::table::Table;
+
+/// Runs E4 and renders its markdown section.
+pub fn run(opts: &EvalOpts) -> String {
+    // n = 2^10: the sandwich column costs Θ(f · n log n) per phase
+    // (each threshold delivery is its own view), so larger n buys no
+    // extra insight per CPU-minute.
+    let n: usize = if opts.quick { 1 << 7 } else { 1 << 10 };
+    let mut fs: Vec<usize> = Vec::new();
+    let mut f = 2usize;
+    while f <= n / 2 {
+        fs.push(f);
+        f *= 4;
+    }
+
+    let mut table = Table::new([
+        "f (budget)",
+        "log2log2 f",
+        "burst@r0: rounds (mean/p95)",
+        "burst / loglog f",
+        "sandwich: rounds (mean/p95)",
+        "sandwich actual f",
+    ]);
+    let mut burst_ys = Vec::new();
+    for &f in &fs {
+        let loglog = (f as f64).log2().log2().max(1.0);
+        let burst = Batch::run(
+            Scenario::failure_free(Algorithm::BilEarly, n).against(AdversarySpec::Burst {
+                round: 0,
+                count: f,
+            }),
+            opts.seeds(12),
+        )
+        .expect("valid scenario");
+        let sandwich = Batch::run(
+            Scenario::failure_free(Algorithm::BilEarly, n)
+                .against(AdversarySpec::Sandwich { budget: f }),
+            opts.seeds(8),
+        )
+        .expect("valid scenario");
+        assert!(
+            burst.spec_rate() == 1.0 && sandwich.spec_rate() == 1.0,
+            "E4 safety violated at f={f}"
+        );
+        let b = burst.rounds();
+        burst_ys.push(b.mean);
+        table.row([
+            f.to_string(),
+            f2((f as f64).log2().log2()),
+            format!("{:.1}/{:.0}", b.mean, b.p95),
+            f2(b.mean / loglog),
+            format!(
+                "{:.1}/{:.0}",
+                sandwich.rounds().mean,
+                sandwich.rounds().p95
+            ),
+            f2(sandwich.mean_failures()),
+        ]);
+    }
+
+    let verdict = classify_growth(&fs, &burst_ys);
+    let verdict_line = verdict
+        .map(|v| {
+            format!(
+                "Growth of the burst series over f: best fit {} \
+                 (R²: loglog {:.3}, log {:.3}, linear {:.3}).",
+                v.best, v.loglog_r2, v.log_r2, v.linear_r2
+            )
+        })
+        .unwrap_or_default();
+
+    section(
+        &format!("E4 — Theorem 4: early termination in O(log log f) rounds (n = {n})"),
+        &format!("{}\n{verdict_line}\n", table.render()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_sweeps_f() {
+        let out = run(&EvalOpts { quick: true });
+        assert!(out.contains("E4"));
+        assert!(out.contains("sandwich"));
+        assert!(out.contains("burst"));
+    }
+}

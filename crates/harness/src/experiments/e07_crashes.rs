@@ -1,0 +1,114 @@
+//! E7 — §5.3: crashes do not slow termination.
+//!
+//! The paper argues that every failure only *frees* capacity, so a ball
+//! is at least as likely to escape its path in a faulty view as in a
+//! fault-free one. We sweep the crash budget from 0 to `n − 1` under the
+//! oblivious random adversary and pit the full-information strategies
+//! against the algorithm at maximum budget: mean rounds must not grow
+//! with the failure count (small noise aside).
+
+use crate::experiments::{f2, section, EvalOpts};
+use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::table::Table;
+
+/// Runs E7 and renders its markdown section.
+pub fn run(opts: &EvalOpts) -> String {
+    let n: usize = if opts.quick { 1 << 6 } else { 1 << 10 };
+    let mut table = Table::new([
+        "adversary",
+        "budget t",
+        "actual f (mean)",
+        "rounds mean",
+        "rounds p95",
+        "rounds max",
+        "spec",
+    ]);
+
+    let mut specs: Vec<(String, AdversarySpec)> = vec![(
+        "failure-free".into(),
+        AdversarySpec::None,
+    )];
+    for budget in [n / 8, n / 4, n / 2, n - 1] {
+        specs.push((
+            format!("random(t={budget})"),
+            AdversarySpec::Random {
+                budget,
+                expected_per_round: 2.0,
+            },
+        ));
+    }
+    specs.push((
+        format!("burst@r1(f={})", n / 2),
+        AdversarySpec::Burst {
+            round: 1,
+            count: n / 2,
+        },
+    ));
+    for (name, adv) in [
+        ("adaptive-splitter", AdversarySpec::AdaptiveSplitter { budget: n - 1 }),
+        ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
+        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
+    ] {
+        specs.push((format!("{name}(t={})", n - 1), adv));
+    }
+
+    let mut baseline_mean = None;
+    let mut worst_mean: f64 = 0.0;
+    for (name, adv) in specs {
+        let batch = Batch::run(
+            Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+            opts.seeds(15),
+        )
+        .expect("valid scenario");
+        let s = batch.rounds();
+        if baseline_mean.is_none() {
+            baseline_mean = Some(s.mean);
+        }
+        worst_mean = worst_mean.max(s.mean);
+        let budget = match adv {
+            AdversarySpec::None => 0,
+            AdversarySpec::Random { budget, .. }
+            | AdversarySpec::Attrition { budget }
+            | AdversarySpec::AdaptiveSplitter { budget }
+            | AdversarySpec::Sandwich { budget }
+            | AdversarySpec::SyncSplitter { budget }
+            | AdversarySpec::LeafDenier { budget } => budget,
+            AdversarySpec::Burst { count, .. } => count,
+        };
+        table.row([
+            name,
+            budget.to_string(),
+            f2(batch.mean_failures()),
+            f2(s.mean),
+            format!("{:.0}", s.p95),
+            format!("{:.0}", s.max),
+            if batch.spec_rate() == 1.0 { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+
+    let baseline = baseline_mean.unwrap_or(1.0);
+    section(
+        &format!("E7 — §5.3: crashes do not slow termination (n = {n})"),
+        &format!(
+            "{}\nWorst adversarial mean is {} of the failure-free mean — \
+             §5.3 predicts a factor near 1 (crashes free capacity; they \
+             cannot stall the descent).\n",
+            table.render(),
+            f2(worst_mean / baseline)
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_sweeps_adversaries() {
+        let out = run(&EvalOpts { quick: true });
+        assert!(out.contains("E7"));
+        assert!(out.contains("sandwich"));
+        assert!(!out.contains("VIOLATED"), "{out}");
+    }
+}

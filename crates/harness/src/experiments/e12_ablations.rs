@@ -1,0 +1,119 @@
+//! E12 — ablations of the paper's design choices.
+//!
+//! Two knobs the paper's §4 narrative motivates are isolated here:
+//!
+//! 1. **The capacity-weighted coin** (Algorithm 1, line 6). Replacing it
+//!    with a fair coin between non-full children biases balls toward
+//!    emptier-but-smaller subtrees less accurately; the weighted rule is
+//!    what makes the binomial concentration argument (Lemma 3) tight.
+//! 2. **Per-ball termination** (`decide_at_leaf`, the paper's remark
+//!    after Algorithm 1): whether balls decide at their own leaf or wait
+//!    for global completion. It cannot change the last decider's round,
+//!    but it collapses the *mean* decision latency.
+
+use crate::experiments::{f2, section, EvalOpts};
+use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::table::Table;
+
+/// Runs E12 and renders its markdown section.
+pub fn run(opts: &EvalOpts) -> String {
+    // Part 1: weighted vs uniform coin.
+    let ns = opts.pow2s(4, 12, 2);
+    let mut coin_table = Table::new([
+        "n",
+        "weighted coin rounds (mean/p95)",
+        "uniform coin rounds (mean/p95)",
+        "uniform / weighted",
+    ]);
+    for &n in &ns {
+        let weighted = Batch::run(
+            Scenario::failure_free(Algorithm::BilBase, n),
+            opts.seeds(15),
+        )
+        .expect("valid scenario");
+        let uniform = Batch::run(
+            Scenario::failure_free(Algorithm::BilUniformCoin, n),
+            opts.seeds(15),
+        )
+        .expect("valid scenario");
+        let (w, u) = (weighted.rounds(), uniform.rounds());
+        coin_table.row([
+            n.to_string(),
+            format!("{:.1}/{:.0}", w.mean, w.p95),
+            format!("{:.1}/{:.0}", u.mean, u.p95),
+            f2(u.mean / w.mean),
+        ]);
+    }
+
+    // Part 2: decision latency with and without decide_at_leaf.
+    let n: usize = if opts.quick { 1 << 6 } else { 1 << 10 };
+    let mut latency_table = Table::new([
+        "adversary",
+        "global decide: latency mean/p95",
+        "decide-at-leaf: latency mean/p95",
+        "mean speedup",
+    ]);
+    for (name, adv) in [
+        ("failure-free", AdversarySpec::None),
+        (
+            "burst f=n/4",
+            AdversarySpec::Burst {
+                round: 1,
+                count: n / 4,
+            },
+        ),
+        (
+            "random t=n/4",
+            AdversarySpec::Random {
+                budget: n / 4,
+                expected_per_round: 2.0,
+            },
+        ),
+    ] {
+        let global = Batch::run(
+            Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+            opts.seeds(10),
+        )
+        .expect("valid scenario");
+        let at_leaf = Batch::run(
+            Scenario::failure_free(Algorithm::BilDecideAtLeaf, n).against(adv),
+            opts.seeds(10),
+        )
+        .expect("valid scenario");
+        assert!(
+            at_leaf.spec_rate() == 1.0,
+            "decide-at-leaf must stay safe under {name}"
+        );
+        let (g, l) = (global.decision_latency(), at_leaf.decision_latency());
+        latency_table.row([
+            name.to_string(),
+            format!("{:.1}/{:.0}", g.mean, g.p95),
+            format!("{:.1}/{:.0}", l.mean, l.p95),
+            f2(g.mean / l.mean),
+        ]);
+    }
+
+    section(
+        "E12 — ablations: the weighted coin and per-ball termination",
+        &format!(
+            "Capacity-weighted vs uniform coin (failure-free):\n\n{}\n\
+             Per-process decision latency (rounds until own decision), \
+             n = {n}:\n\n{}",
+            coin_table.render(),
+            latency_table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_both_ablations() {
+        let out = run(&EvalOpts { quick: true });
+        assert!(out.contains("E12"));
+        assert!(out.contains("uniform coin"));
+        assert!(out.contains("decide-at-leaf"));
+    }
+}

@@ -1,0 +1,107 @@
+//! One module per experiment; each regenerates one figure or
+//! theorem-level claim of the paper and returns a markdown section.
+//!
+//! The experiment index (ids E1–E13, fig1/2, fig4) is defined in
+//! `DESIGN.md` §5; the measured-vs-paper comparison lives in
+//! `EXPERIMENTS.md`, whose tables are produced by these functions via
+//! the `paper-eval` binary.
+
+pub mod e01_rounds_vs_n;
+pub mod e02_separation;
+pub mod e03_early_ff;
+pub mod e04_early_f;
+pub mod e05_bmax;
+pub mod e06_path_drain;
+pub mod e07_crashes;
+pub mod e08_deterministic_termination;
+pub mod e11_messages;
+pub mod e12_ablations;
+pub mod e13_baseline_failures;
+pub mod figures;
+
+/// Global evaluation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalOpts {
+    /// Quick mode: small sizes and few seeds, suitable for CI and debug
+    /// builds. Full mode (the default) reproduces the committed
+    /// `EXPERIMENTS.md`.
+    pub quick: bool,
+}
+
+impl EvalOpts {
+    /// Seed range: `full` seeds normally, a handful in quick mode.
+    pub fn seeds(&self, full: u64) -> std::ops::Range<u64> {
+        if self.quick {
+            0..full.min(3)
+        } else {
+            0..full
+        }
+    }
+
+    /// Powers of two `2^lo ..= 2^hi` stepping the exponent by `step`,
+    /// with `hi` clamped down in quick mode.
+    pub fn pow2s(&self, lo: u32, hi: u32, step: u32) -> Vec<usize> {
+        let hi = if self.quick { hi.min(8) } else { hi };
+        (lo..=hi)
+            .step_by(step as usize)
+            .map(|e| 1usize << e)
+            .collect()
+    }
+}
+
+/// Formats a float with two decimals for table cells.
+pub(crate) fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a rate as a percentage.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// A markdown section with a title.
+pub(crate) fn section(title: &str, body: &str) -> String {
+    format!("## {title}\n\n{body}\n")
+}
+
+/// Runs every experiment and concatenates the sections in index order.
+pub fn run_all(opts: &EvalOpts) -> String {
+    let parts = [
+        e01_rounds_vs_n::run(opts),
+        e02_separation::run(opts),
+        e03_early_ff::run(opts),
+        e04_early_f::run(opts),
+        e05_bmax::run(opts),
+        e06_path_drain::run(opts),
+        e07_crashes::run(opts),
+        e08_deterministic_termination::run(opts),
+        figures::run_fig12(opts),
+        figures::run_fig4(opts),
+        e11_messages::run(opts),
+        e12_ablations::run(opts),
+        e13_baseline_failures::run(opts),
+    ];
+    parts.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_opts_shrink_work() {
+        let q = EvalOpts { quick: true };
+        assert_eq!(q.seeds(100), 0..3);
+        assert!(q.pow2s(4, 16, 2).iter().all(|n| *n <= 256));
+        let f = EvalOpts::default();
+        assert_eq!(f.seeds(10), 0..10);
+        assert_eq!(f.pow2s(4, 8, 2), vec![16, 64, 256]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.5), "50%");
+        assert!(section("T", "b").starts_with("## T"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # bil-harness — the experiment harness of the reproduction
+//!
+//! Regenerates every figure and every theorem-level claim of
+//! *Balls-into-Leaves* (PODC 2014) as markdown tables, via the
+//! `paper-eval` binary:
+//!
+//! ```text
+//! cargo run --release -p bil-harness --bin paper-eval -- all
+//! ```
+//!
+//! The building blocks are reusable:
+//!
+//! * [`Scenario`] / [`Batch`] — declarative `(algorithm, n, adversary)`
+//!   runs with seed sweeps and specification scoring;
+//! * [`stats`] — summaries, OLS fits, and growth-model classification
+//!   (`O(1)` vs `O(log log n)` vs `O(log n)` vs `O(n)`);
+//! * [`Table`] — aligned markdown tables;
+//! * [`render_tree`] / [`render_path_closeup`] — ASCII reproductions of
+//!   the paper's tree figures;
+//! * [`experiments`] — one module per experiment (E1–E13 and the
+//!   figures), each mapped to a paper claim in `DESIGN.md` §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+mod render;
+mod scenario;
+pub mod stats;
+mod table;
+
+pub use render::{render_path_closeup, render_tree};
+pub use scenario::{AdversarySpec, Algorithm, Batch, Scenario, ScenarioError};
+pub use table::Table;

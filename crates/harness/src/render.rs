@@ -1,0 +1,199 @@
+//! ASCII rendering of tree configurations — reproduces the paper's
+//! illustrations (Figures 1, 2, and 4) from live protocol state.
+
+use bil_runtime::Label;
+use bil_tree::{LocalTree, NodeId};
+use std::fmt::Write as _;
+
+/// Renders a small tree level by level; each node shows the labels of
+/// the balls at it (or `·` when empty). Leaves are tagged with their
+/// name (leaf rank); phantom leaves render as `x`.
+///
+/// Intended for `n ≤ 16` (wider trees overflow a terminal).
+///
+/// # Examples
+///
+/// ```
+/// use bil_harness::render_tree;
+/// use bil_runtime::Label;
+/// use bil_tree::{LocalTree, Topology};
+///
+/// let topo = Topology::new(4)?;
+/// let tree = LocalTree::with_balls_at_root(topo, (1..=4).map(Label));
+/// let art = render_tree(&tree);
+/// assert!(art.contains("{1,2,3,4}"));
+/// # Ok::<(), bil_tree::TreeError>(())
+/// ```
+pub fn render_tree(tree: &LocalTree) -> String {
+    let topo = tree.topology();
+    let levels = topo.levels();
+    let padded = topo.padded_leaves() as u32;
+    // Cell width driven by the widest node rendering.
+    let mut cell = 3usize;
+    for v in 1..(2 * padded) {
+        cell = cell.max(node_text(tree, v).len());
+    }
+    cell += 1;
+    let total_width = cell * padded as usize;
+
+    let mut out = String::new();
+    for depth in 0..=levels {
+        let first = 1u32 << depth;
+        let count = 1usize << depth;
+        let slot = total_width / count;
+        for i in 0..count {
+            let v = first + i as u32;
+            let text = node_text(tree, v);
+            let pad_left = (slot.saturating_sub(text.len())) / 2;
+            let pad_right = slot - pad_left.min(slot) - text.len().min(slot);
+            let _ = write!(
+                out,
+                "{}{}{}",
+                " ".repeat(pad_left),
+                text,
+                " ".repeat(pad_right)
+            );
+        }
+        out.push('\n');
+    }
+    // Name ruler under the leaves.
+    let slot = total_width / padded as usize;
+    for rank in 0..padded {
+        let leaf = padded + rank;
+        let text = if topo.capacity(leaf) == 0 {
+            "x".to_string()
+        } else {
+            format!("#{rank}")
+        };
+        let pad_left = (slot.saturating_sub(text.len())) / 2;
+        let pad_right = slot - pad_left.min(slot) - text.len().min(slot);
+        let _ = write!(
+            out,
+            "{}{}{}",
+            " ".repeat(pad_left),
+            text,
+            " ".repeat(pad_right)
+        );
+    }
+    out.push('\n');
+    out
+}
+
+fn node_text(tree: &LocalTree, v: NodeId) -> String {
+    let balls: Vec<Label> = tree.balls_at(v).to_vec();
+    if balls.is_empty() {
+        "·".to_string()
+    } else {
+        let inner: Vec<String> = balls.iter().map(|b| b.0.to_string()).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+/// Renders the Figure-4 style close-up of one root-to-leaf-parent path:
+/// per path node, the balls sitting on it and the remaining capacity of
+/// its gateway subtree (the child hanging off the path).
+pub fn render_path_closeup(tree: &LocalTree, leaf_parent: NodeId) -> String {
+    let topo = *tree.topology();
+    let chain: Vec<NodeId> = {
+        let mut c: Vec<NodeId> = topo.ancestors_inclusive(leaf_parent).collect();
+        c.reverse();
+        c
+    };
+    let mut table = crate::table::Table::new([
+        "depth",
+        "path node",
+        "balls at node",
+        "gateway",
+        "gateway remaining capacity",
+    ]);
+    for (i, v) in chain.iter().enumerate() {
+        let balls = node_text(tree, *v);
+        let (gateway, gateway_cap) = if i + 1 < chain.len() {
+            // The child not on the path.
+            let next = chain[i + 1];
+            let sibling = if topo.left(*v) == next {
+                topo.right(*v)
+            } else {
+                topo.left(*v)
+            };
+            (
+                format!("node {sibling}"),
+                tree.remaining_capacity(sibling).to_string(),
+            )
+        } else {
+            // Last node on the path: both leaf children form the
+            // paper's "gateway meta-child".
+            let l = tree.remaining_capacity(topo.left(*v));
+            let r = tree.remaining_capacity(topo.right(*v));
+            ("leaf meta-child".to_string(), (l + r).to_string())
+        };
+        table.row([
+            topo.depth(*v).to_string(),
+            format!("node {v}"),
+            balls,
+            gateway,
+            gateway_cap,
+        ]);
+    }
+    let on_path = tree.balls_on_chain(leaf_parent).len();
+    format!(
+        "{}\nballs on the path: {on_path}; total gateway capacity equals the \
+         number of balls on the path whenever views are balanced (§5.2).\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bil_tree::Topology;
+
+    #[test]
+    fn renders_all_levels_and_names() {
+        let topo = Topology::new(4).unwrap();
+        let mut tree = LocalTree::with_balls_at_root(topo, (1..=3).map(Label));
+        tree.place_along(
+            Label(1),
+            &tree
+                .random_path(
+                    Label(1),
+                    bil_tree::CoinRule::Leftmost,
+                    &mut bil_runtime::SeedTree::new(0).process_rng(bil_runtime::ProcId(0)),
+                )
+                .unwrap(),
+        )
+        .unwrap();
+        let art = render_tree(&tree);
+        let lines: Vec<&str> = art.lines().collect();
+        // 3 levels (depth 0..=2) + name ruler.
+        assert_eq!(lines.len(), 4);
+        assert!(art.contains("{2,3}"), "{art}");
+        assert!(art.contains("{1}"), "{art}");
+        assert!(art.contains("#0"));
+        assert!(art.contains("#3"));
+    }
+
+    #[test]
+    fn phantom_leaves_marked() {
+        let topo = Topology::new(3).unwrap();
+        let tree = LocalTree::with_balls_at_root(topo, [Label(9)]);
+        let art = render_tree(&tree);
+        assert!(art.contains('x'), "{art}");
+        assert!(art.contains("#2"));
+        assert!(!art.contains("#3"));
+    }
+
+    #[test]
+    fn path_closeup_lists_gateways() {
+        let topo = Topology::new(8).unwrap();
+        let mut tree = LocalTree::with_balls_at_root(topo, (1..=5).map(Label));
+        tree.update_node(Label(1), 3).unwrap();
+        tree.update_node(Label(2), 7).unwrap();
+        // Rightmost leaf parent is node 7.
+        let txt = render_path_closeup(&tree, 7);
+        assert!(txt.contains("node 7"));
+        assert!(txt.contains("gateway"));
+        assert!(txt.contains("leaf meta-child"));
+        assert!(txt.contains("balls on the path: 5"));
+    }
+}

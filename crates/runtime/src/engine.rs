@@ -1,0 +1,661 @@
+//! The deterministic lock-step executor.
+//!
+//! [`SyncEngine`] implements the paper's synchronous model (§3): in each
+//! round every alive, undecided process broadcasts one message, the strong
+//! adaptive adversary chooses crashes and partial deliveries *after* seeing
+//! all of this round's messages, and every surviving process then folds its
+//! inbox into its local view.
+//!
+//! The engine runs in one of two observationally-equivalent modes
+//! ([`EngineMode`]):
+//!
+//! * [`EngineMode::PerProcess`] — the reference semantics: one view per
+//!   process, `O(n² log n)` work per phase for Balls-into-Leaves.
+//! * [`EngineMode::Clustered`] — processes with bit-identical views share
+//!   one view; views split on partial deliveries and re-merge when they
+//!   become equal again (which the paper's position-resynchronization round
+//!   makes the common case). Failure-free this is a single shared view.
+//!
+//! Equivalence of the two modes is asserted by unit and property tests.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::adversary::{Adversary, AdversaryView, Recipients};
+use crate::ids::{Label, ProcId, Round};
+use crate::rng::SeedTree;
+use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
+use crate::view::{Cluster, NoObserver, Observer, ObserverCtx, Status, ViewProtocol};
+use crate::wire::Wire;
+
+/// Invalid engine construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n == 0`.
+    EmptySystem,
+    /// Two processes were given the same label.
+    DuplicateLabel(Label),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptySystem => write!(f, "system must have at least one process"),
+            ConfigError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Execution mode; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Share identical views between processes (fast, default).
+    #[default]
+    Clustered,
+    /// One view per process (reference semantics).
+    PerProcess,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Hard stop after this many rounds; `None` picks `8·n + 64`, which is
+    /// far above the paper's deterministic `O(n)`-phase termination bound
+    /// (Lemma 11) and therefore only trips on genuine liveness failures.
+    pub max_rounds: Option<u64>,
+    /// Execution mode.
+    pub mode: EngineMode,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            max_rounds: None,
+            mode: EngineMode::Clustered,
+        }
+    }
+}
+
+impl EngineOptions {
+    fn round_limit(&self, n: usize) -> u64 {
+        self.max_rounds.unwrap_or(8 * n as u64 + 64)
+    }
+}
+
+/// One lock-step execution of a [`ViewProtocol`] against an
+/// [`Adversary`].
+///
+/// # Examples
+///
+/// ```
+/// # use bil_runtime::engine::{SyncEngine, EngineOptions};
+/// # use bil_runtime::adversary::NoFailures;
+/// # use bil_runtime::rng::SeedTree;
+/// # use bil_runtime::Label;
+/// # use bil_runtime::testproto::RankOnce;
+/// let labels: Vec<Label> = (0..8).map(|i| Label(10 * i + 3)).collect();
+/// let engine = SyncEngine::new(RankOnce, labels, NoFailures, SeedTree::new(7))?;
+/// let report = engine.run();
+/// assert!(report.completed());
+/// # Ok::<(), bil_runtime::engine::ConfigError>(())
+/// ```
+pub struct SyncEngine<P: ViewProtocol, A> {
+    protocol: P,
+    adversary: A,
+    labels: Vec<Label>,
+    seeds: SeedTree,
+    options: EngineOptions,
+}
+
+impl<P: ViewProtocol + fmt::Debug, A: fmt::Debug> fmt::Debug for SyncEngine<P, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncEngine")
+            .field("protocol", &self.protocol)
+            .field("adversary", &self.adversary)
+            .field("n", &self.labels.len())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl<P, A> SyncEngine<P, A>
+where
+    P: ViewProtocol,
+    A: Adversary<P::Msg>,
+{
+    /// Creates an engine with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+    pub fn new(
+        protocol: P,
+        labels: Vec<Label>,
+        adversary: A,
+        seeds: SeedTree,
+    ) -> Result<Self, ConfigError> {
+        Self::with_options(protocol, labels, adversary, seeds, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit [`EngineOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+    pub fn with_options(
+        protocol: P,
+        labels: Vec<Label>,
+        adversary: A,
+        seeds: SeedTree,
+        options: EngineOptions,
+    ) -> Result<Self, ConfigError> {
+        if labels.is_empty() {
+            return Err(ConfigError::EmptySystem);
+        }
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(ConfigError::DuplicateLabel(w[0]));
+            }
+        }
+        Ok(SyncEngine {
+            protocol,
+            adversary,
+            labels,
+            seeds,
+            options,
+        })
+    }
+
+    /// Runs to completion (or the round limit) without observation.
+    pub fn run(self) -> RunReport {
+        self.run_observed(&mut NoObserver)
+    }
+
+    /// Runs to completion (or the round limit), calling `observer` after
+    /// every round.
+    pub fn run_observed(self, observer: &mut dyn Observer<P>) -> RunReport {
+        let n = self.labels.len();
+        let round_limit = self.options.round_limit(n);
+        let protocol = self.protocol;
+        let mut adversary = self.adversary;
+
+        let mut rngs: Vec<SmallRng> = (0..n)
+            .map(|p| self.seeds.process_rng(ProcId(p as u32)))
+            .collect();
+        let mut alive = vec![true; n];
+        let mut decided: Vec<Option<Decision>> = vec![None; n];
+        let mut decided_flags = vec![false; n];
+        let mut crash_events: Vec<CrashEvent> = Vec::new();
+        let budget = Adversary::<P::Msg>::budget(&adversary).min(n.saturating_sub(1));
+        let mut budget_used = 0usize;
+        let mut messages_sent = 0u64;
+        let mut messages_delivered = 0u64;
+        let mut wire_bytes_sent = 0u64;
+
+        let mut clusters: Vec<Cluster<P::View>> = match self.options.mode {
+            EngineMode::Clustered => vec![Cluster {
+                members: (0..n as u32).map(ProcId).collect(),
+                view: protocol.init_view(n),
+            }],
+            EngineMode::PerProcess => (0..n as u32)
+                .map(|p| Cluster {
+                    members: vec![ProcId(p)],
+                    view: protocol.init_view(n),
+                })
+                .collect(),
+        };
+
+        let mut rounds_executed = 0u64;
+        let mut outcome = Outcome::RoundLimit;
+
+        for round_idx in 0..round_limit {
+            let round = Round(round_idx);
+
+            // Everyone alive has decided: done. (Checked at loop top so a
+            // fully-decided system does not execute an empty round.)
+            if (0..n).all(|p| !alive[p] || decided[p].is_some()) {
+                outcome = Outcome::Completed;
+                break;
+            }
+
+            // 1. Compose: every alive, undecided process broadcasts.
+            let mut outgoing: Vec<(ProcId, Label, P::Msg)> = Vec::new();
+            for cluster in &clusters {
+                for &pid in &cluster.members {
+                    let label = self.labels[pid.index()];
+                    let msg = protocol.compose(&cluster.view, label, round, &mut rngs[pid.index()]);
+                    outgoing.push((pid, label, msg));
+                }
+            }
+            outgoing.sort_by_key(|(p, _, _)| *p);
+
+            // 2. Adversary plans crashes with the full-information view.
+            let plan = {
+                let view = AdversaryView {
+                    round,
+                    outgoing: &outgoing,
+                    alive: &alive,
+                    decided: &decided_flags,
+                    budget_left: budget - budget_used,
+                    n,
+                };
+                adversary.plan(&view)
+            };
+            let mut round_crashes: Vec<(ProcId, Recipients)> = Vec::new();
+            for c in plan.crashes {
+                let p = c.victim;
+                let dup = round_crashes.iter().any(|(v, _)| *v == p);
+                if alive[p.index()] && !decided_flags[p.index()] && !dup && budget_used < budget {
+                    round_crashes.push((p, c.deliver_to));
+                    budget_used += 1;
+                }
+            }
+            for (victim, _) in &round_crashes {
+                alive[victim.index()] = false;
+                crash_events.push(CrashEvent {
+                    pid: *victim,
+                    label: self.labels[victim.index()],
+                    round,
+                });
+            }
+
+            // 3. Accounting: every broadcast is n−1 point-to-point sends.
+            for (_, _, msg) in &outgoing {
+                messages_sent += (n - 1) as u64;
+                wire_bytes_sent += (msg.encoded_len() as u64) * (n - 1) as u64;
+            }
+
+            // 4. Deliver and apply. Split outgoing into reliably-delivered
+            // (sender survived the round) and partially-delivered (sender
+            // crashed mid-broadcast).
+            let mut base: Vec<(Label, P::Msg)> = Vec::new();
+            let mut partial: Vec<(Label, P::Msg, Recipients)> = Vec::new();
+            for (pid, label, msg) in outgoing {
+                if alive[pid.index()] {
+                    base.push((label, msg));
+                } else {
+                    let rec = round_crashes
+                        .iter()
+                        .find(|(v, _)| *v == pid)
+                        .map(|(_, r)| r.clone())
+                        .unwrap_or(Recipients::None);
+                    partial.push((label, msg, rec));
+                }
+            }
+            base.sort_by_key(|(l, _)| *l);
+
+            let mut next: Vec<Cluster<P::View>> = Vec::new();
+            for cluster in clusters {
+                let Cluster { members, view } = cluster;
+                let live: Vec<ProcId> = members
+                    .into_iter()
+                    .filter(|m| alive[m.index()])
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                // Partition members by which dying broadcasts they hear.
+                let mut groups: BTreeMap<Vec<bool>, Vec<ProcId>> = BTreeMap::new();
+                for m in live {
+                    let sig: Vec<bool> = partial.iter().map(|(_, _, r)| r.contains(m)).collect();
+                    groups.entry(sig).or_default().push(m);
+                }
+                let single = groups.len() == 1;
+                let mut view_src = Some(view);
+                for (sig, group_members) in groups {
+                    // The sole (or last-constructed) group can take the
+                    // view by move instead of clone.
+                    let mut v = if single {
+                        view_src.take().expect("single group consumes view once")
+                    } else {
+                        view_src.as_ref().expect("view available").clone()
+                    };
+                    let mut inbox = base.clone();
+                    for (i, (label, msg, _)) in partial.iter().enumerate() {
+                        if sig[i] {
+                            inbox.push((*label, msg.clone()));
+                        }
+                    }
+                    inbox.sort_by_key(|(l, _)| *l);
+                    // Wire deliveries: each member's inbox minus its own
+                    // loopback message.
+                    messages_delivered +=
+                        (inbox.len().saturating_sub(1) * group_members.len()) as u64;
+                    protocol.apply(&mut v, round, &inbox);
+                    next.push(Cluster {
+                        members: group_members,
+                        view: v,
+                    });
+                }
+            }
+
+            // 5. Re-merge identical views (Clustered mode only).
+            if self.options.mode == EngineMode::Clustered {
+                next = merge_clusters(next);
+            }
+
+            // 6. Status sweep: decided members leave their cluster and go
+            // silent from the next round.
+            for cluster in &mut next {
+                cluster.members.retain(|&pid| {
+                    let label = self.labels[pid.index()];
+                    match protocol.status(&cluster.view, label, round) {
+                        Status::Running => true,
+                        Status::Decided(name) => {
+                            decided[pid.index()] = Some(Decision { name, round });
+                            decided_flags[pid.index()] = true;
+                            false
+                        }
+                    }
+                });
+            }
+            next.retain(|c| !c.members.is_empty());
+            clusters = next;
+            rounds_executed = round_idx + 1;
+
+            observer.after_round(
+                ObserverCtx {
+                    round,
+                    labels: &self.labels,
+                    alive: &alive,
+                },
+                &clusters,
+            );
+        }
+
+        // The loop may also exit by exhausting `round_limit` iterations
+        // with everyone already decided; classify correctly.
+        if outcome == Outcome::RoundLimit && (0..n).all(|p| !alive[p] || decided[p].is_some()) {
+            outcome = Outcome::Completed;
+        }
+
+        RunReport {
+            n,
+            seed: self.seeds.master(),
+            rounds: rounds_executed,
+            decisions: decided,
+            labels: self.labels,
+            crashes: crash_events,
+            messages_sent,
+            messages_delivered,
+            wire_bytes_sent,
+            outcome,
+        }
+    }
+}
+
+/// Coalesces clusters whose views are equal. Deterministic: output ordered
+/// by smallest member slot, members sorted.
+fn merge_clusters<V: Eq>(clusters: Vec<Cluster<V>>) -> Vec<Cluster<V>> {
+    let mut out: Vec<Cluster<V>> = Vec::new();
+    for c in clusters {
+        if let Some(existing) = out.iter_mut().find(|e| e.view == c.view) {
+            existing.members.extend(c.members);
+        } else {
+            out.push(c);
+        }
+    }
+    for c in &mut out {
+        c.members.sort_unstable();
+    }
+    out.sort_by_key(|c| c.members[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
+    use crate::ids::Name;
+    use crate::testproto::{RankOnce, UnionRank};
+
+    fn labels(n: u64) -> Vec<Label> {
+        // Deliberately non-contiguous, shuffled-ish labels.
+        (0..n).map(|i| Label((i * 37 + 11) % (n * 40))).collect()
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        let e = SyncEngine::new(RankOnce, vec![], NoFailures, SeedTree::new(0));
+        assert!(matches!(e, Err(ConfigError::EmptySystem)));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = SyncEngine::new(
+            RankOnce,
+            vec![Label(1), Label(2), Label(1)],
+            NoFailures,
+            SeedTree::new(0),
+        );
+        assert!(matches!(e, Err(ConfigError::DuplicateLabel(Label(1)))));
+    }
+
+    #[test]
+    fn rank_once_failure_free_decides_ranks() {
+        let ls = labels(8);
+        let engine = SyncEngine::new(RankOnce, ls.clone(), NoFailures, SeedTree::new(1)).unwrap();
+        let report = engine.run();
+        assert!(report.completed());
+        assert_eq!(report.rounds, 1);
+        let mut sorted = ls.clone();
+        sorted.sort_unstable();
+        for (pid, l) in ls.iter().enumerate() {
+            let rank = sorted.iter().position(|x| x == l).unwrap() as u32;
+            assert_eq!(report.decisions[pid].unwrap().name, Name(rank));
+        }
+    }
+
+    #[test]
+    fn message_accounting_failure_free() {
+        let ls = labels(4);
+        let engine = SyncEngine::new(RankOnce, ls, NoFailures, SeedTree::new(1)).unwrap();
+        let report = engine.run();
+        // One round, 4 broadcasts of n−1 = 3 messages.
+        assert_eq!(report.messages_sent, 12);
+        assert_eq!(report.messages_delivered, 12);
+        assert!(report.wire_bytes_sent > 0);
+    }
+
+    #[test]
+    fn crash_mid_broadcast_splits_views() {
+        let ls = labels(6);
+        // Crash participant index 0 in round 0, delivering to even slots.
+        let adv = Scripted::new(vec![ScriptedCrash {
+            round: Round(0),
+            victim_index: 0,
+            modulus: 2,
+            residue: 0,
+        }]);
+        let engine = SyncEngine::new(RankOnce, ls, adv, SeedTree::new(2)).unwrap();
+        let report = engine.run();
+        assert!(report.completed());
+        assert_eq!(report.failures(), 1);
+        // Survivors who heard the victim computed ranks over 6 labels;
+        // the others over 5 — so names may collide under RankOnce, which
+        // is exactly why RankOnce is NOT a correct renaming algorithm under
+        // crashes. Here we only assert engine mechanics: all correct
+        // processes decided *something* and the victim decided nothing.
+        let victim = report.crashes[0].pid;
+        assert!(report.decisions[victim.index()].is_none());
+        for p in 0..6 {
+            if ProcId(p as u32) != victim {
+                assert!(report.decisions[p].is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn union_rank_remerges_clusters_and_agrees() {
+        let ls = labels(6);
+        let adv = Scripted::new(vec![ScriptedCrash {
+            round: Round(0),
+            victim_index: 0,
+            modulus: 2,
+            residue: 1,
+        }]);
+        let engine = SyncEngine::new(UnionRank::rounds(3), ls, adv, SeedTree::new(3)).unwrap();
+        let report = engine.run();
+        assert!(report.completed());
+        // After a crash-free round of flooding, all views agree, so all
+        // correct names are distinct.
+        let mut names = report.correct_names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn per_process_and_clustered_agree() {
+        let ls = labels(7);
+        for seed in 0..5 {
+            let adv = || {
+                Scripted::new(vec![
+                    ScriptedCrash {
+                        round: Round(0),
+                        victim_index: 1,
+                        modulus: 2,
+                        residue: 0,
+                    },
+                    ScriptedCrash {
+                        round: Round(1),
+                        victim_index: 0,
+                        modulus: 3,
+                        residue: 1,
+                    },
+                ])
+            };
+            let clustered = SyncEngine::with_options(
+                UnionRank::rounds(4),
+                ls.clone(),
+                adv(),
+                SeedTree::new(seed),
+                EngineOptions {
+                    max_rounds: None,
+                    mode: EngineMode::Clustered,
+                },
+            )
+            .unwrap()
+            .run();
+            let per_process = SyncEngine::with_options(
+                UnionRank::rounds(4),
+                ls.clone(),
+                adv(),
+                SeedTree::new(seed),
+                EngineOptions {
+                    max_rounds: None,
+                    mode: EngineMode::PerProcess,
+                },
+            )
+            .unwrap()
+            .run();
+            assert_eq!(clustered, per_process, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let ls = labels(9);
+        let mk = || {
+            SyncEngine::new(
+                UnionRank::rounds(3),
+                ls.clone(),
+                Scripted::new(vec![ScriptedCrash {
+                    round: Round(1),
+                    victim_index: 2,
+                    modulus: 2,
+                    residue: 0,
+                }]),
+                SeedTree::new(11),
+            )
+            .unwrap()
+        };
+        assert_eq!(mk().run(), mk().run());
+    }
+
+    #[test]
+    fn budget_clamped_to_n_minus_1() {
+        let ls = labels(3);
+        // Script wants to kill one per round for 5 rounds; budget must be
+        // clamped to n−1 = 2 by the engine.
+        let script: Vec<ScriptedCrash> = (0..5)
+            .map(|r| ScriptedCrash {
+                round: Round(r),
+                victim_index: 0,
+                modulus: 1,
+                residue: 0,
+            })
+            .collect();
+        let engine =
+            SyncEngine::new(UnionRank::rounds(6), ls, Scripted::new(script), SeedTree::new(4))
+                .unwrap();
+        let report = engine.run();
+        assert!(report.failures() <= 2);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let ls = labels(4);
+        let engine = SyncEngine::with_options(
+            UnionRank::rounds(100),
+            ls,
+            NoFailures,
+            SeedTree::new(5),
+            EngineOptions {
+                max_rounds: Some(3),
+                mode: EngineMode::Clustered,
+            },
+        )
+        .unwrap();
+        let report = engine.run();
+        assert_eq!(report.outcome, Outcome::RoundLimit);
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        use crate::view::FnObserver;
+        let ls = labels(5);
+        let mut rounds_seen = Vec::new();
+        {
+            let mut obs = FnObserver(|ctx: ObserverCtx<'_>, _: &[Cluster<_>]| {
+                rounds_seen.push(ctx.round);
+            });
+            let engine =
+                SyncEngine::new(UnionRank::rounds(3), ls, NoFailures, SeedTree::new(6)).unwrap();
+            engine.run_observed(&mut obs);
+        }
+        assert_eq!(rounds_seen, vec![Round(0), Round(1), Round(2)]);
+    }
+
+    #[test]
+    fn merge_clusters_coalesces_equal_views() {
+        let clusters = vec![
+            Cluster {
+                members: vec![ProcId(2)],
+                view: 7u32,
+            },
+            Cluster {
+                members: vec![ProcId(0)],
+                view: 7u32,
+            },
+            Cluster {
+                members: vec![ProcId(1)],
+                view: 9u32,
+            },
+        ];
+        let merged = merge_clusters(clusters);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].members, vec![ProcId(0), ProcId(2)]);
+        assert_eq!(merged[0].view, 7);
+        assert_eq!(merged[1].members, vec![ProcId(1)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! The paper distinguishes three identifier spaces:
+//!
+//! * the *original namespace*: unbounded, each process starts knowing only
+//!   its own id — modeled by [`Label`];
+//! * the *target namespace* `1..m` of new names — modeled by [`Name`]
+//!   (we use `0..m`, zero-based);
+//! * engine-internal process slots `0..n` — modeled by [`ProcId`].
+//!
+//! Algorithms must only ever compare [`Label`]s (comparison-based in the
+//! sense of Chaudhuri–Herlihy–Tuttle); they must never peek at [`ProcId`],
+//! which exists purely so the engines can index arrays. Tests exercise
+//! non-contiguous, shuffled label assignments to enforce this.
+
+use std::fmt;
+
+/// A process's original identifier, from an unbounded namespace.
+///
+/// Labels are unique per execution. Algorithms may compare labels
+/// (`<`, `==`) but must not do arithmetic on them.
+///
+/// # Examples
+///
+/// ```
+/// use bil_runtime::Label;
+/// let a = Label(17);
+/// let b = Label(42);
+/// assert!(a < b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Label(pub u64);
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Label {
+    fn from(v: u64) -> Self {
+        Label(v)
+    }
+}
+
+/// A decided name in the tight target namespace `0..n` (zero-based rank of
+/// the leaf where the ball terminated).
+///
+/// # Examples
+///
+/// ```
+/// use bil_runtime::Name;
+/// let name = Name(3);
+/// assert_eq!(name.0, 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name(pub u32);
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Name {
+    fn from(v: u32) -> Self {
+        Name(v)
+    }
+}
+
+/// Engine-internal process slot, `0..n`.
+///
+/// Only the runtime (engines, adversaries, traces) uses these; protocol
+/// logic sees [`Label`]s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u32);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl ProcId {
+    /// The slot as a `usize` array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+/// A lock-step round number, starting at 0 (the paper's initialization
+/// round, Algorithm 1 line 1). Phase `φ ≥ 1` spans rounds `2φ−1` and `2φ`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(pub u64);
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Round {
+    /// The next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// `true` for round 0, the label-exchange initialization round.
+    pub fn is_init(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The 1-based phase this round belongs to, or `None` for the
+    /// initialization round.
+    pub fn phase(self) -> Option<u64> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.div_ceil(2))
+        }
+    }
+
+    /// `true` if this is the first round of its phase (candidate-path
+    /// exchange; Algorithm 1 lines 3–21).
+    pub fn is_path_round(self) -> bool {
+        self.0 % 2 == 1
+    }
+
+    /// `true` if this is the second round of its phase (position
+    /// resynchronization; Algorithm 1 lines 22–28).
+    pub fn is_sync_round(self) -> bool {
+        self.0 != 0 && self.0.is_multiple_of(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_phase_structure() {
+        assert!(Round(0).is_init());
+        assert_eq!(Round(0).phase(), None);
+        assert!(!Round(0).is_path_round());
+        assert!(!Round(0).is_sync_round());
+
+        assert_eq!(Round(1).phase(), Some(1));
+        assert!(Round(1).is_path_round());
+        assert_eq!(Round(2).phase(), Some(1));
+        assert!(Round(2).is_sync_round());
+
+        assert_eq!(Round(3).phase(), Some(2));
+        assert!(Round(3).is_path_round());
+        assert_eq!(Round(4).phase(), Some(2));
+        assert!(Round(4).is_sync_round());
+    }
+
+    #[test]
+    fn round_next_advances() {
+        assert_eq!(Round(0).next(), Round(1));
+        assert_eq!(Round(7).next(), Round(8));
+    }
+
+    #[test]
+    fn label_ordering_is_by_value() {
+        assert!(Label(3) < Label(10));
+        assert_eq!(Label(5), Label(5));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{:?}", Label(4)), "b4");
+        assert_eq!(format!("{:?}", Name(4)), "#4");
+        assert_eq!(format!("{:?}", ProcId(4)), "p4");
+        assert_eq!(format!("{:?}", Round(4)), "r4");
+        assert_eq!(format!("{}", Label(4)), "4");
+        assert_eq!(format!("{}", Name(4)), "4");
+    }
+
+    #[test]
+    fn proc_id_index() {
+        assert_eq!(ProcId(9).index(), 9);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Label::from(7u64), Label(7));
+        assert_eq!(Name::from(7u32), Name(7));
+        assert_eq!(ProcId::from(7u32), ProcId(7));
+    }
+}

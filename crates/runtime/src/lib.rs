@@ -1,0 +1,66 @@
+//! # bil-runtime — the synchronous message-passing substrate
+//!
+//! This crate implements the system model of *Balls-into-Leaves:
+//! Sub-logarithmic Renaming in Synchronous Message-Passing Systems*
+//! (Alistarh, Denysyuk, Rodrigues, Shavit; PODC 2014), §3:
+//!
+//! > a round-based synchronous message-passing model with a
+//! > fully-connected network and `n` processes, where `n` is known a
+//! > priori. […] Up to `t < n` processes may fail by crashing.
+//!
+//! plus the **strong adaptive adversary** the paper's analysis is carried
+//! out against: one that observes every message of the current round —
+//! including the outcomes of this round's coin flips — before deciding
+//! whom to crash and which recipients still receive a dying broadcast.
+//!
+//! ## Architecture
+//!
+//! Algorithms are written once against the [`view::ViewProtocol`]
+//! abstraction (compose a broadcast / fold an inbox / read a decision) and
+//! can then be executed by any of three interchangeable executors:
+//!
+//! | executor | what it is | use it for |
+//! |---|---|---|
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | reference semantics, one view per process | fidelity cross-checks |
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | processes with identical views share one | large-`n` experiment sweeps |
+//! | [`threaded::run_threaded`] | one OS thread per process, wire-encoded messages over crossbeam channels | demonstrating the protocol over real message passing |
+//!
+//! All three produce bit-identical [`trace::RunReport`]s for the same
+//! `(protocol, labels, adversary, seed)`; tests enforce this.
+//!
+//! ## Example
+//!
+//! ```
+//! use bil_runtime::adversary::NoFailures;
+//! use bil_runtime::engine::SyncEngine;
+//! use bil_runtime::rng::SeedTree;
+//! use bil_runtime::testproto::RankOnce;
+//! use bil_runtime::Label;
+//!
+//! # fn main() -> Result<(), bil_runtime::engine::ConfigError> {
+//! let labels: Vec<Label> = (0..16).map(|i| Label(100 + 3 * i)).collect();
+//! let report = SyncEngine::new(RankOnce, labels, NoFailures, SeedTree::new(1))?.run();
+//! assert!(report.completed());
+//! assert_eq!(report.rounds, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod engine;
+pub mod ids;
+pub mod rng;
+pub mod testproto;
+pub mod threaded;
+pub mod trace;
+pub mod view;
+pub mod wire;
+
+pub use ids::{Label, Name, ProcId, Round};
+pub use rng::SeedTree;
+pub use trace::{CrashEvent, Decision, Outcome, RunReport};
+pub use view::{Status, ViewProtocol};

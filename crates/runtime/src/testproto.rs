@@ -1,0 +1,167 @@
+//! Tiny protocols used by tests, benchmarks, and doc examples.
+//!
+//! These are deliberately *not* correct renaming algorithms under crashes;
+//! they exist to exercise engine mechanics (view splitting, re-merging,
+//! decision plumbing) with the smallest possible state. The real
+//! algorithms live in `bil-core` and `bil-baselines`.
+
+use bytes::{Bytes, BytesMut};
+use rand::rngs::SmallRng;
+
+use crate::ids::{Label, Name, Round};
+use crate::view::{Status, ViewProtocol};
+use crate::wire::{Wire, WireError};
+
+/// Message carrying a set of labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSet(pub Vec<Label>);
+
+impl Wire for LabelSet {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(LabelSet(Vec::<Label>::decode(buf)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+/// One-round protocol: broadcast labels, decide your rank among the labels
+/// you heard. Correct only in failure-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankOnce;
+
+impl ViewProtocol for RankOnce {
+    type Msg = LabelSet;
+    type View = Vec<Label>;
+
+    fn init_view(&self, _n: usize) -> Self::View {
+        Vec::new()
+    }
+
+    fn compose(
+        &self,
+        _view: &Self::View,
+        ball: Label,
+        _round: Round,
+        _rng: &mut SmallRng,
+    ) -> Self::Msg {
+        LabelSet(vec![ball])
+    }
+
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
+        *view = inbox.iter().map(|(l, _)| *l).collect();
+        view.sort_unstable();
+    }
+
+    fn status(&self, view: &Self::View, ball: Label, _round: Round) -> Status {
+        match view.binary_search(&ball) {
+            Ok(rank) => Status::Decided(Name(rank as u32)),
+            Err(_) => Status::Running,
+        }
+    }
+}
+
+/// Multi-round flooding: repeatedly broadcast all known labels, union the
+/// inboxes, decide your rank after a fixed number of rounds. With more
+/// rounds than crashes this reaches identical views (there is a crash-free
+/// round), so ranks are distinct — it is the skeleton of the `FloodRank`
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnionRank {
+    rounds: u64,
+}
+
+impl UnionRank {
+    /// Decide at the end of round `rounds − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn rounds(rounds: u64) -> Self {
+        assert!(rounds > 0, "UnionRank needs at least one round");
+        UnionRank { rounds }
+    }
+}
+
+impl ViewProtocol for UnionRank {
+    type Msg = LabelSet;
+    type View = Vec<Label>;
+
+    fn init_view(&self, _n: usize) -> Self::View {
+        Vec::new()
+    }
+
+    fn compose(
+        &self,
+        view: &Self::View,
+        ball: Label,
+        _round: Round,
+        _rng: &mut SmallRng,
+    ) -> Self::Msg {
+        let mut known = view.clone();
+        if let Err(i) = known.binary_search(&ball) {
+            known.insert(i, ball);
+        }
+        LabelSet(known)
+    }
+
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
+        for (_, LabelSet(labels)) in inbox {
+            for l in labels {
+                if let Err(i) = view.binary_search(l) {
+                    view.insert(i, *l);
+                }
+            }
+        }
+    }
+
+    fn status(&self, view: &Self::View, ball: Label, round: Round) -> Status {
+        if round.0 + 1 < self.rounds {
+            return Status::Running;
+        }
+        match view.binary_search(&ball) {
+            Ok(rank) => Status::Decided(Name(rank as u32)),
+            Err(_) => Status::Running,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn label_set_wire_roundtrip() {
+        let set = LabelSet(vec![Label(1), Label(1 << 40)]);
+        let bytes = set.to_bytes();
+        assert_eq!(LabelSet::from_bytes(bytes).unwrap(), set);
+    }
+
+    #[test]
+    fn rank_once_status_before_apply_is_running() {
+        let p = RankOnce;
+        let view = p.init_view(4);
+        assert_eq!(p.status(&view, Label(3), Round(0)), Status::Running);
+    }
+
+    #[test]
+    fn union_rank_compose_includes_self() {
+        let p = UnionRank::rounds(2);
+        let view = vec![Label(5)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let LabelSet(m) = p.compose(&view, Label(2), Round(1), &mut rng);
+        assert_eq!(m, vec![Label(2), Label(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn union_rank_zero_rounds_panics() {
+        let _ = UnionRank::rounds(0);
+    }
+}

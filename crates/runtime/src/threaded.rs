@@ -1,0 +1,375 @@
+//! Thread-per-process executor over crossbeam channels.
+//!
+//! Where [`crate::engine::SyncEngine`] *simulates* the synchronous network,
+//! this executor *is* one, in miniature: every process runs on its own OS
+//! thread, owns its view and RNG privately, and communicates exclusively by
+//! sending **encoded wire bytes** through channels. A coordinator enforces
+//! the lock-step round structure (the "synchronization harness" the model
+//! presumes) and plays the adversary: it intercepts each round's
+//! broadcasts, decides crashes, and routes each survivor a personalized
+//! inbox — which is exactly how a strong adaptive adversary is defined.
+//!
+//! For any `(protocol, labels, adversary, seed)`, this executor produces a
+//! [`RunReport`] **bit-identical** to the simulator's; the
+//! `threaded_matches_sim` tests enforce that. Use the simulator for sweeps
+//! (it is orders of magnitude faster) and this executor to demonstrate the
+//! protocol over real message passing.
+
+use std::thread;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::adversary::{Adversary, AdversaryView, Recipients};
+use crate::engine::{ConfigError, EngineOptions};
+use crate::ids::{Label, ProcId, Round};
+use crate::rng::SeedTree;
+use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
+use crate::view::{Status, ViewProtocol};
+use crate::wire::Wire;
+
+enum ToProc {
+    Compose { round: Round },
+    Deliver { round: Round, inbox: Vec<(Label, Bytes)> },
+    Exit,
+}
+
+enum FromProc {
+    Composed(Bytes),
+    Applied(Status),
+}
+
+/// Runs `protocol` on one thread per process, coordinated into lock-step
+/// rounds, and returns the same report the simulator would.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+///
+/// # Panics
+///
+/// Panics if a process thread panics (protocol bug) or a wire message
+/// fails to decode (codec bug): both indicate internal invariant
+/// violations, not recoverable conditions.
+pub fn run_threaded<P, A>(
+    protocol: P,
+    labels: Vec<Label>,
+    adversary: A,
+    seeds: SeedTree,
+    options: EngineOptions,
+) -> Result<RunReport, ConfigError>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+    A: Adversary<P::Msg>,
+{
+    if labels.is_empty() {
+        return Err(ConfigError::EmptySystem);
+    }
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(ConfigError::DuplicateLabel(w[0]));
+        }
+    }
+
+    let n = labels.len();
+    let round_limit = options.max_rounds.unwrap_or(8 * n as u64 + 64);
+    let mut adversary = adversary;
+    let budget = Adversary::<P::Msg>::budget(&adversary).min(n.saturating_sub(1));
+    let mut budget_used = 0usize;
+
+    // Spawn process threads.
+    let mut to_procs: Vec<Sender<ToProc>> = Vec::with_capacity(n);
+    let mut from_procs: Vec<Receiver<FromProc>> = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (pid, label) in labels.iter().copied().enumerate() {
+        let (tx_cmd, rx_cmd) = unbounded::<ToProc>();
+        let (tx_rsp, rx_rsp) = unbounded::<FromProc>();
+        to_procs.push(tx_cmd);
+        from_procs.push(rx_rsp);
+        let proto = protocol.clone();
+        let mut rng = seeds.process_rng(ProcId(pid as u32));
+        handles.push(thread::spawn(move || {
+            let mut view = proto.init_view(n);
+            while let Ok(cmd) = rx_cmd.recv() {
+                match cmd {
+                    ToProc::Compose { round } => {
+                        let msg = proto.compose(&view, label, round, &mut rng);
+                        if tx_rsp.send(FromProc::Composed(msg.to_bytes())).is_err() {
+                            break;
+                        }
+                    }
+                    ToProc::Deliver { round, inbox } => {
+                        let mut decoded: Vec<(Label, P::Msg)> = inbox
+                            .into_iter()
+                            .map(|(l, b)| {
+                                let m = P::Msg::from_bytes(b).expect("wire decode");
+                                (l, m)
+                            })
+                            .collect();
+                        decoded.sort_by_key(|(l, _)| *l);
+                        proto.apply(&mut view, round, &decoded);
+                        let status = proto.status(&view, label, round);
+                        if tx_rsp.send(FromProc::Applied(status)).is_err() {
+                            break;
+                        }
+                    }
+                    ToProc::Exit => break,
+                }
+            }
+        }));
+    }
+
+    let mut alive = vec![true; n];
+    let mut decided: Vec<Option<Decision>> = vec![None; n];
+    let mut decided_flags = vec![false; n];
+    let mut crash_events = Vec::new();
+    let mut messages_sent = 0u64;
+    let mut messages_delivered = 0u64;
+    let mut wire_bytes_sent = 0u64;
+    let mut rounds_executed = 0u64;
+    let mut outcome = Outcome::RoundLimit;
+
+    for round_idx in 0..round_limit {
+        let round = Round(round_idx);
+        let participants: Vec<ProcId> = (0..n as u32)
+            .map(ProcId)
+            .filter(|p| alive[p.index()] && !decided_flags[p.index()])
+            .collect();
+        if participants.is_empty() {
+            outcome = Outcome::Completed;
+            break;
+        }
+
+        // 1. Ask every participant to compose; collect in slot order.
+        for &p in &participants {
+            to_procs[p.index()]
+                .send(ToProc::Compose { round })
+                .expect("process thread alive");
+        }
+        let mut outgoing: Vec<(ProcId, Label, P::Msg, Bytes)> = Vec::new();
+        for &p in &participants {
+            match from_procs[p.index()].recv().expect("compose response") {
+                FromProc::Composed(bytes) => {
+                    let msg = P::Msg::from_bytes(bytes.clone()).expect("wire decode");
+                    outgoing.push((p, labels[p.index()], msg, bytes));
+                }
+                FromProc::Applied(_) => unreachable!("expected Composed"),
+            }
+        }
+
+        // 2. Adversary plans with the full-information (decoded) view.
+        let decoded_view: Vec<(ProcId, Label, P::Msg)> = outgoing
+            .iter()
+            .map(|(p, l, m, _)| (*p, *l, m.clone()))
+            .collect();
+        let plan = adversary.plan(&AdversaryView {
+            round,
+            outgoing: &decoded_view,
+            alive: &alive,
+            decided: &decided_flags,
+            budget_left: budget - budget_used,
+            n,
+        });
+        let mut round_crashes: Vec<(ProcId, Recipients)> = Vec::new();
+        for c in plan.crashes {
+            let p = c.victim;
+            let dup = round_crashes.iter().any(|(v, _)| *v == p);
+            if alive[p.index()] && !decided_flags[p.index()] && !dup && budget_used < budget {
+                round_crashes.push((p, c.deliver_to));
+                budget_used += 1;
+            }
+        }
+        for (victim, _) in &round_crashes {
+            alive[victim.index()] = false;
+            crash_events.push(CrashEvent {
+                pid: *victim,
+                label: labels[victim.index()],
+                round,
+            });
+            to_procs[victim.index()].send(ToProc::Exit).ok();
+        }
+
+        // 3. Accounting (broadcast = n−1 point-to-point sends).
+        for (_, _, _, bytes) in &outgoing {
+            messages_sent += (n - 1) as u64;
+            wire_bytes_sent += (bytes.len() as u64) * (n - 1) as u64;
+        }
+
+        // 4. Route personalized inboxes to survivors.
+        let survivors: Vec<ProcId> = participants
+            .iter()
+            .copied()
+            .filter(|p| alive[p.index()])
+            .collect();
+        for &dst in &survivors {
+            let mut inbox: Vec<(Label, Bytes)> = Vec::new();
+            for (src, label, _, bytes) in &outgoing {
+                let delivered = if alive[src.index()] {
+                    true
+                } else {
+                    round_crashes
+                        .iter()
+                        .find(|(v, _)| v == src)
+                        .map(|(_, r)| r.contains(dst))
+                        .unwrap_or(false)
+                };
+                if delivered {
+                    inbox.push((*label, bytes.clone()));
+                }
+            }
+            messages_delivered += inbox.len().saturating_sub(1) as u64;
+            to_procs[dst.index()]
+                .send(ToProc::Deliver { round, inbox })
+                .expect("process thread alive");
+        }
+
+        // 5. Collect statuses in slot order.
+        for &p in &survivors {
+            match from_procs[p.index()].recv().expect("apply response") {
+                FromProc::Applied(Status::Running) => {}
+                FromProc::Applied(Status::Decided(name)) => {
+                    decided[p.index()] = Some(Decision { name, round });
+                    decided_flags[p.index()] = true;
+                    to_procs[p.index()].send(ToProc::Exit).ok();
+                }
+                FromProc::Composed(_) => unreachable!("expected Applied"),
+            }
+        }
+        rounds_executed = round_idx + 1;
+
+        if (0..n).all(|p| !alive[p] || decided[p].is_some()) {
+            outcome = Outcome::Completed;
+            break;
+        }
+    }
+
+    // Tear down any still-running threads (round limit case).
+    for (pid, tx) in to_procs.iter().enumerate() {
+        if alive[pid] && !decided_flags[pid] {
+            tx.send(ToProc::Exit).ok();
+        }
+    }
+    drop(to_procs);
+    for h in handles {
+        h.join().expect("process thread panicked");
+    }
+
+    Ok(RunReport {
+        n,
+        seed: seeds.master(),
+        rounds: rounds_executed,
+        decisions: decided,
+        labels,
+        crashes: crash_events,
+        messages_sent,
+        messages_delivered,
+        wire_bytes_sent,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
+    use crate::engine::SyncEngine;
+    use crate::testproto::{RankOnce, UnionRank};
+
+    fn labels(n: u64) -> Vec<Label> {
+        (0..n).map(|i| Label(i * 13 + 5)).collect()
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(matches!(
+            run_threaded(
+                RankOnce,
+                vec![],
+                NoFailures,
+                SeedTree::new(0),
+                EngineOptions::default()
+            ),
+            Err(ConfigError::EmptySystem)
+        ));
+        assert!(matches!(
+            run_threaded(
+                RankOnce,
+                vec![Label(1), Label(1)],
+                NoFailures,
+                SeedTree::new(0),
+                EngineOptions::default()
+            ),
+            Err(ConfigError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn threaded_matches_sim_failure_free() {
+        let ls = labels(12);
+        let sim = SyncEngine::new(UnionRank::rounds(3), ls.clone(), NoFailures, SeedTree::new(9))
+            .unwrap()
+            .run();
+        let threaded = run_threaded(
+            UnionRank::rounds(3),
+            ls,
+            NoFailures,
+            SeedTree::new(9),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sim, threaded);
+    }
+
+    #[test]
+    fn threaded_matches_sim_with_crashes() {
+        let ls = labels(10);
+        let adv = || {
+            Scripted::new(vec![
+                ScriptedCrash {
+                    round: Round(0),
+                    victim_index: 3,
+                    modulus: 2,
+                    residue: 0,
+                },
+                ScriptedCrash {
+                    round: Round(2),
+                    victim_index: 1,
+                    modulus: 3,
+                    residue: 2,
+                },
+            ])
+        };
+        let sim = SyncEngine::new(UnionRank::rounds(4), ls.clone(), adv(), SeedTree::new(21))
+            .unwrap()
+            .run();
+        let threaded = run_threaded(
+            UnionRank::rounds(4),
+            ls,
+            adv(),
+            SeedTree::new(21),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sim, threaded);
+    }
+
+    #[test]
+    fn threaded_round_limit() {
+        let ls = labels(4);
+        let report = run_threaded(
+            UnionRank::rounds(100),
+            ls,
+            NoFailures,
+            SeedTree::new(1),
+            EngineOptions {
+                max_rounds: Some(2),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, Outcome::RoundLimit);
+        assert_eq!(report.rounds, 2);
+    }
+}

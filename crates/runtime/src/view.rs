@@ -1,0 +1,164 @@
+//! The view-protocol abstraction: write the algorithm once, run it on any
+//! executor.
+//!
+//! Full-information synchronous algorithms like Balls-into-Leaves have the
+//! property that a process's entire state is a *deterministic function of
+//! the broadcasts it has received* (its "local view" — the paper's local
+//! tree). We exploit that structurally: an algorithm implements
+//! [`ViewProtocol`] as three pure functions
+//!
+//! * [`ViewProtocol::compose`] — produce this round's broadcast from the
+//!   current view (the only place randomness enters),
+//! * [`ViewProtocol::apply`] — fold the round's inbox into the view,
+//! * [`ViewProtocol::status`] — read a ball's decision off the view,
+//!
+//! and every executor — the per-process reference engine, the
+//! cluster-sharing engine ([`crate::engine::SyncEngine`]), and the
+//! thread-per-process channel executor ([`crate::threaded`]) — runs those
+//! same functions. Cross-executor equivalence is enforced by tests.
+//!
+//! The payoff of the formulation is the **cluster engine**: processes whose
+//! views are bit-identical (all of them, in failure-free rounds; all but a
+//! few around a crash, by the paper's Proposition 1) share one physical
+//! view, so a round costs `O(#clusters · n log n)` instead of
+//! `O(n² log n)`, which is what makes the paper's `n = 2^16 … 2^20` sweeps
+//! tractable on a laptop while remaining observationally identical to the
+//! per-process semantics.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::ids::{Label, Name, ProcId, Round};
+use crate::wire::Wire;
+
+/// A ball's liveness/decision status as read from a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Still participating.
+    Running,
+    /// Decided this name; the process goes silent from the next round.
+    Decided(Name),
+}
+
+/// A synchronous full-information protocol expressed over local views.
+///
+/// Semantics per round `r` (lock-step, crash-prone, per the paper's §3):
+///
+/// 1. every alive, undecided process `b` broadcasts
+///    `compose(&view_b, b, r, rng_b)`;
+/// 2. the adversary crashes up to its remaining budget, choosing which
+///    recipients still receive each dying broadcast;
+/// 3. every alive process folds its inbox — one `(label, msg)` entry per
+///    heard sender, **including itself**, sorted by label — into its view
+///    via `apply`;
+/// 4. `status` is read; `Decided` processes go silent permanently.
+///
+/// # Determinism requirements
+///
+/// `apply` and `status` must be deterministic functions of their inputs,
+/// and `compose` must consume randomness only from the supplied `rng`.
+/// Views of processes that received identical broadcast prefixes must be
+/// equal (`View: Eq`); the engines rely on this to share and re-merge
+/// views, and `debug_assert` it in cross-checks.
+pub trait ViewProtocol {
+    /// Broadcast message type.
+    type Msg: Clone + Eq + fmt::Debug + Wire + Send + 'static;
+    /// Local view (state) type.
+    type View: Clone + Eq + fmt::Debug + Send + 'static;
+
+    /// The view every process starts with, before round 0. Must not depend
+    /// on the process's own label (all per-ball data is derived inside
+    /// `compose`/`status` from the label argument).
+    fn init_view(&self, n: usize) -> Self::View;
+
+    /// Produce ball `ball`'s broadcast for `round`.
+    fn compose(
+        &self,
+        view: &Self::View,
+        ball: Label,
+        round: Round,
+        rng: &mut SmallRng,
+    ) -> Self::Msg;
+
+    /// Fold the round's inbox into the view. `inbox` is sorted by sender
+    /// label and contains at most one message per sender.
+    fn apply(&self, view: &mut Self::View, round: Round, inbox: &[(Label, Self::Msg)]);
+
+    /// Ball `ball`'s status after `round` has been applied.
+    fn status(&self, view: &Self::View, ball: Label, round: Round) -> Status;
+}
+
+/// A set of processes currently sharing one identical local view.
+#[derive(Debug, Clone)]
+pub struct Cluster<V> {
+    /// Member slots, sorted ascending. Invariant: non-empty, all alive and
+    /// undecided.
+    pub members: Vec<ProcId>,
+    /// The shared view.
+    pub view: V,
+}
+
+/// Read-only context handed to observers along with the cluster state.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserverCtx<'a> {
+    /// The round that was just applied.
+    pub round: Round,
+    /// Labels by slot.
+    pub labels: &'a [Label],
+    /// Liveness by slot.
+    pub alive: &'a [bool],
+}
+
+/// A per-round hook over the engine's cluster state; used by experiments
+/// that need tree internals (per-node ball counts, path occupancy, …)
+/// without widening the public engine API.
+pub trait Observer<P: ViewProtocol> {
+    /// Called after every round's `apply` and status sweep.
+    fn after_round(&mut self, ctx: ObserverCtx<'_>, clusters: &[Cluster<P::View>]);
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl<P: ViewProtocol> Observer<P> for NoObserver {
+    fn after_round(&mut self, _ctx: ObserverCtx<'_>, _clusters: &[Cluster<P::View>]) {}
+}
+
+/// An observer built from a closure, for ad-hoc experiment hooks.
+pub struct FnObserver<F>(pub F);
+
+impl<F> fmt::Debug for FnObserver<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnObserver").finish_non_exhaustive()
+    }
+}
+
+impl<P, F> Observer<P> for FnObserver<F>
+where
+    P: ViewProtocol,
+    F: FnMut(ObserverCtx<'_>, &[Cluster<P::View>]),
+{
+    fn after_round(&mut self, ctx: ObserverCtx<'_>, clusters: &[Cluster<P::View>]) {
+        (self.0)(ctx, clusters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_eq() {
+        assert_eq!(Status::Running, Status::Running);
+        assert_eq!(Status::Decided(Name(1)), Status::Decided(Name(1)));
+        assert_ne!(Status::Decided(Name(1)), Status::Decided(Name(2)));
+    }
+
+    #[test]
+    fn fn_observer_debug_nonempty() {
+        let obs = FnObserver(|_: ObserverCtx<'_>, _: &[Cluster<u32>]| {});
+        assert!(!format!("{obs:?}").is_empty());
+    }
+}

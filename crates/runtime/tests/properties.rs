@@ -1,0 +1,172 @@
+//! Property-based tests of the runtime substrate itself, protocol-
+//! agnostic: executor equivalence, crash semantics, accounting, and the
+//! wire codec.
+
+use bil_runtime::adversary::{Scripted, ScriptedCrash};
+use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+use bil_runtime::testproto::{LabelSet, RankOnce, UnionRank};
+use bil_runtime::threaded::run_threaded;
+use bil_runtime::wire::Wire;
+use bil_runtime::{Label, Round, SeedTree};
+use proptest::prelude::*;
+
+fn schedules() -> impl Strategy<Value = Vec<ScriptedCrash>> {
+    prop::collection::vec(
+        (0u64..6, 0usize..16, 0usize..4, 0usize..4).prop_map(|(r, v, m, res)| ScriptedCrash {
+            round: Round(r),
+            victim_index: v,
+            modulus: m,
+            residue: res,
+        }),
+        0..6,
+    )
+}
+
+fn labels(n: usize) -> Vec<Label> {
+    (0..n as u64).map(|i| Label(i * 17 + 11)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The three executors agree bit-for-bit on every run.
+    #[test]
+    fn executors_agree(
+        n in 1usize..10,
+        rounds in 1u64..6,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let clustered = SyncEngine::with_options(
+            UnionRank::rounds(rounds),
+            labels(n),
+            Scripted::new(schedule.clone()),
+            SeedTree::new(seed),
+            EngineOptions { max_rounds: None, mode: EngineMode::Clustered },
+        )
+        .unwrap()
+        .run();
+        let per_process = SyncEngine::with_options(
+            UnionRank::rounds(rounds),
+            labels(n),
+            Scripted::new(schedule.clone()),
+            SeedTree::new(seed),
+            EngineOptions { max_rounds: None, mode: EngineMode::PerProcess },
+        )
+        .unwrap()
+        .run();
+        let threaded = run_threaded(
+            UnionRank::rounds(rounds),
+            labels(n),
+            Scripted::new(schedule),
+            SeedTree::new(seed),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&clustered, &per_process);
+        prop_assert_eq!(&clustered, &threaded);
+    }
+
+    /// Crash semantics: the engine crashes at most the budget, never the
+    /// last process standing, each victim at most once, and crashed
+    /// processes never decide afterwards.
+    #[test]
+    fn crash_semantics(
+        n in 1usize..12,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let budget = schedule.len();
+        let report = SyncEngine::new(
+            UnionRank::rounds(6),
+            labels(n),
+            Scripted::new(schedule),
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run();
+        prop_assert!(report.failures() <= budget.min(n.saturating_sub(1)));
+        let mut victims: Vec<_> = report.crashes.iter().map(|c| c.pid).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        prop_assert_eq!(victims.len(), report.failures(), "duplicate victim");
+        for c in &report.crashes {
+            if let Some(d) = report.decisions[c.pid.index()] {
+                prop_assert!(d.round < c.round, "decided after crashing");
+            }
+        }
+        // At least one process survives.
+        prop_assert!(report.failures() < n.max(1));
+    }
+
+    /// Message accounting: sends are exactly (participants per round) ×
+    /// (n − 1); deliveries never exceed sends.
+    #[test]
+    fn accounting_bounds(
+        n in 1usize..12,
+        seed in any::<u64>(),
+        schedule in schedules(),
+    ) {
+        let report = SyncEngine::new(
+            UnionRank::rounds(5),
+            labels(n),
+            Scripted::new(schedule),
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run();
+        prop_assert!(report.messages_delivered <= report.messages_sent);
+        // Upper bound: everyone broadcasting every round.
+        prop_assert!(report.messages_sent <= report.rounds * (n as u64) * (n as u64 - 1).max(0));
+        if n > 1 {
+            prop_assert!(report.wire_bytes_sent >= report.messages_sent);
+        }
+    }
+
+    /// Wire codec: `Vec<Label>` and `LabelSet` round-trip for arbitrary
+    /// contents, and `encoded_len` is exact.
+    #[test]
+    fn wire_roundtrip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let labels: Vec<Label> = values.iter().map(|v| Label(*v)).collect();
+        let bytes = labels.to_bytes();
+        prop_assert_eq!(bytes.len(), labels.encoded_len());
+        prop_assert_eq!(Vec::<Label>::from_bytes(bytes).unwrap(), labels.clone());
+
+        let set = LabelSet(labels);
+        let bytes = set.to_bytes();
+        prop_assert_eq!(bytes.len(), set.encoded_len());
+        prop_assert_eq!(LabelSet::from_bytes(bytes).unwrap(), set);
+    }
+
+    /// Decoding arbitrary bytes never panics — it returns a value or an
+    /// error (fuzz-shaped safety for the codec).
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Vec::<Label>::from_bytes(bytes::Bytes::from(bytes.clone()));
+        let _ = u64::from_bytes(bytes::Bytes::from(bytes.clone()));
+        let _ = LabelSet::from_bytes(bytes::Bytes::from(bytes));
+    }
+
+    /// RankOnce under no failures: one round, names are exactly the label
+    /// ranks — the engine's decision plumbing is lossless.
+    #[test]
+    fn rank_once_correctness(n in 1usize..32, seed in any::<u64>()) {
+        let ls = labels(n);
+        let report = SyncEngine::new(
+            RankOnce,
+            ls.clone(),
+            bil_runtime::adversary::NoFailures,
+            SeedTree::new(seed),
+        )
+        .unwrap()
+        .run();
+        prop_assert!(report.completed());
+        prop_assert_eq!(report.rounds, 1);
+        let mut sorted = ls.clone();
+        sorted.sort_unstable();
+        for (pid, l) in ls.iter().enumerate() {
+            let rank = sorted.iter().position(|x| x == l).unwrap() as u32;
+            prop_assert_eq!(report.decisions[pid].unwrap().name.0, rank);
+        }
+    }
+}

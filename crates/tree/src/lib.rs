@@ -1,0 +1,48 @@
+//! # bil-tree — the capacity tree of Balls-into-Leaves
+//!
+//! The data-structure substrate of the Balls-into-Leaves algorithm
+//! (Alistarh, Denysyuk, Rodrigues, Shavit; PODC 2014): the `n` target
+//! names arranged as leaves of a binary tree, each ball's **local view**
+//! of every ball's position, per-subtree **remaining capacity**, the
+//! priority order **`<R`**, and the candidate-path rules (weighted random,
+//! deterministic rank, and the scripted variants used for ablations).
+//!
+//! The paper's Lemma 1 — *in any local view, the number of balls in each
+//! subtree never exceeds the number of its leaves* — is the invariant
+//! everything here protects; [`LocalTree::validate`] checks it (and the
+//! index consistency behind it) on demand, and the property-based test
+//! suite hammers it with arbitrary operation sequences.
+//!
+//! ```
+//! use bil_runtime::Label;
+//! use bil_runtime::rng::SeedTree;
+//! use bil_runtime::ProcId;
+//! use bil_tree::{CoinRule, LocalTree, Topology, ROOT};
+//!
+//! # fn main() -> Result<(), bil_tree::TreeError> {
+//! let topo = Topology::new(8)?;
+//! let mut tree = LocalTree::with_balls_at_root(topo, (0..8).map(Label));
+//!
+//! // A ball composes a weighted random candidate path…
+//! let mut rng = SeedTree::new(1).process_rng(ProcId(0));
+//! let path = tree.random_path(Label(0), CoinRule::Weighted, &mut rng)?;
+//! assert_eq!(path.first(), Some(ROOT));
+//!
+//! // …and the move-walk places it as deep as capacities allow.
+//! let landed = tree.place_along(Label(0), &path)?;
+//! assert_eq!(tree.current_node(Label(0)), Some(landed));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod local;
+mod path;
+mod topology;
+
+pub use local::{InvariantViolation, LocalTree};
+pub use path::{CandidatePath, CoinRule};
+pub use topology::{AncestorsInclusive, NodeId, Topology, TreeError, MAX_LEAVES, ROOT};

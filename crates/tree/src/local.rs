@@ -1,0 +1,722 @@
+//! A ball's local view of the tree: ball positions plus per-subtree
+//! capacity accounting (Algorithm 1's data structures and operations).
+//!
+//! The paper (§4): *"each ball `bi` keeps a local tree, containing the
+//! current position of each ball, including itself"*, with operations
+//! `Remove`, `CurrentNode`, `UpdateNode`, `OrderedBalls` (the priority
+//! order `<R`), and `RemainingCapacity`. [`LocalTree`] implements exactly
+//! those, maintaining three mutually-consistent indexes:
+//!
+//! * `pos` — ball → node (the source of truth; equality of views is
+//!   equality of `pos`),
+//! * `balls_in` — node → number of balls in its *subtree* (for `O(1)`
+//!   remaining-capacity queries),
+//! * `at` — node → sorted list of balls exactly *at* it (for rank queries
+//!   and `OrderedBalls`).
+//!
+//! The central safety invariant (the paper's Lemma 1) — **no subtree ever
+//! holds more balls than it has leaves** — is enforced by
+//! [`LocalTree::place_along`] and checkable at any time with
+//! [`LocalTree::validate`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use bil_runtime::Label;
+
+use crate::topology::{NodeId, Topology, TreeError, ROOT};
+
+/// A detected breach of the tree's internal invariants. Seeing one of
+/// these means a bug in the algorithm or the engine, never a recoverable
+/// runtime condition; it exists as a value (rather than a panic) so tests
+/// and the model checker can assert on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    message: String,
+}
+
+impl InvariantViolation {
+    fn new(message: String) -> Self {
+        InvariantViolation { message }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree invariant violated: {}", self.message)
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// A ball's local view of the capacity tree.
+///
+/// # Examples
+///
+/// ```
+/// use bil_runtime::Label;
+/// use bil_tree::{LocalTree, Topology, ROOT};
+///
+/// let topo = Topology::new(4)?;
+/// let mut tree = LocalTree::with_balls_at_root(topo, [Label(1), Label(2)]);
+/// assert_eq!(tree.remaining_capacity(ROOT), 2);
+/// assert_eq!(tree.current_node(Label(1)), Some(ROOT));
+/// # Ok::<(), bil_tree::TreeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalTree {
+    topo: Topology,
+    /// Balls in the subtree rooted at each node (index = `NodeId`).
+    balls_in: Vec<u32>,
+    /// Ball → current node.
+    pos: BTreeMap<Label, NodeId>,
+    /// Node → balls exactly at it, sorted by label.
+    at: BTreeMap<NodeId, Vec<Label>>,
+    /// Number of balls currently at internal (non-leaf) nodes.
+    at_internal: u32,
+    /// Leaves this view's owner must never route toward (see
+    /// [`LocalTree::block_leaf`]). Usually empty.
+    blocked: BTreeSet<NodeId>,
+}
+
+impl PartialEq for LocalTree {
+    fn eq(&self, other: &Self) -> bool {
+        // `balls_in`, `at`, and `at_internal` are derived from `pos`.
+        self.topo == other.topo && self.pos == other.pos && self.blocked == other.blocked
+    }
+}
+
+impl Eq for LocalTree {}
+
+impl LocalTree {
+    /// An empty view over the given shape.
+    pub fn new(topo: Topology) -> Self {
+        LocalTree {
+            topo,
+            balls_in: vec![0; topo.node_slots()],
+            pos: BTreeMap::new(),
+            at: BTreeMap::new(),
+            at_internal: 0,
+            blocked: BTreeSet::new(),
+        }
+    }
+
+    /// A view with every ball of `labels` at the root — the paper's
+    /// initial configuration (Figure 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` contains duplicates (a constructor misuse).
+    pub fn with_balls_at_root<I: IntoIterator<Item = Label>>(topo: Topology, labels: I) -> Self {
+        let mut tree = LocalTree::new(topo);
+        for l in labels {
+            tree.insert(l, ROOT).expect("duplicate label at construction");
+        }
+        tree
+    }
+
+    /// The tree shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of balls in the view.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` if the view holds no balls.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// `true` if the view contains `ball`.
+    pub fn contains(&self, ball: Label) -> bool {
+        self.pos.contains_key(&ball)
+    }
+
+    /// Current node of `ball` (`CurrentNode` in the paper).
+    pub fn current_node(&self, ball: Label) -> Option<NodeId> {
+        self.pos.get(&ball).copied()
+    }
+
+    /// Iterate `(ball, node)` pairs in label order.
+    pub fn balls(&self) -> impl Iterator<Item = (Label, NodeId)> + '_ {
+        self.pos.iter().map(|(l, n)| (*l, *n))
+    }
+
+    /// Inserts `ball` at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BallExists`] if the ball is already present,
+    /// or [`TreeError::BadNode`] for an out-of-range node.
+    pub fn insert(&mut self, ball: Label, node: NodeId) -> Result<(), TreeError> {
+        if !self.topo.is_node(node) {
+            return Err(TreeError::BadNode(node));
+        }
+        if self.pos.contains_key(&ball) {
+            return Err(TreeError::BallExists(ball));
+        }
+        self.pos.insert(ball, node);
+        for v in self.topo.ancestors_inclusive(node) {
+            self.balls_in[v as usize] += 1;
+        }
+        let slot = self.at.entry(node).or_default();
+        let idx = slot.binary_search(&ball).unwrap_err();
+        slot.insert(idx, ball);
+        if !self.topo.is_leaf(node) {
+            self.at_internal += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes `ball` (`Remove` in the paper), returning the node it was
+    /// at, or `None` if absent (removing an already-removed ball is a
+    /// no-op, matching Algorithm 1's idempotent crash handling).
+    pub fn remove(&mut self, ball: Label) -> Option<NodeId> {
+        let node = self.pos.remove(&ball)?;
+        for v in self.topo.ancestors_inclusive(node) {
+            debug_assert!(self.balls_in[v as usize] > 0);
+            self.balls_in[v as usize] -= 1;
+        }
+        let slot = self.at.get_mut(&node).expect("at-list exists for occupied node");
+        let idx = slot.binary_search(&ball).expect("ball in its at-list");
+        slot.remove(idx);
+        if slot.is_empty() {
+            self.at.remove(&node);
+        }
+        if !self.topo.is_leaf(node) {
+            self.at_internal -= 1;
+        }
+        Some(node)
+    }
+
+    /// Moves `ball` to `node` unconditionally (`UpdateNode` in the paper;
+    /// used by the position-resynchronization round). Inserts the ball if
+    /// it was absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNode`] for an out-of-range node.
+    pub fn update_node(&mut self, ball: Label, node: NodeId) -> Result<(), TreeError> {
+        if !self.topo.is_node(node) {
+            return Err(TreeError::BadNode(node));
+        }
+        self.remove(ball);
+        self.insert(ball, node)
+    }
+
+    /// Balls in the subtree rooted at `node`.
+    pub fn load(&self, node: NodeId) -> u32 {
+        debug_assert!(self.topo.is_node(node));
+        self.balls_in[node as usize]
+    }
+
+    /// Balls exactly at `node`.
+    pub fn load_at(&self, node: NodeId) -> u32 {
+        self.at.get(&node).map_or(0, |v| v.len() as u32)
+    }
+
+    /// Balls exactly at `node`, sorted by label.
+    pub fn balls_at(&self, node: NodeId) -> &[Label] {
+        self.at.get(&node).map_or(&[], |v| v.as_slice())
+    }
+
+    /// `RemainingCapacity(node)`: leaves of the subtree minus balls in the
+    /// subtree (paper, §4 data structures).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the subtree holds more balls than leaves
+    /// — a violation of the paper's Lemma 1 and therefore a bug.
+    pub fn remaining_capacity(&self, node: NodeId) -> u32 {
+        let cap = self.topo.capacity(node);
+        let load = self.load(node);
+        debug_assert!(
+            load <= cap,
+            "Lemma 1 violated at node {node}: load {load} > capacity {cap}"
+        );
+        cap.saturating_sub(load)
+    }
+
+    /// Marks `leaf` as *blocked for routing*: this view's owner will
+    /// never compose a path toward it, while capacity accounting for
+    /// *other* balls' moves is unaffected.
+    ///
+    /// This supports the decide-at-leaf variant's conflict resolution: a
+    /// view that evicts a committed-but-silent ball cannot be sure the
+    /// ball did not decide that leaf's name, so it renounces the leaf for
+    /// itself — making even a wrong eviction harmless (no duplicate claim
+    /// can originate from this view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNode`] if `leaf` is not a leaf slot.
+    pub fn block_leaf(&mut self, leaf: NodeId) -> Result<(), TreeError> {
+        if !self.topo.is_node(leaf) || !self.topo.is_leaf(leaf) {
+            return Err(TreeError::BadNode(leaf));
+        }
+        self.blocked.insert(leaf);
+        Ok(())
+    }
+
+    /// The leaves blocked for routing in this view.
+    pub fn blocked_leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.blocked.iter().copied()
+    }
+
+    /// Number of *unoccupied* blocked leaves in the subtree of `v` —
+    /// capacity that exists on paper but that this view's owner must not
+    /// route into.
+    pub fn blocked_free_below(&self, v: NodeId) -> u32 {
+        if self.blocked.is_empty() {
+            return 0;
+        }
+        let (lo, hi) = self.topo.leaf_span(v);
+        let padded = self.topo.padded_leaves() as u32;
+        self.blocked
+            .range(padded + lo..padded + hi)
+            .filter(|leaf| self.load(**leaf) == 0)
+            .count() as u32
+    }
+
+    /// Remaining capacity usable by *this view's owner* for routing:
+    /// [`LocalTree::remaining_capacity`] minus unoccupied blocked leaves.
+    pub fn routing_capacity(&self, v: NodeId) -> u32 {
+        self.remaining_capacity(v)
+            .saturating_sub(self.blocked_free_below(v))
+    }
+
+    /// Routable capacity strictly below `v`: the sum of its children's
+    /// routing capacities (or `v`'s own, for a leaf). Walk feasibility:
+    /// a ball at `v` can compose a path iff this exceeds its slot index
+    /// (0 for random walks) — otherwise it is *cornered* by blocked
+    /// leaves and must pass the phase.
+    pub fn routable_below(&self, v: NodeId) -> u32 {
+        debug_assert!(self.topo.is_node(v));
+        if self.topo.is_leaf(v) {
+            self.routing_capacity(v)
+        } else {
+            self.routing_capacity(self.topo.left(v)) + self.routing_capacity(self.topo.right(v))
+        }
+    }
+
+    /// The rank of `ball` among the balls at its own node, by label
+    /// (0-based). Used by the deterministic descent rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if absent.
+    pub fn rank_at_node(&self, ball: Label) -> Result<usize, TreeError> {
+        let node = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let slot = self.balls_at(node);
+        slot.binary_search(&ball)
+            .map_err(|_| TreeError::UnknownBall(ball))
+    }
+
+    /// The rank of `ball` among **all** balls in the view, in `<R` order
+    /// (the early-terminating extension's leaf index, §6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if absent.
+    pub fn rank_overall(&self, ball: Label) -> Result<usize, TreeError> {
+        if !self.contains(ball) {
+            return Err(TreeError::UnknownBall(ball));
+        }
+        Ok(self
+            .ordered_balls()
+            .iter()
+            .position(|b| *b == ball)
+            .expect("ball present"))
+    }
+
+    /// `OrderedBalls()`: all balls sorted by the priority order `<R`
+    /// (Definition 1): deeper balls first, ties broken by smaller label.
+    /// The first element has the highest priority.
+    pub fn ordered_balls(&self) -> Vec<Label> {
+        let mut out: Vec<(u32, Label)> = self
+            .pos
+            .iter()
+            .map(|(l, n)| (self.topo.depth(*n), *l))
+            .collect();
+        // Deeper first (depth descending), then label ascending.
+        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// `true` if every ball sits on a leaf — Algorithm 1's termination
+    /// condition (line 29). `O(1)`.
+    pub fn all_at_leaves(&self) -> bool {
+        self.at_internal == 0
+    }
+
+    /// Occupancy map: node → number of balls exactly at it, for nodes
+    /// with at least one ball. Used by the per-phase experiments
+    /// (`bmax`, Lemma 6).
+    pub fn occupancy(&self) -> BTreeMap<NodeId, u32> {
+        self.at.iter().map(|(n, v)| (*n, v.len() as u32)).collect()
+    }
+
+    /// The most populated node and its load — the paper's `bmax(φ)`.
+    /// Returns `None` for an empty view.
+    pub fn max_load_at(&self) -> Option<(NodeId, u32)> {
+        self.at
+            .iter()
+            .map(|(n, v)| (*n, v.len() as u32))
+            .max_by_key(|(n, c)| (*c, std::cmp::Reverse(*n)))
+    }
+
+    /// All balls positioned on the chain from the root down to `node`
+    /// (inclusive) — the paper's "balls on path π" (§5.2). Sorted by
+    /// depth descending then label.
+    pub fn balls_on_chain(&self, node: NodeId) -> Vec<Label> {
+        debug_assert!(self.topo.is_node(node));
+        let mut out = Vec::new();
+        for v in self.topo.ancestors_inclusive(node) {
+            out.extend(self.balls_at(v).iter().copied());
+        }
+        out
+    }
+
+    /// Verifies all internal invariants:
+    ///
+    /// 1. the three indexes agree with each other
+    ///    ([`LocalTree::validate_consistency`]);
+    /// 2. every node's load is within its capacity (the paper's Lemma 1),
+    ///    which also implies no ball sits on a phantom (capacity-0) leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`InvariantViolation`] on the first breach.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        self.validate_consistency()?;
+        // Lemma 1: load within capacity, everywhere.
+        for v in 1..self.topo.node_slots() as NodeId {
+            let cap = self.topo.capacity(v);
+            if self.balls_in[v as usize] > cap {
+                return Err(InvariantViolation::new(format!(
+                    "node {v}: load {} exceeds capacity {cap}",
+                    self.balls_in[v as usize]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that the three internal indexes (`pos`, `balls_in`, `at`)
+    /// agree, without checking capacities. Unlike Lemma 1 — which the
+    /// *algorithm* maintains and raw [`LocalTree::update_node`] calls can
+    /// legitimately breach mid-round — index consistency must hold after
+    /// **every** operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`InvariantViolation`] on the first breach.
+    pub fn validate_consistency(&self) -> Result<(), InvariantViolation> {
+        // Recompute subtree loads from positions.
+        let mut want = vec![0u32; self.topo.node_slots()];
+        for (l, n) in self.pos.iter() {
+            if !self.topo.is_node(*n) {
+                return Err(InvariantViolation::new(format!(
+                    "ball {l} at invalid node {n}"
+                )));
+            }
+            for v in self.topo.ancestors_inclusive(*n) {
+                want[v as usize] += 1;
+            }
+        }
+        if want != self.balls_in {
+            return Err(InvariantViolation::new(
+                "balls_in index disagrees with positions".into(),
+            ));
+        }
+        // at-lists agree with positions.
+        let mut at_count = 0usize;
+        let mut internal = 0u32;
+        for (n, slot) in &self.at {
+            if !slot.windows(2).all(|w| w[0] < w[1]) {
+                return Err(InvariantViolation::new(format!(
+                    "at-list of node {n} is not sorted/deduped"
+                )));
+            }
+            for l in slot {
+                if self.pos.get(l) != Some(n) {
+                    return Err(InvariantViolation::new(format!(
+                        "at-list of node {n} lists ball {l} not positioned there"
+                    )));
+                }
+            }
+            at_count += slot.len();
+            if !self.topo.is_leaf(*n) {
+                internal += slot.len() as u32;
+            }
+        }
+        if at_count != self.pos.len() {
+            return Err(InvariantViolation::new(
+                "at-lists and positions have different ball counts".into(),
+            ));
+        }
+        if internal != self.at_internal {
+            return Err(InvariantViolation::new(
+                "at_internal counter out of sync".into(),
+            ));
+        }
+        for leaf in &self.blocked {
+            if !self.topo.is_node(*leaf) || !self.topo.is_leaf(*leaf) {
+                return Err(InvariantViolation::new(format!(
+                    "blocked entry {leaf} is not a leaf"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: usize) -> Topology {
+        Topology::new(n).unwrap()
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut t = LocalTree::new(topo(4));
+        assert!(t.is_empty());
+        t.insert(Label(5), ROOT).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(Label(5)));
+        assert_eq!(t.current_node(Label(5)), Some(ROOT));
+        assert_eq!(t.load(ROOT), 1);
+        assert_eq!(t.remaining_capacity(ROOT), 3);
+        assert_eq!(t.remove(Label(5)), Some(ROOT));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(Label(5)), None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_duplicate_rejected() {
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(1), ROOT).unwrap();
+        assert!(matches!(
+            t.insert(Label(1), 2),
+            Err(TreeError::BallExists(Label(1)))
+        ));
+    }
+
+    #[test]
+    fn insert_bad_node_rejected() {
+        let mut t = LocalTree::new(topo(4));
+        assert!(matches!(t.insert(Label(1), 0), Err(TreeError::BadNode(0))));
+        assert!(matches!(t.insert(Label(1), 8), Err(TreeError::BadNode(8))));
+    }
+
+    #[test]
+    fn load_accounting_down_the_chain() {
+        let mut t = LocalTree::new(topo(8));
+        // Put a ball at leaf 13 (chain 1→3→6→13).
+        t.insert(Label(9), 13).unwrap();
+        for v in [1u32, 3, 6, 13] {
+            assert_eq!(t.load(v), 1, "node {v}");
+        }
+        for v in [2u32, 7, 12] {
+            assert_eq!(t.load(v), 0, "node {v}");
+        }
+        assert_eq!(t.remaining_capacity(1), 7);
+        assert_eq!(t.remaining_capacity(3), 3);
+        assert_eq!(t.remaining_capacity(13), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn update_node_moves() {
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
+        t.update_node(Label(1), 5).unwrap();
+        assert_eq!(t.current_node(Label(1)), Some(5));
+        assert_eq!(t.load(ROOT), 1);
+        assert_eq!(t.load(2), 1);
+        assert_eq!(t.load(3), 0);
+        // update_node inserts absent balls (round-2 semantics).
+        t.update_node(Label(2), 6).unwrap();
+        assert_eq!(t.current_node(Label(2)), Some(6));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn ordered_balls_depth_then_label() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(30), ROOT).unwrap(); // depth 0
+        t.insert(Label(10), 3).unwrap(); // depth 1
+        t.insert(Label(20), 13).unwrap(); // depth 3 (leaf)
+        t.insert(Label(5), 12).unwrap(); // depth 3 (leaf)
+        t.insert(Label(40), 6).unwrap(); // depth 2
+        assert_eq!(
+            t.ordered_balls(),
+            vec![Label(5), Label(20), Label(40), Label(10), Label(30)]
+        );
+    }
+
+    #[test]
+    fn rank_at_node_and_overall() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(3), ROOT).unwrap();
+        t.insert(Label(1), ROOT).unwrap();
+        t.insert(Label(2), ROOT).unwrap();
+        assert_eq!(t.rank_at_node(Label(1)).unwrap(), 0);
+        assert_eq!(t.rank_at_node(Label(2)).unwrap(), 1);
+        assert_eq!(t.rank_at_node(Label(3)).unwrap(), 2);
+        assert_eq!(t.rank_overall(Label(2)).unwrap(), 1);
+        assert!(t.rank_at_node(Label(9)).is_err());
+        assert!(t.rank_overall(Label(9)).is_err());
+    }
+
+    #[test]
+    fn all_at_leaves_tracks_internal_balls() {
+        let mut t = LocalTree::new(topo(4));
+        assert!(t.all_at_leaves()); // vacuously
+        t.insert(Label(1), 4).unwrap();
+        assert!(t.all_at_leaves());
+        t.insert(Label(2), 2).unwrap();
+        assert!(!t.all_at_leaves());
+        t.update_node(Label(2), 5).unwrap();
+        assert!(t.all_at_leaves());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn occupancy_and_max_load() {
+        let mut t = LocalTree::new(topo(8));
+        assert_eq!(t.max_load_at(), None);
+        for l in 0..5 {
+            t.insert(Label(l), ROOT).unwrap();
+        }
+        t.insert(Label(10), 3).unwrap();
+        let occ = t.occupancy();
+        assert_eq!(occ.get(&ROOT), Some(&5));
+        assert_eq!(occ.get(&3), Some(&1));
+        assert_eq!(t.max_load_at(), Some((ROOT, 5)));
+        assert_eq!(t.load_at(ROOT), 5);
+        assert_eq!(t.balls_at(3), &[Label(10)]);
+    }
+
+    #[test]
+    fn balls_on_chain_collects_path_population() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(1), ROOT).unwrap();
+        t.insert(Label(2), 3).unwrap();
+        t.insert(Label(3), 7).unwrap();
+        t.insert(Label(4), 15).unwrap();
+        t.insert(Label(5), 2).unwrap(); // off the chain to 15
+        t.insert(Label(6), 14).unwrap(); // off the chain to 15
+        let on = t.balls_on_chain(15);
+        assert_eq!(on.len(), 4);
+        assert!(on.contains(&Label(1)));
+        assert!(on.contains(&Label(2)));
+        assert!(on.contains(&Label(3)));
+        assert!(on.contains(&Label(4)));
+    }
+
+    #[test]
+    fn equality_is_positional() {
+        let mut a = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(2)]);
+        let b = LocalTree::with_balls_at_root(topo(4), [Label(2), Label(1)]);
+        assert_eq!(a, b);
+        a.update_node(Label(1), 4).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validate_catches_phantom_overflow() {
+        // n=3: padded to 4, leaf slot 7 is phantom (capacity 0).
+        let mut t = LocalTree::new(topo(3));
+        t.insert(Label(1), 7).unwrap();
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds capacity"));
+    }
+
+    #[test]
+    fn validate_catches_overfull_subtree() {
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(1), 4).unwrap();
+        t.insert(Label(2), 2).unwrap();
+        assert!(t.validate().is_ok());
+        // A third ball in the left half (node 2 covers leaves 4, 5 —
+        // capacity 2) breaches Lemma 1.
+        t.insert(Label(3), 2).unwrap();
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn blocked_leaves_reduce_routing_capacity_only() {
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
+        assert_eq!(t.remaining_capacity(ROOT), 3);
+        assert_eq!(t.routing_capacity(ROOT), 3);
+        t.block_leaf(4).unwrap();
+        // Accounting capacity is unchanged; routing loses the blocked
+        // (and unoccupied) leaf.
+        assert_eq!(t.remaining_capacity(ROOT), 3);
+        assert_eq!(t.routing_capacity(ROOT), 2);
+        assert_eq!(t.routing_capacity(2), 1);
+        assert_eq!(t.blocked_free_below(2), 1);
+        // An occupied blocked leaf no longer counts as lost routing.
+        t.insert(Label(9), 4).unwrap();
+        assert_eq!(t.blocked_free_below(2), 0);
+        assert_eq!(t.routing_capacity(2), 1);
+        assert_eq!(t.blocked_leaves().collect::<Vec<_>>(), vec![4]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn block_leaf_rejects_internal_nodes() {
+        let mut t = LocalTree::new(topo(4));
+        assert!(t.block_leaf(2).is_err());
+        assert!(t.block_leaf(0).is_err());
+        assert!(t.block_leaf(5).is_ok());
+    }
+
+    #[test]
+    fn blocked_walks_avoid_blocked_leaves() {
+        use crate::path::CoinRule;
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(2)]);
+        t.block_leaf(4).unwrap();
+        t.block_leaf(5).unwrap();
+        let mut rng = bil_runtime::SeedTree::new(3).process_rng(bil_runtime::ProcId(0));
+        for _ in 0..16 {
+            let p = t.random_path(Label(1), CoinRule::Weighted, &mut rng).unwrap();
+            let leaf = p.leaf().unwrap();
+            assert!(leaf == 6 || leaf == 7, "routed into blocked leaf {leaf}");
+        }
+        let p = t.rank_slot_path(Label(2)).unwrap();
+        assert_eq!(p.leaf(), Some(7), "slot 1 must skip blocked leaves");
+    }
+
+    #[test]
+    fn equality_includes_blocked_set() {
+        let a = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.block_leaf(4).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_balls_at_root_bulk() {
+        let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.load(ROOT), 8);
+        assert_eq!(t.remaining_capacity(ROOT), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn with_balls_at_root_rejects_duplicates() {
+        let _ = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(1)]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Candidate paths: construction rules and the capacity-respecting
+//! move-walk.
+//!
+//! A candidate path (Algorithm 1, lines 4–10) runs from a ball's current
+//! node down to a leaf. This module provides:
+//!
+//! * the paper's **weighted random** descent — at each internal node the
+//!   child is chosen with probability proportional to its remaining
+//!   capacity (line 6);
+//! * the **deterministic rank** descents used by the early-terminating
+//!   extension (§6) and by the comparison-based baseline;
+//! * two scripted rules (`uniform`, `leftmost`) for the ablation and
+//!   figure-reproduction experiments;
+//! * [`LocalTree::place_along`] — the move-walk of lines 12–18: follow the
+//!   path until just before the first *full* subtree, as resolved in the
+//!   fidelity notes of `DESIGN.md` §4.
+
+use bil_runtime::Label;
+use rand::Rng;
+
+use crate::local::LocalTree;
+use crate::topology::{NodeId, TreeError};
+
+/// A candidate path: a contiguous parent→child chain from a ball's
+/// current node to a leaf.
+///
+/// Instances built by the rules in this module are valid by construction;
+/// paths received from the network are re-validated by
+/// [`LocalTree::place_along`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CandidatePath {
+    nodes: Vec<NodeId>,
+}
+
+impl CandidatePath {
+    /// Wraps a node chain without validation (it is checked again at
+    /// placement time).
+    pub fn from_nodes(nodes: Vec<NodeId>) -> Self {
+        CandidatePath { nodes }
+    }
+
+    /// The chain, top to bottom.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The chain's first node (the ball's current node when composed).
+    pub fn first(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// The chain's final node (the targeted leaf).
+    pub fn leaf(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// Number of nodes on the chain.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the chain is empty (only possible for hand-built paths).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Consumes the path, returning the chain.
+    pub fn into_nodes(self) -> Vec<NodeId> {
+        self.nodes
+    }
+}
+
+/// How a ball picks the child to descend into while composing its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoinRule {
+    /// The paper's rule: left with probability
+    /// `rem(left) / (rem(left) + rem(right))` (Algorithm 1, line 6).
+    #[default]
+    Weighted,
+    /// Ablation: a fair coin between the children that still have
+    /// capacity (ignores *how much* capacity they have).
+    Uniform,
+    /// Scripted: always the leftmost child with capacity. Reproduces the
+    /// "all balls choose the first leaf" panel of Figure 2.
+    Leftmost,
+}
+
+impl LocalTree {
+    /// Composes a random candidate path for `ball` per `rule`
+    /// (Algorithm 1 lines 3–10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if `ball` is not in the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some internal node on the walk has no capacity below it,
+    /// which the paper's Lemma 1 rules out — reaching it means the view
+    /// was corrupted.
+    pub fn random_path<R: Rng + ?Sized>(
+        &self,
+        ball: Label,
+        rule: CoinRule,
+        rng: &mut R,
+    ) -> Result<CandidatePath, TreeError> {
+        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let topo = *self.topology();
+        let mut v = start;
+        let mut nodes = Vec::with_capacity((topo.levels() + 1) as usize);
+        nodes.push(v);
+        // Routing capacity = remaining capacity minus leaves blocked
+        // for this view's owner. The walk invariant
+        // `route(left) + route(right) = route(v) + at(v) >= 1` holds at
+        // every node *entered with* route >= 1 (saturation only helps);
+        // only the start node can be cornered, which callers must check
+        // with [`LocalTree::is_cornered`] before composing a path.
+        while !topo.is_leaf(v) {
+            let l = self.routing_capacity(topo.left(v));
+            let r = self.routing_capacity(topo.right(v));
+            assert!(
+                l + r > 0,
+                "no routable capacity below node {v}; caller must check is_cornered"
+            );
+            let go_left = match rule {
+                _ if l == 0 => false,
+                _ if r == 0 => true,
+                CoinRule::Weighted => rng.random_ratio(l, l + r),
+                CoinRule::Uniform => rng.random_bool(0.5),
+                CoinRule::Leftmost => true,
+            };
+            v = if go_left { topo.left(v) } else { topo.right(v) };
+            nodes.push(v);
+        }
+        Ok(CandidatePath { nodes })
+    }
+
+    /// Composes the deterministic path used by the early-terminating
+    /// extension (§6): straight toward the leaf of rank `leaf_rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if `ball` is absent,
+    /// [`TreeError::BadLeafCount`] if the rank is out of range, or
+    /// [`TreeError::NotInSubtree`] if the leaf is not below the ball.
+    pub fn path_toward_rank(&self, ball: Label, leaf_rank: u32) -> Result<CandidatePath, TreeError> {
+        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let leaf = self.topology().leaf_for_rank(leaf_rank)?;
+        let nodes = self.topology().chain(start, leaf)?;
+        Ok(CandidatePath { nodes })
+    }
+
+    /// Composes the deterministic slot-indexed path used by the
+    /// comparison-based baseline: `ball`'s rank among the balls at its own
+    /// node selects the rank-th remaining slot of the subtree, and the
+    /// path descends straight to it.
+    ///
+    /// This generalizes the §6 phase-1 rule to balls below the root: at
+    /// each internal node, the walk goes left if the slot index is below
+    /// the left child's remaining capacity, else subtracts it and goes
+    /// right. The precondition `slot < rem(left) + rem(right)` holds
+    /// because a node holding `k` balls has at least `k` free slots below
+    /// it (Lemma 1), and is preserved level by level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if `ball` is not in the view.
+    pub fn rank_slot_path(&self, ball: Label) -> Result<CandidatePath, TreeError> {
+        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let mut slot = self.rank_at_node(ball)? as u32;
+        let topo = *self.topology();
+        let mut v = start;
+        let mut nodes = Vec::with_capacity((topo.levels() + 1) as usize);
+        nodes.push(v);
+        // No corner case here: `slot < at(node) <= route(l) + route(r)`
+        // holds by the routing identity, so the slot walk always finds
+        // an unblocked free leaf.
+        while !topo.is_leaf(v) {
+            let l = self.routing_capacity(topo.left(v));
+            let r = self.routing_capacity(topo.right(v));
+            debug_assert!(
+                slot < l + r,
+                "slot {slot} out of range at node {v} (l={l}, r={r})"
+            );
+            if slot < l {
+                v = topo.left(v);
+            } else {
+                slot -= l;
+                v = topo.right(v);
+            }
+            nodes.push(v);
+        }
+        Ok(CandidatePath { nodes })
+    }
+
+    /// The move-walk (Algorithm 1 lines 12–18): removes `ball`, walks it
+    /// down `path` until just before the first subtree with no remaining
+    /// capacity, re-inserts it there, and returns its new node.
+    ///
+    /// The ball is removed *first*, so its own vacated slot is available —
+    /// this is what guarantees the walk's first node is always feasible
+    /// and that "there is enough space below to accommodate it" (§4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownBall`] if `ball` is absent, or
+    /// [`TreeError::BadPath`] if `path` is empty, does not start at the
+    /// ball's current node, is not a contiguous parent→child chain, or
+    /// does not end on a leaf. On error the tree is unchanged.
+    pub fn place_along(&mut self, ball: Label, path: &CandidatePath) -> Result<NodeId, TreeError> {
+        let current = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let nodes = path.nodes();
+        if nodes.is_empty() {
+            return Err(TreeError::BadPath("empty path"));
+        }
+        if nodes[0] != current {
+            return Err(TreeError::BadPath("path does not start at current node"));
+        }
+        let topo = *self.topology();
+        for w in nodes.windows(2) {
+            if !(topo.is_node(w[1]) && (w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1)) {
+                return Err(TreeError::BadPath("path is not a parent-child chain"));
+            }
+        }
+        if !topo.is_leaf(*nodes.last().expect("non-empty")) {
+            return Err(TreeError::BadPath("path does not end at a leaf"));
+        }
+
+        self.remove(ball).expect("ball present");
+        debug_assert!(
+            self.remaining_capacity(nodes[0]) >= 1,
+            "vacated slot must make the start node feasible"
+        );
+        let mut idx = 0;
+        while idx + 1 < nodes.len() && self.remaining_capacity(nodes[idx + 1]) >= 1 {
+            idx += 1;
+        }
+        self.insert(ball, nodes[idx]).expect("ball was just removed");
+        Ok(nodes[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Topology, ROOT};
+    use bil_runtime::rng::SeedTree;
+    use bil_runtime::ProcId;
+
+    fn topo(n: usize) -> Topology {
+        Topology::new(n).unwrap()
+    }
+
+    fn rng() -> rand::rngs::SmallRng {
+        SeedTree::new(42).process_rng(ProcId(0))
+    }
+
+    #[test]
+    fn candidate_path_accessors() {
+        let p = CandidatePath::from_nodes(vec![1, 3, 6, 13]);
+        assert_eq!(p.first(), Some(1));
+        assert_eq!(p.leaf(), Some(13));
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.clone().into_nodes(), vec![1, 3, 6, 13]);
+    }
+
+    #[test]
+    fn random_path_reaches_a_leaf() {
+        let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
+        let mut r = rng();
+        for rule in [CoinRule::Weighted, CoinRule::Uniform, CoinRule::Leftmost] {
+            let p = t.random_path(Label(0), rule, &mut r).unwrap();
+            assert_eq!(p.first(), Some(ROOT));
+            assert!(t.topology().is_leaf(p.leaf().unwrap()));
+            assert_eq!(p.len(), 4); // depth 3 + 1
+        }
+    }
+
+    #[test]
+    fn random_path_avoids_full_subtrees() {
+        // Fill the left half completely; all paths must go right.
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(1), 4).unwrap();
+        t.insert(Label(2), 5).unwrap();
+        t.insert(Label(3), ROOT).unwrap();
+        let mut r = rng();
+        for _ in 0..32 {
+            let p = t.random_path(Label(3), CoinRule::Weighted, &mut r).unwrap();
+            assert_eq!(p.nodes()[1], 3, "must enter the right subtree");
+        }
+    }
+
+    #[test]
+    fn random_path_never_targets_phantom_leaves() {
+        // n=5: leaves 8..13 real, 13..16 phantom.
+        let t = LocalTree::with_balls_at_root(topo(5), (0..5).map(Label));
+        let mut r = rng();
+        for ball in 0..5 {
+            for _ in 0..16 {
+                let p = t
+                    .random_path(Label(ball), CoinRule::Weighted, &mut r)
+                    .unwrap();
+                let leaf = p.leaf().unwrap();
+                assert!(t.topology().capacity(leaf) == 1, "phantom leaf {leaf} chosen");
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_rule_is_deterministic() {
+        let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
+        let mut r = rng();
+        let p1 = t.random_path(Label(0), CoinRule::Leftmost, &mut r).unwrap();
+        let p2 = t.random_path(Label(0), CoinRule::Leftmost, &mut r).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.leaf(), Some(8)); // leftmost leaf
+    }
+
+    #[test]
+    fn weighted_prefers_emptier_side() {
+        // Left subtree has 1 slot free, right has 4: right should win
+        // roughly 4/5 of the time.
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(1), 8).unwrap();
+        t.insert(Label(2), 9).unwrap();
+        t.insert(Label(3), 10).unwrap();
+        t.insert(Label(9), ROOT).unwrap();
+        let mut r = rng();
+        let mut rights = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let p = t.random_path(Label(9), CoinRule::Weighted, &mut r).unwrap();
+            if p.nodes()[1] == 3 {
+                rights += 1;
+            }
+        }
+        let frac = rights as f64 / trials as f64;
+        assert!((0.72..0.88).contains(&frac), "right fraction {frac}");
+    }
+
+    #[test]
+    fn path_toward_rank_builds_straight_chain() {
+        let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
+        let p = t.path_toward_rank(Label(2), 5).unwrap();
+        assert_eq!(p.nodes(), &[1, 3, 6, 13]);
+        assert!(t.path_toward_rank(Label(2), 8).is_err());
+        assert!(t.path_toward_rank(Label(99), 0).is_err());
+    }
+
+    #[test]
+    fn rank_slot_path_spreads_balls_distinctly() {
+        let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
+        let mut leaves = Vec::new();
+        for b in 0..8 {
+            let p = t.rank_slot_path(Label(b)).unwrap();
+            leaves.push(p.leaf().unwrap());
+        }
+        let mut sorted = leaves.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "all target leaves distinct: {leaves:?}");
+    }
+
+    #[test]
+    fn rank_slot_path_skips_occupied_slots() {
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(10), 4).unwrap(); // leaf 0 taken
+        t.insert(Label(1), ROOT).unwrap();
+        t.insert(Label(2), ROOT).unwrap();
+        let p1 = t.rank_slot_path(Label(1)).unwrap();
+        let p2 = t.rank_slot_path(Label(2)).unwrap();
+        assert_eq!(p1.leaf(), Some(5)); // first *free* slot
+        assert_eq!(p2.leaf(), Some(6));
+    }
+
+    #[test]
+    fn place_along_descends_to_leaf_when_free() {
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
+        let p = CandidatePath::from_nodes(vec![1, 2, 4]);
+        let node = t.place_along(Label(1), &p).unwrap();
+        assert_eq!(node, 4);
+        assert_eq!(t.current_node(Label(1)), Some(4));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn place_along_stops_before_full_subtree() {
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(1), 4).unwrap();
+        t.insert(Label(2), 5).unwrap(); // left subtree (node 2) now full
+        t.insert(Label(3), ROOT).unwrap();
+        let p = CandidatePath::from_nodes(vec![1, 2, 4]);
+        let node = t.place_along(Label(3), &p).unwrap();
+        assert_eq!(node, ROOT, "stops at root: left child is full");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn place_along_ball_at_leaf_stays() {
+        let mut t = LocalTree::new(topo(4));
+        t.insert(Label(1), 4).unwrap();
+        let p = CandidatePath::from_nodes(vec![4]);
+        assert_eq!(t.place_along(Label(1), &p).unwrap(), 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn place_along_rejects_malformed_paths() {
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
+        for (nodes, why) in [
+            (vec![], "empty"),
+            (vec![2, 4], "wrong start"),
+            (vec![1, 3, 4], "not a chain"),
+            (vec![1, 2], "not a leaf"),
+        ] {
+            let p = CandidatePath::from_nodes(nodes);
+            assert!(t.place_along(Label(1), &p).is_err(), "{why}");
+        }
+        // Tree unchanged after rejected placements.
+        assert_eq!(t.current_node(Label(1)), Some(ROOT));
+        t.validate().unwrap();
+        assert!(t
+            .place_along(Label(9), &CandidatePath::from_nodes(vec![1, 2, 4]))
+            .is_err());
+    }
+
+    #[test]
+    fn full_phase_simulation_matches_paper_walkthrough() {
+        // Four balls at the root, all proposing the same leftmost leaf
+        // (the Figure 2a scenario): priorities resolve the pile-up as
+        // computed in DESIGN.md §4.
+        let mut t = LocalTree::with_balls_at_root(topo(4), (1..=4).map(Label));
+        let path = CandidatePath::from_nodes(vec![1, 2, 4]);
+        // <R order at phase start: all at root, so label order.
+        assert_eq!(t.place_along(Label(1), &path).unwrap(), 4);
+        assert_eq!(t.place_along(Label(2), &path).unwrap(), 2);
+        assert_eq!(t.place_along(Label(3), &path).unwrap(), ROOT);
+        assert_eq!(t.place_along(Label(4), &path).unwrap(), ROOT);
+        t.validate().unwrap();
+        assert_eq!(t.remaining_capacity(ROOT), 0);
+        // Ball 2 sits at node 2, whose subtree (2 leaves) is now exactly
+        // full — but leaf 5 is still free *for ball 2 itself*, which is
+        // the "enough space below" guarantee. Balls 3 and 4 have the
+        // untouched right subtree.
+        assert_eq!(t.remaining_capacity(2), 0);
+        assert_eq!(t.remaining_capacity(5), 1);
+        assert_eq!(t.remaining_capacity(3), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! The shape of the virtual binary tree.
+//!
+//! The paper arranges the `n` target names as leaves of a binary tree of
+//! depth `log n`, assuming `n` is a power of two "to simplify exposition"
+//! (§4, footnote 1). We generalize to arbitrary `n ≥ 1` by building the
+//! tree over `P = next_power_of_two(n)` leaf slots and giving the `P − n`
+//! phantom leaves **capacity 0**: no ball can ever be routed to them, so
+//! for power-of-two `n` the structure degenerates to the paper's tree
+//! exactly.
+//!
+//! Nodes are addressed heap-style ([`NodeId`]): the root is `1`, node `v`
+//! has children `2v` and `2v + 1`, and the leaf slots are
+//! `P .. 2P`. Everything about the shape (depth, capacity, ancestry) is
+//! computed arithmetically; only ball counts need storage.
+
+use std::error::Error;
+use std::fmt;
+
+use bil_runtime::Label;
+
+/// Heap-style node index; the root is `1`. `0` is never a valid node.
+pub type NodeId = u32;
+
+/// The root node id.
+pub const ROOT: NodeId = 1;
+
+/// Errors from tree construction and node arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// `n == 0` or `n` exceeds the supported maximum.
+    BadLeafCount(usize),
+    /// A node id outside `1 .. 2P`.
+    BadNode(NodeId),
+    /// A ball was inserted twice.
+    BallExists(Label),
+    /// An operation referenced a ball not in the tree.
+    UnknownBall(Label),
+    /// A candidate path was not a contiguous root-ward chain, or did not
+    /// start at the ball's current node.
+    BadPath(&'static str),
+    /// A target leaf is not within the subtree of the start node.
+    NotInSubtree {
+        /// The walk's start node.
+        start: NodeId,
+        /// The requested target leaf.
+        leaf: NodeId,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::BadLeafCount(n) => write!(f, "unsupported leaf count {n}"),
+            TreeError::BadNode(v) => write!(f, "invalid node id {v}"),
+            TreeError::BallExists(b) => write!(f, "ball {b} already in tree"),
+            TreeError::UnknownBall(b) => write!(f, "ball {b} not in tree"),
+            TreeError::BadPath(why) => write!(f, "malformed candidate path: {why}"),
+            TreeError::NotInSubtree { start, leaf } => {
+                write!(f, "leaf {leaf} is not in the subtree of node {start}")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+/// Maximum supported number of leaves (`2^26`), matching the wire codec's
+/// sequence limit.
+pub const MAX_LEAVES: usize = 1 << 26;
+
+/// The static shape of a capacity tree with `n` real leaves.
+///
+/// # Examples
+///
+/// ```
+/// use bil_tree::Topology;
+/// let topo = Topology::new(6)?;
+/// assert_eq!(topo.leaves(), 6);
+/// assert_eq!(topo.padded_leaves(), 8);
+/// assert_eq!(topo.levels(), 3);
+/// // The root's capacity is the number of *real* leaves.
+/// assert_eq!(topo.capacity(bil_tree::ROOT), 6);
+/// # Ok::<(), bil_tree::TreeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    n: u32,
+    padded: u32,
+    levels: u32,
+}
+
+impl Topology {
+    /// Creates the shape for `n` real leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadLeafCount`] if `n == 0` or `n > 2^26`.
+    pub fn new(n: usize) -> Result<Self, TreeError> {
+        if n == 0 || n > MAX_LEAVES {
+            return Err(TreeError::BadLeafCount(n));
+        }
+        let padded = n.next_power_of_two() as u32;
+        Ok(Topology {
+            n: n as u32,
+            padded,
+            levels: padded.trailing_zeros(),
+        })
+    }
+
+    /// Number of real leaves (`n`, the number of target names).
+    pub fn leaves(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of leaf slots after padding to a power of two.
+    pub fn padded_leaves(&self) -> usize {
+        self.padded as usize
+    }
+
+    /// Depth of the leaves (`log₂ padded`); the root is at depth 0.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total number of node slots (`2 · padded`; slot 0 unused).
+    pub fn node_slots(&self) -> usize {
+        2 * self.padded as usize
+    }
+
+    /// `true` if `v` is a valid node id for this shape.
+    pub fn is_node(&self, v: NodeId) -> bool {
+        v >= 1 && (v as usize) < self.node_slots()
+    }
+
+    /// `true` if `v` is a leaf slot.
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        v >= self.padded
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        debug_assert!(self.is_node(v));
+        31 - v.leading_zeros()
+    }
+
+    /// Left child of internal node `v`.
+    pub fn left(&self, v: NodeId) -> NodeId {
+        debug_assert!(!self.is_leaf(v));
+        2 * v
+    }
+
+    /// Right child of internal node `v`.
+    pub fn right(&self, v: NodeId) -> NodeId {
+        debug_assert!(!self.is_leaf(v));
+        2 * v + 1
+    }
+
+    /// Parent of non-root node `v`.
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        debug_assert!(v > 1);
+        v / 2
+    }
+
+    /// The half-open range of leaf *slot ranks* `[lo, hi)` covered by the
+    /// subtree rooted at `v` (ranks count all padded slots).
+    pub fn leaf_span(&self, v: NodeId) -> (u32, u32) {
+        debug_assert!(self.is_node(v));
+        let d = self.depth(v);
+        let width = self.padded >> d;
+        let lo = (v - (1 << d)) * width;
+        (lo, lo + width)
+    }
+
+    /// Capacity of the subtree rooted at `v`: the number of **real**
+    /// leaves it covers.
+    pub fn capacity(&self, v: NodeId) -> u32 {
+        let (lo, hi) = self.leaf_span(v);
+        hi.min(self.n).saturating_sub(lo)
+    }
+
+    /// The leaf slot holding rank `rank` (0-based, left to right).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadLeafCount`] if `rank ≥ n`.
+    pub fn leaf_for_rank(&self, rank: u32) -> Result<NodeId, TreeError> {
+        if rank >= self.n {
+            return Err(TreeError::BadLeafCount(rank as usize));
+        }
+        Ok(self.padded + rank)
+    }
+
+    /// The 0-based left-to-right rank of leaf `v` — the *name* a ball
+    /// terminating there decides.
+    pub fn leaf_rank(&self, v: NodeId) -> u32 {
+        debug_assert!(self.is_leaf(v));
+        v - self.padded
+    }
+
+    /// `true` if `a` is an ancestor of `b` or equal to it.
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        let (da, db) = (self.depth(a), self.depth(b));
+        da <= db && (b >> (db - da)) == a
+    }
+
+    /// The chain of nodes from `from` down to `leaf`, inclusive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::NotInSubtree`] if `leaf` is not under `from`.
+    pub fn chain(&self, from: NodeId, leaf: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        if !self.is_leaf(leaf) || !self.is_ancestor_or_self(from, leaf) {
+            return Err(TreeError::NotInSubtree { start: from, leaf });
+        }
+        let steps = self.depth(leaf) - self.depth(from);
+        let mut path = Vec::with_capacity(steps as usize + 1);
+        for i in (0..=steps).rev() {
+            path.push(leaf >> i);
+        }
+        Ok(path)
+    }
+
+    /// Iterator over `v` and its ancestors, up to and including the root.
+    pub fn ancestors_inclusive(&self, v: NodeId) -> AncestorsInclusive {
+        debug_assert!(self.is_node(v));
+        AncestorsInclusive { cur: v }
+    }
+}
+
+/// Iterator produced by [`Topology::ancestors_inclusive`].
+#[derive(Debug, Clone)]
+pub struct AncestorsInclusive {
+    cur: NodeId,
+}
+
+impl Iterator for AncestorsInclusive {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == 0 {
+            return None;
+        }
+        let v = self.cur;
+        self.cur /= 2;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(matches!(Topology::new(0), Err(TreeError::BadLeafCount(0))));
+        assert!(Topology::new(MAX_LEAVES).is_ok());
+        assert!(Topology::new(MAX_LEAVES + 1).is_err());
+    }
+
+    #[test]
+    fn power_of_two_shape() {
+        let t = Topology::new(8).unwrap();
+        assert_eq!(t.leaves(), 8);
+        assert_eq!(t.padded_leaves(), 8);
+        assert_eq!(t.levels(), 3);
+        assert_eq!(t.node_slots(), 16);
+        assert!(t.is_leaf(8));
+        assert!(t.is_leaf(15));
+        assert!(!t.is_leaf(7));
+    }
+
+    #[test]
+    fn depth_and_children() {
+        let t = Topology::new(8).unwrap();
+        assert_eq!(t.depth(ROOT), 0);
+        assert_eq!(t.depth(2), 1);
+        assert_eq!(t.depth(3), 1);
+        assert_eq!(t.depth(15), 3);
+        assert_eq!(t.left(1), 2);
+        assert_eq!(t.right(1), 3);
+        assert_eq!(t.parent(3), 1);
+        assert_eq!(t.parent(14), 7);
+    }
+
+    #[test]
+    fn leaf_span_covers_tree() {
+        let t = Topology::new(8).unwrap();
+        assert_eq!(t.leaf_span(ROOT), (0, 8));
+        assert_eq!(t.leaf_span(2), (0, 4));
+        assert_eq!(t.leaf_span(3), (4, 8));
+        assert_eq!(t.leaf_span(8), (0, 1));
+        assert_eq!(t.leaf_span(15), (7, 8));
+    }
+
+    #[test]
+    fn phantom_leaves_have_zero_capacity() {
+        let t = Topology::new(6).unwrap();
+        assert_eq!(t.capacity(ROOT), 6);
+        assert_eq!(t.capacity(2), 4); // left half: leaves 0..4, all real
+        assert_eq!(t.capacity(3), 2); // right half: leaves 4..8, two real
+        assert_eq!(t.capacity(13), 1); // leaf rank 5: last real leaf
+        assert_eq!(t.capacity(8 + 6), 0); // phantom leaf (rank 6)
+        assert_eq!(t.capacity(8 + 7), 0); // phantom leaf (rank 7)
+    }
+
+    #[test]
+    fn capacity_is_additive() {
+        for n in [1usize, 2, 3, 5, 6, 8, 13, 16, 31] {
+            let t = Topology::new(n).unwrap();
+            for v in 1..(t.node_slots() / 2) as NodeId {
+                assert_eq!(
+                    t.capacity(v),
+                    t.capacity(t.left(v)) + t.capacity(t.right(v)),
+                    "n={n} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_rank_roundtrip() {
+        let t = Topology::new(6).unwrap();
+        for rank in 0..6 {
+            let leaf = t.leaf_for_rank(rank).unwrap();
+            assert!(t.is_leaf(leaf));
+            assert_eq!(t.leaf_rank(leaf), rank);
+            assert_eq!(t.capacity(leaf), 1);
+        }
+        assert!(t.leaf_for_rank(6).is_err());
+    }
+
+    #[test]
+    fn ancestry() {
+        let t = Topology::new(8).unwrap();
+        assert!(t.is_ancestor_or_self(1, 13));
+        assert!(t.is_ancestor_or_self(3, 13));
+        assert!(t.is_ancestor_or_self(13, 13));
+        assert!(!t.is_ancestor_or_self(2, 13));
+        assert!(!t.is_ancestor_or_self(13, 3));
+    }
+
+    #[test]
+    fn chain_construction() {
+        let t = Topology::new(8).unwrap();
+        assert_eq!(t.chain(1, 13).unwrap(), vec![1, 3, 6, 13]);
+        assert_eq!(t.chain(6, 13).unwrap(), vec![6, 13]);
+        assert_eq!(t.chain(13, 13).unwrap(), vec![13]);
+        assert!(t.chain(2, 13).is_err());
+        assert!(t.chain(1, 6).is_err()); // 6 is not a leaf
+    }
+
+    #[test]
+    fn ancestors_inclusive_walks_to_root() {
+        let t = Topology::new(8).unwrap();
+        let anc: Vec<NodeId> = t.ancestors_inclusive(13).collect();
+        assert_eq!(anc, vec![13, 6, 3, 1]);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = Topology::new(1).unwrap();
+        assert_eq!(t.levels(), 0);
+        assert!(t.is_leaf(ROOT));
+        assert_eq!(t.capacity(ROOT), 1);
+        assert_eq!(t.leaf_rank(ROOT), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            TreeError::BadLeafCount(0),
+            TreeError::BadNode(0),
+            TreeError::BallExists(Label(1)),
+            TreeError::UnknownBall(Label(2)),
+            TreeError::BadPath("x"),
+            TreeError::NotInSubtree { start: 2, leaf: 13 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

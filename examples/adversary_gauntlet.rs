@@ -1,0 +1,71 @@
+//! Runs Balls-into-Leaves through every adversary in the repository at
+//! maximum budget (`t = n − 1`) and prints a safety/latency scoreboard.
+//!
+//! This is the paper's Theorem 1 + §5.3 story in one screen: the strong
+//! adaptive adversary can pick *who* crashes and *who hears them* after
+//! seeing every coin flip — and the algorithm still renames correctly,
+//! without measurable slowdown.
+//!
+//! ```text
+//! cargo run --release --example adversary_gauntlet
+//! ```
+
+use balls_into_leaves::harness::{AdversarySpec, Algorithm, Batch, Scenario, Table};
+
+fn main() {
+    let n = 256usize;
+    let seeds = 0..15u64;
+    let gauntlet: Vec<(&str, AdversarySpec)> = vec![
+        ("failure-free", AdversarySpec::None),
+        (
+            "random",
+            AdversarySpec::Random {
+                budget: n - 1,
+                expected_per_round: 2.0,
+            },
+        ),
+        (
+            "burst@r1",
+            AdversarySpec::Burst {
+                round: 1,
+                count: n / 2,
+            },
+        ),
+        ("attrition", AdversarySpec::Attrition { budget: n - 1 }),
+        (
+            "adaptive-splitter",
+            AdversarySpec::AdaptiveSplitter { budget: n - 1 },
+        ),
+        ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
+        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
+    ];
+
+    let mut table = Table::new([
+        "adversary",
+        "crashes (mean)",
+        "rounds (mean/p95/max)",
+        "spec compliance",
+    ]);
+    for (name, adv) in gauntlet {
+        let batch = Batch::run(
+            Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+            seeds.clone(),
+        )
+        .expect("valid scenario");
+        let s = batch.rounds();
+        table.row([
+            name.to_string(),
+            format!("{:.1}", batch.mean_failures()),
+            format!("{:.1}/{:.0}/{:.0}", s.mean, s.p95, s.max),
+            format!("{:.0}%", batch.spec_rate() * 100.0),
+        ]);
+        assert!(
+            (batch.spec_rate() - 1.0).abs() < f64::EPSILON,
+            "safety violated by {name}"
+        );
+    }
+    println!("Balls-into-Leaves, n = {n}, t = n − 1, 15 seeds per row\n");
+    println!("{}", table.render());
+    println!("every adversary: 100% termination, validity, and uniqueness.");
+}

@@ -1,0 +1,48 @@
+//! The headline result in one screen: the exponential separation between
+//! randomized and deterministic tight renaming (and the linear consensus
+//! route), measured live.
+//!
+//! ```text
+//! cargo run --release --example separation_demo
+//! ```
+
+use balls_into_leaves::harness::{AdversarySpec, Algorithm, Batch, Scenario, Table};
+
+fn main() {
+    let mut table = Table::new([
+        "n",
+        "log2 log2 n",
+        "BiL (sandwich) rounds",
+        "DetRank (sandwich) rounds",
+        "FloodRank rounds",
+    ]);
+    for exp in [4u32, 6, 8, 10] {
+        let n = 1usize << exp;
+        let sandwich = AdversarySpec::Sandwich { budget: n / 2 };
+        let bil = Batch::run(
+            Scenario::failure_free(Algorithm::BilBase, n).against(sandwich),
+            0..10,
+        )
+        .expect("valid scenario");
+        let det = Batch::run(
+            Scenario::failure_free(Algorithm::DetRank, n).against(sandwich),
+            0..10,
+        )
+        .expect("valid scenario");
+        let flood = Batch::run(Scenario::failure_free(Algorithm::FloodRank, n), 0..2)
+            .expect("valid scenario");
+        table.row([
+            n.to_string(),
+            format!("{:.2}", (n as f64).log2().log2()),
+            format!("{:.1}", bil.rounds().mean),
+            format!("{:.1}", det.rounds().mean),
+            format!("{:.0}", flood.rounds().mean),
+        ]);
+    }
+    println!("tight renaming under the paper's §6 sandwich failure pattern\n");
+    println!("{}", table.render());
+    println!(
+        "BiL tracks log log n; the deterministic comparison-based baseline \
+         grows with log n; flooding consensus pays t + 1 = n rounds."
+    );
+}

@@ -1,0 +1,155 @@
+//! Theorem-shaped integration tests: each pins the *qualitative* form of
+//! one of the paper's results at test-friendly sizes (the quantitative
+//! sweeps live in the harness / `EXPERIMENTS.md`).
+
+use balls_into_leaves::harness::stats::{classify_growth, GrowthModel};
+use balls_into_leaves::harness::{AdversarySpec, Algorithm, Batch, Scenario};
+
+/// Theorem 2 shape: failure-free rounds grow far slower than `log n` —
+/// quadrupling `n` twice must not add more than a few rounds.
+#[test]
+fn theorem2_rounds_grow_sublogarithmically() {
+    let mut means = Vec::new();
+    let ns = [64usize, 256, 1024];
+    for &n in &ns {
+        let batch = Batch::run(Scenario::failure_free(Algorithm::BilBase, n), 0..10)
+            .expect("valid scenario");
+        assert_eq!(batch.spec_rate(), 1.0, "n={n}");
+        means.push(batch.rounds().mean);
+    }
+    // log2 n goes 6 → 10 (×1.67); log2 log2 n goes 2.58 → 3.32 (×1.29).
+    // The measured growth must stay below the log-n ratio by a margin.
+    let growth = means[2] / means[0];
+    assert!(
+        growth < 1.45,
+        "rounds grew {growth:.2}× from n=64 to n=1024: {means:?}"
+    );
+}
+
+/// Theorem 3 shape: the early-terminating variant is *exactly* constant
+/// (3 rounds) failure-free, at every size.
+#[test]
+fn theorem3_early_termination_is_constant() {
+    let ns = [16usize, 64, 256, 1024, 4096];
+    let mut ys = Vec::new();
+    for &n in &ns {
+        let batch = Batch::run(Scenario::failure_free(Algorithm::BilEarly, n), 0..5)
+            .expect("valid scenario");
+        assert_eq!(batch.rounds().min, 3.0, "n={n}");
+        assert_eq!(batch.rounds().max, 3.0, "n={n}");
+        ys.push(batch.rounds().mean);
+    }
+    let verdict = classify_growth(&ns, &ys).expect("enough points");
+    assert_eq!(verdict.best, GrowthModel::Constant);
+}
+
+/// Theorem 4 shape: with f crashes in the initialization round, rounds
+/// grow much slower than f itself (log log f): multiplying f by 16 adds
+/// only a couple of rounds.
+#[test]
+fn theorem4_rounds_track_loglog_f() {
+    let n = 1024usize;
+    let mut means = Vec::new();
+    for f in [4usize, 64] {
+        let batch = Batch::run(
+            Scenario::failure_free(Algorithm::BilEarly, n).against(AdversarySpec::Burst {
+                round: 0,
+                count: f,
+            }),
+            0..10,
+        )
+        .expect("valid scenario");
+        assert_eq!(batch.spec_rate(), 1.0, "f={f}");
+        means.push(batch.rounds().mean);
+    }
+    assert!(
+        means[1] - means[0] <= 4.0,
+        "f: 4 → 64 added {:.1} rounds ({means:?})",
+        means[1] - means[0]
+    );
+}
+
+/// Exponential-separation shape: under the sandwich pattern the
+/// deterministic baseline needs meaningfully more rounds than the
+/// randomized algorithm already at n = 512.
+#[test]
+fn separation_det_rank_behind_bil_under_sandwich() {
+    let n = 512usize;
+    let sandwich = AdversarySpec::Sandwich { budget: n / 2 };
+    let bil = Batch::run(
+        Scenario::failure_free(Algorithm::BilBase, n).against(sandwich),
+        0..10,
+    )
+    .expect("valid scenario");
+    let det = Batch::run(
+        Scenario::failure_free(Algorithm::DetRank, n).against(sandwich),
+        0..10,
+    )
+    .expect("valid scenario");
+    assert_eq!(bil.spec_rate(), 1.0);
+    assert_eq!(det.spec_rate(), 1.0);
+    assert!(
+        det.rounds().mean > bil.rounds().mean,
+        "DetRank {:.1} must exceed BiL {:.1}",
+        det.rounds().mean,
+        bil.rounds().mean
+    );
+}
+
+/// Related-work shape (§2): flooding renaming costs exactly t + 1 = n
+/// rounds.
+#[test]
+fn flood_rank_is_linear() {
+    for n in [8usize, 32, 128] {
+        let batch = Batch::run(Scenario::failure_free(Algorithm::FloodRank, n), 0..2)
+            .expect("valid scenario");
+        assert_eq!(batch.rounds().mean, n as f64);
+        assert_eq!(batch.spec_rate(), 1.0);
+    }
+}
+
+/// §5.3 shape: a hostile crash schedule does not slow Balls-into-Leaves
+/// down by more than a small factor.
+#[test]
+fn crashes_do_not_slow_termination() {
+    let n = 512usize;
+    let ff = Batch::run(Scenario::failure_free(Algorithm::BilBase, n), 0..10)
+        .expect("valid scenario");
+    let hostile = Batch::run(
+        Scenario::failure_free(Algorithm::BilBase, n)
+            .against(AdversarySpec::AdaptiveSplitter { budget: n - 1 }),
+        0..10,
+    )
+    .expect("valid scenario");
+    assert_eq!(hostile.spec_rate(), 1.0);
+    assert!(
+        hostile.rounds().mean <= ff.rounds().mean * 1.8 + 4.0,
+        "hostile {:.1} vs failure-free {:.1}",
+        hostile.rounds().mean,
+        ff.rounds().mean
+    );
+}
+
+/// Motivation shape (§1): the wait-free reclaiming retry baseline
+/// violates uniqueness, the randomized algorithm never does — same
+/// substrate, same seeds.
+#[test]
+fn motivation_reclaim_baseline_breaks_uniqueness() {
+    let reclaim = Batch::run(
+        Scenario {
+            algorithm: Algorithm::EagerReclaim,
+            n: 32,
+            adversary: AdversarySpec::None,
+            max_rounds: Some(512),
+        },
+        0..20,
+    )
+    .expect("valid scenario");
+    assert!(
+        reclaim.uniqueness_rate() < 1.0,
+        "expected duplicates from the reclaim baseline"
+    );
+    let bil = Batch::run(Scenario::failure_free(Algorithm::BilBase, 32), 0..20)
+        .expect("valid scenario");
+    assert_eq!(bil.uniqueness_rate(), 1.0);
+}
