@@ -323,9 +323,12 @@ impl ViewProtocol for RetryBins {
             view.owners.insert(bin, ball);
         }
         // 4. Global-completion tracking for the Hold rule.
-        view.pending = inbox
-            .iter()
-            .any(|(_, m)| matches!(m, BinsMsg::Claim(_) | BinsMsg::Claim2(_, _) | BinsMsg::Stuck));
+        view.pending = inbox.iter().any(|(_, m)| {
+            matches!(
+                m,
+                BinsMsg::Claim(_) | BinsMsg::Claim2(_, _) | BinsMsg::Stuck
+            )
+        });
     }
 
     fn status(&self, view: &BinsView, ball: Label, _round: Round) -> Status {
@@ -375,12 +378,15 @@ mod tests {
 
     #[test]
     fn hold_variants_solve_renaming_failure_free() {
-        for proto in [RetryBins::uniform(), RetryBins::two_choice(), RetryBins::hold_strict()] {
+        for proto in [
+            RetryBins::uniform(),
+            RetryBins::two_choice(),
+            RetryBins::hold_strict(),
+        ] {
             for seed in 0..4 {
-                let report =
-                    SyncEngine::new(proto, labels(16), NoFailures, SeedTree::new(seed))
-                        .unwrap()
-                        .run();
+                let report = SyncEngine::new(proto, labels(16), NoFailures, SeedTree::new(seed))
+                    .unwrap()
+                    .run();
                 let v = check_tight_renaming(&report);
                 assert!(v.holds(), "{proto:?} seed={seed}: {v}");
             }
@@ -443,9 +449,14 @@ mod tests {
         .run();
         assert!(report.completed());
         assert_eq!(report.rounds, 1);
-        let hold = SyncEngine::new(RetryBins::uniform(), labels(1), NoFailures, SeedTree::new(0))
-            .unwrap()
-            .run();
+        let hold = SyncEngine::new(
+            RetryBins::uniform(),
+            labels(1),
+            NoFailures,
+            SeedTree::new(0),
+        )
+        .unwrap()
+        .run();
         assert!(hold.completed());
         assert_eq!(hold.rounds, 2);
     }
@@ -575,10 +586,15 @@ mod tests {
         let mut uni = 0u64;
         let mut two = 0u64;
         for seed in 0..24 {
-            uni += SyncEngine::new(RetryBins::uniform(), labels(64), NoFailures, SeedTree::new(seed))
-                .unwrap()
-                .run()
-                .rounds;
+            uni += SyncEngine::new(
+                RetryBins::uniform(),
+                labels(64),
+                NoFailures,
+                SeedTree::new(seed),
+            )
+            .unwrap()
+            .run()
+            .rounds;
             two += SyncEngine::new(
                 RetryBins::two_choice(),
                 labels(64),

@@ -58,10 +58,9 @@ mod tests {
     #[test]
     fn failure_free_single_phase_for_many_sizes() {
         for n in [2u64, 3, 8, 31, 64] {
-            let report =
-                SyncEngine::new(det_rank(), labels(n), NoFailures, SeedTree::new(1))
-                    .unwrap()
-                    .run();
+            let report = SyncEngine::new(det_rank(), labels(n), NoFailures, SeedTree::new(1))
+                .unwrap()
+                .run();
             assert!(report.completed());
             assert_eq!(report.rounds, 3, "n={n}");
             assert!(check_tight_renaming(&report).holds());

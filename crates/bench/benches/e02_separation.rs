@@ -13,11 +13,19 @@ fn bench(c: &mut Criterion) {
     let cases = [
         (
             "bil+sandwich",
-            scenario(Algorithm::BilBase, n, AdversarySpec::Sandwich { budget: n / 2 }),
+            scenario(
+                Algorithm::BilBase,
+                n,
+                AdversarySpec::Sandwich { budget: n / 2 },
+            ),
         ),
         (
             "detrank+sandwich",
-            scenario(Algorithm::DetRank, n, AdversarySpec::Sandwich { budget: n / 2 }),
+            scenario(
+                Algorithm::DetRank,
+                n,
+                AdversarySpec::Sandwich { budget: n / 2 },
+            ),
         ),
         (
             "retry-eager-strict",

@@ -31,7 +31,10 @@ fn bench(c: &mut Criterion) {
             AdversarySpec::AdaptiveSplitter { budget: n - 1 },
         ),
         ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
-        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        (
+            "sync-splitter",
+            AdversarySpec::SyncSplitter { budget: n - 1 },
+        ),
         ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
     ];
     for (name, adv) in cases {

@@ -42,29 +42,25 @@ fn bench_engine(c: &mut Criterion) {
             ("clustered", EngineMode::Clustered),
             ("per-process", EngineMode::PerProcess),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &labels,
-                |b, labels| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let report = SyncEngine::with_options(
-                            UnionRank::rounds(4),
-                            labels.clone(),
-                            NoFailures,
-                            SeedTree::new(seed),
-                            EngineOptions {
-                                max_rounds: None,
-                                mode,
-                            },
-                        )
-                        .expect("valid configuration")
-                        .run();
-                        black_box(report.rounds)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &labels, |b, labels| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let report = SyncEngine::with_options(
+                        UnionRank::rounds(4),
+                        labels.clone(),
+                        NoFailures,
+                        SeedTree::new(seed),
+                        EngineOptions {
+                            max_rounds: None,
+                            mode,
+                        },
+                    )
+                    .expect("valid configuration")
+                    .run();
+                    black_box(report.rounds)
+                });
+            });
         }
     }
     group.finish();

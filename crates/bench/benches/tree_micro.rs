@@ -46,7 +46,8 @@ fn bench(c: &mut Criterion) {
             let leaf = tree.topology().leaf_for_rank(0).expect("rank 0");
             b.iter(|| {
                 tree.update_node(Label(5), leaf).expect("valid node");
-                tree.update_node(Label(5), bil_tree::ROOT).expect("valid node");
+                tree.update_node(Label(5), bil_tree::ROOT)
+                    .expect("valid node");
             });
         });
     }

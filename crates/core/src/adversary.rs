@@ -61,7 +61,10 @@ fn most_contended_leaf(
     let mut by_leaf: std::collections::BTreeMap<NodeId, Vec<(ProcId, Label, NodeId)>> =
         Default::default();
     for (pid, label, start, leaf) in choices {
-        by_leaf.entry(*leaf).or_default().push((*pid, *label, *start));
+        by_leaf
+            .entry(*leaf)
+            .or_default()
+            .push((*pid, *label, *start));
     }
     by_leaf
         .into_iter()
@@ -275,7 +278,9 @@ impl Adversary<BilMsg> for SyncSplitter {
             .outgoing
             .iter()
             .filter_map(|(pid, label, msg)| match msg {
-                BilMsg::Pos { node, .. } => Some((std::cmp::Reverse(depth_of(*node)), *label, *pid)),
+                BilMsg::Pos { node, .. } => {
+                    Some((std::cmp::Reverse(depth_of(*node)), *label, *pid))
+                }
                 _ => None,
             })
             .min()
@@ -340,14 +345,9 @@ mod tests {
     }
 
     fn run_against<A: Adversary<BilMsg>>(adv: A, n: u64, seed: u64) -> bil_runtime::RunReport {
-        SyncEngine::new(
-            BallsIntoLeaves::base(),
-            labels(n),
-            adv,
-            SeedTree::new(seed),
-        )
-        .unwrap()
-        .run()
+        SyncEngine::new(BallsIntoLeaves::base(), labels(n), adv, SeedTree::new(seed))
+            .unwrap()
+            .run()
     }
 
     #[test]

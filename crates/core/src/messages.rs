@@ -109,7 +109,8 @@ impl Wire for BilMsg {
             TAG_INIT => Ok(BilMsg::Init),
             TAG_PATH => {
                 let start = get_varint(buf)?;
-                let start = NodeId::try_from(start).map_err(|_| WireError::LengthOverflow(start))?;
+                let start =
+                    NodeId::try_from(start).map_err(|_| WireError::LengthOverflow(start))?;
                 let steps = get_varint(buf)?;
                 if steps > MAX_PATH_STEPS {
                     return Err(WireError::LengthOverflow(steps));

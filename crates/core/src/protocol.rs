@@ -199,7 +199,6 @@ impl BallsIntoLeaves {
     pub fn config(&self) -> &BilConfig {
         &self.cfg
     }
-
 }
 
 impl ViewProtocol for BallsIntoLeaves {
@@ -468,8 +467,7 @@ fn resolve_overfull_subtrees(view: &mut BilView) {
                     worst = Some(match worst {
                         None => cand,
                         Some(w) => {
-                            if (cand.0, std::cmp::Reverse(cand.1)) > (w.0, std::cmp::Reverse(w.1))
-                            {
+                            if (cand.0, std::cmp::Reverse(cand.1)) > (w.0, std::cmp::Reverse(w.1)) {
                                 cand
                             } else {
                                 w
@@ -622,14 +620,10 @@ mod tests {
                 modulus: 2,
                 residue: 1,
             }]);
-            let report = SyncEngine::new(
-                BallsIntoLeaves::base(),
-                labels(9),
-                adv,
-                SeedTree::new(seed),
-            )
-            .unwrap()
-            .run();
+            let report =
+                SyncEngine::new(BallsIntoLeaves::base(), labels(9), adv, SeedTree::new(seed))
+                    .unwrap()
+                    .run();
             assert!(report.completed(), "seed={seed}");
             assert_eq!(report.failures(), 1);
             let mut names = report.all_names();
@@ -806,14 +800,9 @@ mod tests {
                         .collect();
                 }
             });
-            SyncEngine::new(
-                BallsIntoLeaves::new(cfg),
-                ls,
-                NoFailures,
-                SeedTree::new(0),
-            )
-            .unwrap()
-            .run_observed(&mut obs);
+            SyncEngine::new(BallsIntoLeaves::new(cfg), ls, NoFailures, SeedTree::new(0))
+                .unwrap()
+                .run_observed(&mut obs);
         }
         // Ball 1 wins leaf 4 (=leaf rank 0); ball 2 stops at node 2;
         // balls 3 and 4 stop at the root.

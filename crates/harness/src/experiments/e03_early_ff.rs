@@ -28,7 +28,12 @@ pub fn run(opts: &EvalOpts) -> String {
             n.to_string(),
             format!("{:.1}", s.mean),
             format!("{:.0}", s.max),
-            if batch.spec_rate() == 1.0 { "yes" } else { "NO" }.to_string(),
+            if batch.spec_rate() == 1.0 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     let verdict = classify_growth(&ns, &ys)

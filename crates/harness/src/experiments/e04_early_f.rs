@@ -39,10 +39,8 @@ pub fn run(opts: &EvalOpts) -> String {
     for &f in &fs {
         let loglog = (f as f64).log2().log2().max(1.0);
         let burst = Batch::run(
-            Scenario::failure_free(Algorithm::BilEarly, n).against(AdversarySpec::Burst {
-                round: 0,
-                count: f,
-            }),
+            Scenario::failure_free(Algorithm::BilEarly, n)
+                .against(AdversarySpec::Burst { round: 0, count: f }),
             opts.seeds(12),
         )
         .expect("valid scenario");
@@ -63,11 +61,7 @@ pub fn run(opts: &EvalOpts) -> String {
             f2((f as f64).log2().log2()),
             format!("{:.1}/{:.0}", b.mean, b.p95),
             f2(b.mean / loglog),
-            format!(
-                "{:.1}/{:.0}",
-                sandwich.rounds().mean,
-                sandwich.rounds().p95
-            ),
+            format!("{:.1}/{:.0}", sandwich.rounds().mean, sandwich.rounds().p95),
             f2(sandwich.mean_failures()),
         ]);
     }

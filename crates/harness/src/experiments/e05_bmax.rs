@@ -23,8 +23,10 @@ pub fn bmax_trace(n: usize, seed: u64) -> Vec<u32> {
     let labels = scenario.labels(seed);
     let mut trace = Vec::new();
     let mut obs = FnObserver(|ctx: ObserverCtx<'_>, clusters: &[Cluster<BilView>]| {
-        // Clusters empty out once every member has decided; there is no
-        // view left to observe in that final round.
+        // Observation happens before decided members retire, so the
+        // final sync round is visible too: a completed run's trace ends
+        // at bmax = 1, every ball alone on its leaf. The emptiness guard
+        // is defensive (a round can still end with no survivors).
         if ctx.round.is_sync_round() && !clusters.is_empty() {
             let bmax = clusters
                 .iter()

@@ -33,10 +33,7 @@ pub fn path_traces(n: usize, seed: u64, sample: usize) -> (Vec<NodeId>, Vec<Vec<
         let first = padded / 2;
         let count = (padded / 2) as usize;
         let step = (count / sample.max(1)).max(1);
-        (0..count)
-            .step_by(step)
-            .map(|i| first + i as u32)
-            .collect()
+        (0..count).step_by(step).map(|i| first + i as u32).collect()
     };
     let traces: RefCell<Vec<Vec<u32>>> = RefCell::new(vec![Vec::new(); parents.len()]);
     {

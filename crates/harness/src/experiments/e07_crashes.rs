@@ -24,10 +24,8 @@ pub fn run(opts: &EvalOpts) -> String {
         "spec",
     ]);
 
-    let mut specs: Vec<(String, AdversarySpec)> = vec![(
-        "failure-free".into(),
-        AdversarySpec::None,
-    )];
+    let mut specs: Vec<(String, AdversarySpec)> =
+        vec![("failure-free".into(), AdversarySpec::None)];
     for budget in [n / 8, n / 4, n / 2, n - 1] {
         specs.push((
             format!("random(t={budget})"),
@@ -45,9 +43,15 @@ pub fn run(opts: &EvalOpts) -> String {
         },
     ));
     for (name, adv) in [
-        ("adaptive-splitter", AdversarySpec::AdaptiveSplitter { budget: n - 1 }),
+        (
+            "adaptive-splitter",
+            AdversarySpec::AdaptiveSplitter { budget: n - 1 },
+        ),
         ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
-        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        (
+            "sync-splitter",
+            AdversarySpec::SyncSplitter { budget: n - 1 },
+        ),
         ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
     ] {
         specs.push((format!("{name}(t={})", n - 1), adv));
@@ -83,7 +87,12 @@ pub fn run(opts: &EvalOpts) -> String {
             f2(s.mean),
             format!("{:.0}", s.p95),
             format!("{:.0}", s.max),
-            if batch.spec_rate() == 1.0 { "ok" } else { "VIOLATED" }.to_string(),
+            if batch.spec_rate() == 1.0 {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
     }
 

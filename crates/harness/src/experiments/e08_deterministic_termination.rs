@@ -30,7 +30,10 @@ pub fn run(opts: &EvalOpts) -> String {
     for &n in &ns {
         for (name, adv) in [
             ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
-            ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+            (
+                "sync-splitter",
+                AdversarySpec::SyncSplitter { budget: n - 1 },
+            ),
             ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
             (
                 "adaptive-splitter",
@@ -61,7 +64,11 @@ pub fn run(opts: &EvalOpts) -> String {
             "{}\nAll observed worst cases sit {} the deterministic bound; in \
              practice the randomized descent stays exponentially below it.\n",
             table.render(),
-            if all_within { "within" } else { "OUTSIDE (bug!)" }
+            if all_within {
+                "within"
+            } else {
+                "OUTSIDE (bug!)"
+            }
         ),
     )
 }

@@ -38,7 +38,10 @@ pub fn run(opts: &EvalOpts) -> String {
                 expected_per_round: 1.0,
             },
         ),
-        ("attrition t=n/4", AdversarySpec::Attrition { budget: n / 4 }),
+        (
+            "attrition t=n/4",
+            AdversarySpec::Attrition { budget: n / 4 },
+        ),
     ];
     let algorithms = [
         Algorithm::BilBase,

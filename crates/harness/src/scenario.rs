@@ -132,7 +132,9 @@ impl fmt::Display for AdversarySpec {
             AdversarySpec::Random { budget, .. } => write!(f, "random(t={budget})"),
             AdversarySpec::Burst { round, count } => write!(f, "burst(r{round}, f={count})"),
             AdversarySpec::Attrition { budget } => write!(f, "attrition(t={budget})"),
-            AdversarySpec::AdaptiveSplitter { budget } => write!(f, "adaptive-splitter(t={budget})"),
+            AdversarySpec::AdaptiveSplitter { budget } => {
+                write!(f, "adaptive-splitter(t={budget})")
+            }
             AdversarySpec::Sandwich { budget } => write!(f, "sandwich(t={budget})"),
             AdversarySpec::SyncSplitter { budget } => write!(f, "sync-splitter(t={budget})"),
             AdversarySpec::LeafDenier { budget } => write!(f, "leaf-denier(t={budget})"),
@@ -155,7 +157,10 @@ impl fmt::Display for ScenarioError {
         match self {
             ScenarioError::Config(e) => write!(f, "engine configuration: {e}"),
             ScenarioError::AdversaryRequiresBil => {
-                write!(f, "this adversary inspects BilMsg and needs a BiL algorithm")
+                write!(
+                    f,
+                    "this adversary inspects BilMsg and needs a BiL algorithm"
+                )
             }
         }
     }
@@ -226,9 +231,7 @@ impl Scenario {
         };
 
         match self.algorithm {
-            Algorithm::BilBase => {
-                self.run_bil(BallsIntoLeaves::base(), labels, seeds, options)
-            }
+            Algorithm::BilBase => self.run_bil(BallsIntoLeaves::base(), labels, seeds, options),
             Algorithm::BilEarly => {
                 self.run_bil(BallsIntoLeaves::early_terminating(), labels, seeds, options)
             }
@@ -247,12 +250,9 @@ impl Scenario {
                 options,
             ),
             Algorithm::DetRank => self.run_bil(det_rank(), labels, seeds, options),
-            Algorithm::FloodRank => self.run_generic(
-                FloodRank::wait_free(self.n),
-                labels,
-                seeds,
-                options,
-            ),
+            Algorithm::FloodRank => {
+                self.run_generic(FloodRank::wait_free(self.n), labels, seeds, options)
+            }
             Algorithm::RetryUniform => {
                 self.run_generic(RetryBins::uniform(), labels, seeds, options)
             }
@@ -329,9 +329,7 @@ impl Scenario {
             AdversarySpec::AdaptiveSplitter { .. }
             | AdversarySpec::Sandwich { .. }
             | AdversarySpec::SyncSplitter { .. }
-            | AdversarySpec::LeafDenier { .. } => {
-                return Err(ScenarioError::AdversaryRequiresBil)
-            }
+            | AdversarySpec::LeafDenier { .. } => return Err(ScenarioError::AdversaryRequiresBil),
         })
     }
 }
@@ -470,10 +468,8 @@ mod tests {
 
     #[test]
     fn batch_aggregation() {
-        let s = Scenario::failure_free(Algorithm::BilBase, 16).against(AdversarySpec::Burst {
-            round: 1,
-            count: 3,
-        });
+        let s = Scenario::failure_free(Algorithm::BilBase, 16)
+            .against(AdversarySpec::Burst { round: 1, count: 3 });
         let batch = Batch::run(s, 0..10).unwrap();
         assert_eq!(batch.reports.len(), 10);
         assert!(batch.rounds().mean >= 3.0);
@@ -493,7 +489,9 @@ mod tests {
             AdversarySpec::Sandwich { budget: 4 }.to_string(),
             "sandwich(t=4)"
         );
-        assert!(ScenarioError::AdversaryRequiresBil.to_string().contains("BiL"));
+        assert!(ScenarioError::AdversaryRequiresBil
+            .to_string()
+            .contains("BiL"));
     }
 
     #[test]

@@ -277,7 +277,10 @@ mod tests {
     #[test]
     fn classify_loglog_series() {
         let ns: Vec<usize> = (4..=20).map(|k| 1usize << k).collect();
-        let ys: Vec<f64> = ns.iter().map(|n| 4.0 * (*n as f64).log2().log2() + 3.0).collect();
+        let ys: Vec<f64> = ns
+            .iter()
+            .map(|n| 4.0 * (*n as f64).log2().log2() + 3.0)
+            .collect();
         let v = classify_growth(&ns, &ys).unwrap();
         assert_eq!(v.best, GrowthModel::LogLog, "{v:?}");
     }

@@ -219,7 +219,9 @@ impl<P: ViewProtocol> Explorer<P> {
             )],
             alive: vec![true; n],
             decided: vec![None; n],
-            rngs: (0..n as u32).map(|p| seeds.process_rng(ProcId(p))).collect(),
+            rngs: (0..n as u32)
+                .map(|p| seeds.process_rng(ProcId(p)))
+                .collect(),
             budget_left: self.cfg.crash_budget.min(n.saturating_sub(1)),
             path: Vec::new(),
         };
@@ -473,7 +475,11 @@ mod tests {
             },
         )
         .explore();
-        assert!(stats.violations.is_empty(), "{:?}", stats.violations.first());
+        assert!(
+            stats.violations.is_empty(),
+            "{:?}",
+            stats.violations.first()
+        );
         assert!(stats.terminal_states > 100, "{stats:?}");
     }
 
@@ -485,7 +491,11 @@ mod tests {
             ExploreConfig::default(),
         )
         .explore();
-        assert!(stats.violations.is_empty(), "{:?}", stats.violations.first());
+        assert!(
+            stats.violations.is_empty(),
+            "{:?}",
+            stats.violations.first()
+        );
     }
 
     #[test]
@@ -520,7 +530,11 @@ mod tests {
             },
         )
         .explore();
-        assert!(stats.violations.is_empty(), "{:?}", stats.violations.first());
+        assert!(
+            stats.violations.is_empty(),
+            "{:?}",
+            stats.violations.first()
+        );
     }
 
     /// Negative control: the checker *finds* the reclaim baseline's

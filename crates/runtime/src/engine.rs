@@ -179,7 +179,9 @@ where
     }
 
     /// Runs to completion (or the round limit), calling `observer` after
-    /// every round.
+    /// every round's views are updated — and before decided members
+    /// retire from their clusters, so a deciding process's final view is
+    /// observable.
     pub fn run_observed(self, observer: &mut dyn Observer<P>) -> RunReport {
         let n = self.labels.len();
         let round_limit = self.options.round_limit(n);
@@ -294,10 +296,7 @@ where
             let mut next: Vec<Cluster<P::View>> = Vec::new();
             for cluster in clusters {
                 let Cluster { members, view } = cluster;
-                let live: Vec<ProcId> = members
-                    .into_iter()
-                    .filter(|m| alive[m.index()])
-                    .collect();
+                let live: Vec<ProcId> = members.into_iter().filter(|m| alive[m.index()]).collect();
                 if live.is_empty() {
                     continue;
                 }
@@ -341,6 +340,19 @@ where
                 next = merge_clusters(next);
             }
 
+            // Observe the round's resulting views *before* the status
+            // sweep retires decided members, so the final state of a
+            // deciding process (e.g. its ball placed on a leaf) is
+            // visible to experiment observers.
+            observer.after_round(
+                ObserverCtx {
+                    round,
+                    labels: &self.labels,
+                    alive: &alive,
+                },
+                &next,
+            );
+
             // 6. Status sweep: decided members leave their cluster and go
             // silent from the next round.
             for cluster in &mut next {
@@ -359,15 +371,6 @@ where
             next.retain(|c| !c.members.is_empty());
             clusters = next;
             rounds_executed = round_idx + 1;
-
-            observer.after_round(
-                ObserverCtx {
-                    round,
-                    labels: &self.labels,
-                    alive: &alive,
-                },
-                &clusters,
-            );
         }
 
         // The loop may also exit by exhausting `round_limit` iterations
@@ -593,9 +596,13 @@ mod tests {
                 residue: 0,
             })
             .collect();
-        let engine =
-            SyncEngine::new(UnionRank::rounds(6), ls, Scripted::new(script), SeedTree::new(4))
-                .unwrap();
+        let engine = SyncEngine::new(
+            UnionRank::rounds(6),
+            ls,
+            Scripted::new(script),
+            SeedTree::new(4),
+        )
+        .unwrap();
         let report = engine.run();
         assert!(report.failures() <= 2);
         assert!(report.completed());

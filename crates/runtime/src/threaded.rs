@@ -29,8 +29,13 @@ use crate::view::{Status, ViewProtocol};
 use crate::wire::Wire;
 
 enum ToProc {
-    Compose { round: Round },
-    Deliver { round: Round, inbox: Vec<(Label, Bytes)> },
+    Compose {
+        round: Round,
+    },
+    Deliver {
+        round: Round,
+        inbox: Vec<(Label, Bytes)>,
+    },
     Exit,
 }
 
@@ -308,9 +313,14 @@ mod tests {
     #[test]
     fn threaded_matches_sim_failure_free() {
         let ls = labels(12);
-        let sim = SyncEngine::new(UnionRank::rounds(3), ls.clone(), NoFailures, SeedTree::new(9))
-            .unwrap()
-            .run();
+        let sim = SyncEngine::new(
+            UnionRank::rounds(3),
+            ls.clone(),
+            NoFailures,
+            SeedTree::new(9),
+        )
+        .unwrap()
+        .run();
         let threaded = run_threaded(
             UnionRank::rounds(3),
             ls,

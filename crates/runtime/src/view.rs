@@ -92,8 +92,10 @@ pub trait ViewProtocol {
 /// A set of processes currently sharing one identical local view.
 #[derive(Debug, Clone)]
 pub struct Cluster<V> {
-    /// Member slots, sorted ascending. Invariant: non-empty, all alive and
-    /// undecided.
+    /// Member slots, sorted ascending. Invariant: non-empty and all
+    /// alive. Between rounds all members are also undecided; an
+    /// [`Observer`] additionally sees members that decided in the
+    /// observed round, since observation happens before they retire.
     pub members: Vec<ProcId>,
     /// The shared view.
     pub view: V,
@@ -114,7 +116,9 @@ pub struct ObserverCtx<'a> {
 /// that need tree internals (per-node ball counts, path occupancy, …)
 /// without widening the public engine API.
 pub trait Observer<P: ViewProtocol> {
-    /// Called after every round's `apply` and status sweep.
+    /// Called after every round's `apply` (and cluster re-merge), but
+    /// *before* the status sweep retires members that decided this
+    /// round — so the final view of a deciding process is observable.
     fn after_round(&mut self, ctx: ObserverCtx<'_>, clusters: &[Cluster<P::View>]);
 }
 

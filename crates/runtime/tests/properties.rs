@@ -117,7 +117,7 @@ proptest! {
         .run();
         prop_assert!(report.messages_delivered <= report.messages_sent);
         // Upper bound: everyone broadcasting every round.
-        prop_assert!(report.messages_sent <= report.rounds * (n as u64) * (n as u64 - 1).max(0));
+        prop_assert!(report.messages_sent <= report.rounds * (n as u64) * (n as u64).saturating_sub(1));
         if n > 1 {
             prop_assert!(report.wire_bytes_sent >= report.messages_sent);
         }

@@ -111,7 +111,8 @@ impl LocalTree {
     pub fn with_balls_at_root<I: IntoIterator<Item = Label>>(topo: Topology, labels: I) -> Self {
         let mut tree = LocalTree::new(topo);
         for l in labels {
-            tree.insert(l, ROOT).expect("duplicate label at construction");
+            tree.insert(l, ROOT)
+                .expect("duplicate label at construction");
         }
         tree
     }
@@ -181,7 +182,10 @@ impl LocalTree {
             debug_assert!(self.balls_in[v as usize] > 0);
             self.balls_in[v as usize] -= 1;
         }
-        let slot = self.at.get_mut(&node).expect("at-list exists for occupied node");
+        let slot = self
+            .at
+            .get_mut(&node)
+            .expect("at-list exists for occupied node");
         let idx = slot.binary_search(&ball).expect("ball in its at-list");
         slot.remove(idx);
         if slot.is_empty() {
@@ -310,7 +314,9 @@ impl LocalTree {
     ///
     /// Returns [`TreeError::UnknownBall`] if absent.
     pub fn rank_at_node(&self, ball: Label) -> Result<usize, TreeError> {
-        let node = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let node = self
+            .current_node(ball)
+            .ok_or(TreeError::UnknownBall(ball))?;
         let slot = self.balls_at(node);
         slot.binary_search(&ball)
             .map_err(|_| TreeError::UnknownBall(ball))
@@ -688,7 +694,9 @@ mod tests {
         t.block_leaf(5).unwrap();
         let mut rng = bil_runtime::SeedTree::new(3).process_rng(bil_runtime::ProcId(0));
         for _ in 0..16 {
-            let p = t.random_path(Label(1), CoinRule::Weighted, &mut rng).unwrap();
+            let p = t
+                .random_path(Label(1), CoinRule::Weighted, &mut rng)
+                .unwrap();
             let leaf = p.leaf().unwrap();
             assert!(leaf == 6 || leaf == 7, "routed into blocked leaf {leaf}");
         }

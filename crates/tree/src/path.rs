@@ -104,7 +104,9 @@ impl LocalTree {
         rule: CoinRule,
         rng: &mut R,
     ) -> Result<CandidatePath, TreeError> {
-        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let start = self
+            .current_node(ball)
+            .ok_or(TreeError::UnknownBall(ball))?;
         let topo = *self.topology();
         let mut v = start;
         let mut nodes = Vec::with_capacity((topo.levels() + 1) as usize);
@@ -143,8 +145,14 @@ impl LocalTree {
     /// Returns [`TreeError::UnknownBall`] if `ball` is absent,
     /// [`TreeError::BadLeafCount`] if the rank is out of range, or
     /// [`TreeError::NotInSubtree`] if the leaf is not below the ball.
-    pub fn path_toward_rank(&self, ball: Label, leaf_rank: u32) -> Result<CandidatePath, TreeError> {
-        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+    pub fn path_toward_rank(
+        &self,
+        ball: Label,
+        leaf_rank: u32,
+    ) -> Result<CandidatePath, TreeError> {
+        let start = self
+            .current_node(ball)
+            .ok_or(TreeError::UnknownBall(ball))?;
         let leaf = self.topology().leaf_for_rank(leaf_rank)?;
         let nodes = self.topology().chain(start, leaf)?;
         Ok(CandidatePath { nodes })
@@ -166,7 +174,9 @@ impl LocalTree {
     ///
     /// Returns [`TreeError::UnknownBall`] if `ball` is not in the view.
     pub fn rank_slot_path(&self, ball: Label) -> Result<CandidatePath, TreeError> {
-        let start = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let start = self
+            .current_node(ball)
+            .ok_or(TreeError::UnknownBall(ball))?;
         let mut slot = self.rank_at_node(ball)? as u32;
         let topo = *self.topology();
         let mut v = start;
@@ -208,7 +218,9 @@ impl LocalTree {
     /// ball's current node, is not a contiguous parent→child chain, or
     /// does not end on a leaf. On error the tree is unchanged.
     pub fn place_along(&mut self, ball: Label, path: &CandidatePath) -> Result<NodeId, TreeError> {
-        let current = self.current_node(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let current = self
+            .current_node(ball)
+            .ok_or(TreeError::UnknownBall(ball))?;
         let nodes = path.nodes();
         if nodes.is_empty() {
             return Err(TreeError::BadPath("empty path"));
@@ -235,7 +247,8 @@ impl LocalTree {
         while idx + 1 < nodes.len() && self.remaining_capacity(nodes[idx + 1]) >= 1 {
             idx += 1;
         }
-        self.insert(ball, nodes[idx]).expect("ball was just removed");
+        self.insert(ball, nodes[idx])
+            .expect("ball was just removed");
         Ok(nodes[idx])
     }
 }
@@ -302,7 +315,10 @@ mod tests {
                     .random_path(Label(ball), CoinRule::Weighted, &mut r)
                     .unwrap();
                 let leaf = p.leaf().unwrap();
-                assert!(t.topology().capacity(leaf) == 1, "phantom leaf {leaf} chosen");
+                assert!(
+                    t.topology().capacity(leaf) == 1,
+                    "phantom leaf {leaf} chosen"
+                );
             }
         }
     }

@@ -37,7 +37,10 @@ fn main() {
             AdversarySpec::AdaptiveSplitter { budget: n - 1 },
         ),
         ("sandwich", AdversarySpec::Sandwich { budget: n - 1 }),
-        ("sync-splitter", AdversarySpec::SyncSplitter { budget: n - 1 }),
+        (
+            "sync-splitter",
+            AdversarySpec::SyncSplitter { budget: n - 1 },
+        ),
         ("leaf-denier", AdversarySpec::LeafDenier { budget: n - 1 }),
     ];
 

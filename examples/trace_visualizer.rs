@@ -35,9 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stage = if ctx.round.is_init() {
             "initialization (Figure 1: all balls at the root)".to_string()
         } else if ctx.round.is_path_round() {
-            format!("phase {}, round 1: paths proposed and resolved", ctx.round.phase().expect("not init"))
+            format!(
+                "phase {}, round 1: paths proposed and resolved",
+                ctx.round.phase().expect("not init")
+            )
         } else {
-            format!("phase {}, round 2: positions synchronized", ctx.round.phase().expect("not init"))
+            format!(
+                "phase {}, round 2: positions synchronized",
+                ctx.round.phase().expect("not init")
+            )
         };
         println!("after round {} — {stage}", ctx.round);
         match clusters.first() {

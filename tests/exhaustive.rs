@@ -14,7 +14,9 @@
 
 use balls_into_leaves::core::{check_tight_renaming, BallsIntoLeaves, BilConfig};
 use balls_into_leaves::prelude::*;
-use balls_into_leaves::runtime::adversary::{Adversary, AdversaryView, Crash, CrashPlan, Recipients};
+use balls_into_leaves::runtime::adversary::{
+    Adversary, AdversaryView, Crash, CrashPlan, Recipients,
+};
 use balls_into_leaves::runtime::ViewProtocol;
 
 /// One fully explicit crash directive.
@@ -140,14 +142,10 @@ where
                             ],
                             n,
                         };
-                        let report = SyncEngine::new(
-                            protocol.clone(),
-                            labels(n),
-                            adv,
-                            SeedTree::new(seed),
-                        )
-                        .expect("valid configuration")
-                        .run();
+                        let report =
+                            SyncEngine::new(protocol.clone(), labels(n), adv, SeedTree::new(seed))
+                                .expect("valid configuration")
+                                .run();
                         let verdict = check_tight_renaming(&report);
                         assert!(
                             verdict.holds(),

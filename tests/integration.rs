@@ -102,14 +102,10 @@ fn every_protocol_adversary_is_survivable_at_scale() {
                 Box::new(LeafDenier::new(budget)),
             ];
             for adv in advs {
-                let report = SyncEngine::new(
-                    BallsIntoLeaves::base(),
-                    labels(n),
-                    adv,
-                    SeedTree::new(seed),
-                )
-                .expect("valid configuration")
-                .run();
+                let report =
+                    SyncEngine::new(BallsIntoLeaves::base(), labels(n), adv, SeedTree::new(seed))
+                        .expect("valid configuration")
+                        .run();
                 let verdict = check_tight_renaming(&report);
                 assert!(verdict.holds(), "seed={seed} budget={budget}: {verdict}");
             }
@@ -147,10 +143,7 @@ fn scenario_dispatch_covers_every_algorithm_against_crashes() {
         Algorithm::EagerStrict,
     ] {
         let batch = Batch::run(
-            Scenario::failure_free(algo, 16).against(AdversarySpec::Burst {
-                round: 0,
-                count: 3,
-            }),
+            Scenario::failure_free(algo, 16).against(AdversarySpec::Burst { round: 0, count: 3 }),
             0..5,
         )
         .expect("valid scenario");

@@ -52,10 +52,8 @@ fn theorem4_rounds_track_loglog_f() {
     let mut means = Vec::new();
     for f in [4usize, 64] {
         let batch = Batch::run(
-            Scenario::failure_free(Algorithm::BilEarly, n).against(AdversarySpec::Burst {
-                round: 0,
-                count: f,
-            }),
+            Scenario::failure_free(Algorithm::BilEarly, n)
+                .against(AdversarySpec::Burst { round: 0, count: f }),
             0..10,
         )
         .expect("valid scenario");
@@ -113,8 +111,8 @@ fn flood_rank_is_linear() {
 #[test]
 fn crashes_do_not_slow_termination() {
     let n = 512usize;
-    let ff = Batch::run(Scenario::failure_free(Algorithm::BilBase, n), 0..10)
-        .expect("valid scenario");
+    let ff =
+        Batch::run(Scenario::failure_free(Algorithm::BilBase, n), 0..10).expect("valid scenario");
     let hostile = Batch::run(
         Scenario::failure_free(Algorithm::BilBase, n)
             .against(AdversarySpec::AdaptiveSplitter { budget: n - 1 }),
@@ -149,7 +147,7 @@ fn motivation_reclaim_baseline_breaks_uniqueness() {
         reclaim.uniqueness_rate() < 1.0,
         "expected duplicates from the reclaim baseline"
     );
-    let bil = Batch::run(Scenario::failure_free(Algorithm::BilBase, 32), 0..20)
-        .expect("valid scenario");
+    let bil =
+        Batch::run(Scenario::failure_free(Algorithm::BilBase, 32), 0..20).expect("valid scenario");
     assert_eq!(bil.uniqueness_rate(), 1.0);
 }

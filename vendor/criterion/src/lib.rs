@@ -1,0 +1,234 @@
+//! Workspace-local stand-in for the [`criterion`](https://docs.rs/criterion)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the subset the workspace's benches use: [`Criterion`],
+//! benchmark groups with [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It is a real (if statistically simple) harness: each benchmark is
+//! warmed up, then timed over `sample_size` samples, and the median /
+//! min / max per-iteration times are printed. There are no plots, no
+//! saved baselines, and no outlier analysis — enough to compare hot
+//! paths locally while keeping `cargo bench --no-run` and `cargo bench`
+//! working offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to each target of
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 30,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_benchmark(&id.to_string(), 30, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(name) => write!(f, "{}/{}", name, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    collecting: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to dominate
+    /// timer overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.collecting {
+            // Calibration pass: find an iteration count that takes ≳1ms.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples.push(elapsed / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+        collecting: false,
+    };
+    // Calibration + warmup.
+    f(&mut bencher);
+    bencher.collecting = true;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        eprintln!("{label:<40} (no samples — closure never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    eprintln!(
+        "{label:<40} median {:>12?}  [{:?} .. {:?}]  ({} samples × {} iters)",
+        median,
+        lo,
+        hi,
+        samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Re-export matching `criterion::black_box` (same as
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a real
+            // filter argument support is unnecessary for this shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Workspace-local stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides `crossbeam::channel` with the subset the workspace uses —
+//! [`channel::unbounded`] plus blocking [`channel::Sender::send`] /
+//! [`channel::Receiver::recv`] — implemented over [`std::sync::mpsc`].
+//! The threaded executor only needs MPSC semantics, so the std channel is
+//! a faithful substitute.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if the receiving side disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails once the channel is empty
+        /// and every sender disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a value if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                tx2.send(7).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(7));
+            h.join().unwrap();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}
