@@ -7,7 +7,7 @@
 //! growth-model classification of each series.
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::stats::classify_growth;
 use crate::table::Table;
 
@@ -72,7 +72,7 @@ pub fn run(opts: &EvalOpts) -> String {
             } else {
                 opts.seeds(12)
             };
-            let scenario = Scenario::failure_free(Algorithm::BilBase, n).against(adv);
+            let scenario = opts.scenario(Algorithm::BilBase, n).against(adv);
             let batch = Batch::run(scenario, seeds).expect("valid scenario");
             assert!(
                 (batch.completion_rate() - 1.0).abs() < f64::EPSILON,
@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table_and_verdicts() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E1"));
         assert!(out.contains("| n "));
         assert!(out.contains("failure-free"));

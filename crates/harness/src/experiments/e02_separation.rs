@@ -10,7 +10,7 @@
 //! under the *same* adversary to exhibit the separation.
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::stats::classify_growth;
 use crate::table::Table;
 
@@ -35,22 +35,19 @@ pub fn run(opts: &EvalOpts) -> String {
     for &n in &ns {
         let sandwich = AdversarySpec::Sandwich { budget: n / 2 };
         let bil_batch = Batch::run(
-            Scenario::failure_free(Algorithm::BilBase, n).against(sandwich),
+            opts.scenario(Algorithm::BilBase, n).against(sandwich),
             opts.seeds(8),
         )
         .expect("valid scenario");
         let det_batch = Batch::run(
-            Scenario::failure_free(Algorithm::DetRank, n).against(sandwich),
+            opts.scenario(Algorithm::DetRank, n).against(sandwich),
             opts.seeds(8),
         )
         .expect("valid scenario");
         // The eager retry baseline's compose is O(n) per ball, so cap it.
         let eager_cell = if n <= 1 << 10 {
-            let b = Batch::run(
-                Scenario::failure_free(Algorithm::EagerStrict, n),
-                opts.seeds(8),
-            )
-            .expect("valid scenario");
+            let b = Batch::run(opts.scenario(Algorithm::EagerStrict, n), opts.seeds(8))
+                .expect("valid scenario");
             eager.push((n, b.rounds().mean));
             format!("{:.1}/{:.0}", b.rounds().mean, b.rounds().p95)
         } else {
@@ -59,8 +56,8 @@ pub fn run(opts: &EvalOpts) -> String {
         // FloodRank's rounds are deterministically t + 1 = n; measure the
         // small sizes, report the identity beyond.
         let flood_cell = if n <= 1 << 8 {
-            let b = Batch::run(Scenario::failure_free(Algorithm::FloodRank, n), 0..2)
-                .expect("valid scenario");
+            let b =
+                Batch::run(opts.scenario(Algorithm::FloodRank, n), 0..2).expect("valid scenario");
             format!("{:.0}", b.rounds().mean)
         } else {
             format!("{n} (≡ t+1)")
@@ -125,7 +122,10 @@ mod tests {
 
     #[test]
     fn quick_run_contains_all_columns() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E2"));
         assert!(out.contains("DetRank"));
         assert!(out.contains("FloodRank"));

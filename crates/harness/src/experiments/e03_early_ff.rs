@@ -7,7 +7,7 @@
 //! two-round phase) regardless of `n`.
 
 use crate::experiments::{section, EvalOpts};
-use crate::scenario::{Algorithm, Batch, Scenario};
+use crate::scenario::{Algorithm, Batch};
 use crate::stats::{classify_growth, GrowthModel};
 use crate::table::Table;
 
@@ -17,11 +17,8 @@ pub fn run(opts: &EvalOpts) -> String {
     let mut table = Table::new(["n", "rounds (mean)", "rounds (max)", "spec holds"]);
     let mut ys = Vec::new();
     for &n in &ns {
-        let batch = Batch::run(
-            Scenario::failure_free(Algorithm::BilEarly, n),
-            opts.seeds(8),
-        )
-        .expect("valid scenario");
+        let batch = Batch::run(opts.scenario(Algorithm::BilEarly, n), opts.seeds(8))
+            .expect("valid scenario");
         let s = batch.rounds();
         ys.push(s.mean);
         table.row([
@@ -55,7 +52,10 @@ mod tests {
 
     #[test]
     fn quick_run_is_constant_three_rounds() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E3"));
         assert!(out.contains("O(1)"));
         assert!(!out.contains("NO"), "spec must hold everywhere:\n{out}");

@@ -10,7 +10,7 @@
 //! `f`, reported in the `actual f` column).
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::stats::classify_growth;
 use crate::table::Table;
 
@@ -39,13 +39,13 @@ pub fn run(opts: &EvalOpts) -> String {
     for &f in &fs {
         let loglog = (f as f64).log2().log2().max(1.0);
         let burst = Batch::run(
-            Scenario::failure_free(Algorithm::BilEarly, n)
+            opts.scenario(Algorithm::BilEarly, n)
                 .against(AdversarySpec::Burst { round: 0, count: f }),
             opts.seeds(12),
         )
         .expect("valid scenario");
         let sandwich = Batch::run(
-            Scenario::failure_free(Algorithm::BilEarly, n)
+            opts.scenario(Algorithm::BilEarly, n)
                 .against(AdversarySpec::Sandwich { budget: f }),
             opts.seeds(8),
         )
@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn quick_run_sweeps_f() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E4"));
         assert!(out.contains("sandwich"));
         assert!(out.contains("burst"));

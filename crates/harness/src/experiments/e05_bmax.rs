@@ -9,7 +9,7 @@
 
 use bil_core::{BallsIntoLeaves, BilView};
 use bil_runtime::adversary::NoFailures;
-use bil_runtime::engine::SyncEngine;
+use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
 use bil_runtime::SeedTree;
 
@@ -17,8 +17,9 @@ use crate::experiments::{f2, section, EvalOpts};
 use crate::scenario::{Algorithm, Scenario};
 use crate::table::Table;
 
-/// Per-phase `bmax` for one failure-free run.
-pub fn bmax_trace(n: usize, seed: u64) -> Vec<u32> {
+/// Per-phase `bmax` for one failure-free run on the given in-memory
+/// engine mode.
+pub fn bmax_trace(n: usize, seed: u64, mode: EngineMode) -> Vec<u32> {
     let scenario = Scenario::failure_free(Algorithm::BilBase, n);
     let labels = scenario.labels(seed);
     let mut trace = Vec::new();
@@ -37,11 +38,15 @@ pub fn bmax_trace(n: usize, seed: u64) -> Vec<u32> {
             trace.push(bmax);
         }
     });
-    SyncEngine::new(
+    SyncEngine::with_options(
         BallsIntoLeaves::base(),
         labels,
         NoFailures,
         SeedTree::new(seed),
+        EngineOptions {
+            max_rounds: None,
+            mode,
+        },
     )
     .expect("valid configuration")
     .run_observed(&mut obs);
@@ -50,17 +55,24 @@ pub fn bmax_trace(n: usize, seed: u64) -> Vec<u32> {
 
 /// Runs E5 and renders its markdown section.
 pub fn run(opts: &EvalOpts) -> String {
-    let ns: Vec<usize> = if opts.quick {
+    // Observer experiment: cap the grid by the executor that actually
+    // runs (the channel executor's fallback is clustered — unbounded).
+    let opts = opts.observed();
+    let ns: Vec<usize> = opts.cap_sizes(if opts.quick {
         vec![1 << 6, 1 << 8]
     } else {
         vec![1 << 10, 1 << 14]
-    };
+    });
     let seeds: Vec<u64> = opts.seeds(10).collect();
+    let mode = opts
+        .executor
+        .engine_mode()
+        .expect("observed executor is in-memory");
 
     // traces[i][seed] = per-phase bmax for ns[i].
     let mut all: Vec<Vec<Vec<u32>>> = Vec::new();
     for &n in &ns {
-        all.push(seeds.iter().map(|s| bmax_trace(n, *s)).collect());
+        all.push(seeds.iter().map(|s| bmax_trace(n, *s, mode)).collect());
     }
     let max_phases = all
         .iter()
@@ -108,7 +120,7 @@ mod tests {
 
     #[test]
     fn bmax_starts_high_and_collapses() {
-        let trace = bmax_trace(256, 1);
+        let trace = bmax_trace(256, 1, EngineMode::Clustered);
         assert!(!trace.is_empty());
         // After phase 1 the root pile has dispersed: bmax(1) well below n.
         assert!(trace[0] < 256, "{trace:?}");
@@ -121,7 +133,10 @@ mod tests {
 
     #[test]
     fn quick_run_renders() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E5"));
         assert!(out.contains("bmax"));
     }

@@ -10,7 +10,7 @@ use std::cell::RefCell;
 
 use bil_core::{BallsIntoLeaves, BilView};
 use bil_runtime::adversary::NoFailures;
-use bil_runtime::engine::SyncEngine;
+use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
 use bil_runtime::SeedTree;
 use bil_tree::NodeId;
@@ -21,9 +21,14 @@ use crate::stats::Summary;
 use crate::table::Table;
 
 /// Per-phase ball population of `sample` evenly spaced leaf-parent
-/// paths, for one failure-free run. Returns the sampled parents and
-/// `traces[p][phase]`.
-pub fn path_traces(n: usize, seed: u64, sample: usize) -> (Vec<NodeId>, Vec<Vec<u32>>) {
+/// paths, for one failure-free run on the given in-memory engine mode.
+/// Returns the sampled parents and `traces[p][phase]`.
+pub fn path_traces(
+    n: usize,
+    seed: u64,
+    sample: usize,
+    mode: EngineMode,
+) -> (Vec<NodeId>, Vec<Vec<u32>>) {
     let scenario = Scenario::failure_free(Algorithm::BilBase, n);
     let labels = scenario.labels(seed);
     let padded = n.next_power_of_two() as u32;
@@ -47,11 +52,15 @@ pub fn path_traces(n: usize, seed: u64, sample: usize) -> (Vec<NodeId>, Vec<Vec<
                 t[i].push(tree.balls_on_chain(*p).len() as u32);
             }
         });
-        SyncEngine::new(
+        SyncEngine::with_options(
             BallsIntoLeaves::base(),
             labels,
             NoFailures,
             SeedTree::new(seed),
+            EngineOptions {
+                max_rounds: None,
+                mode,
+            },
         )
         .expect("valid configuration")
         .run_observed(&mut obs);
@@ -63,11 +72,12 @@ pub fn path_traces(n: usize, seed: u64, sample: usize) -> (Vec<NodeId>, Vec<Vec<
 pub fn run(opts: &EvalOpts) -> String {
     let n: usize = if opts.quick { 1 << 6 } else { 1 << 10 };
     let seeds: Vec<u64> = opts.seeds(10).collect();
+    let mode = opts.observed_engine_mode();
 
     let mut escape_fractions: Vec<f64> = Vec::new();
     let mut example_trace: Vec<u32> = Vec::new();
     for &seed in &seeds {
-        let (_, traces) = path_traces(n, seed, 8);
+        let (_, traces) = path_traces(n, seed, 8, mode);
         if seed == seeds[0] {
             example_trace = traces.last().cloned().unwrap_or_default();
         }
@@ -112,7 +122,7 @@ mod tests {
 
     #[test]
     fn paths_drain_to_empty() {
-        let (parents, traces) = path_traces(128, 3, 4);
+        let (parents, traces) = path_traces(128, 3, 4, EngineMode::Clustered);
         assert!(!parents.is_empty());
         for trace in &traces {
             assert_eq!(*trace.last().unwrap(), 0, "{traces:?}");
@@ -121,7 +131,10 @@ mod tests {
 
     #[test]
     fn quick_run_reports_escape_fraction() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E6"));
         assert!(out.contains("escape fraction"));
     }

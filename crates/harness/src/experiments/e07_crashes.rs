@@ -8,7 +8,7 @@
 //! with the failure count (small noise aside).
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::table::Table;
 
 /// Runs E7 and renders its markdown section.
@@ -61,7 +61,7 @@ pub fn run(opts: &EvalOpts) -> String {
     let mut worst_mean: f64 = 0.0;
     for (name, adv) in specs {
         let batch = Batch::run(
-            Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+            opts.scenario(Algorithm::BilBase, n).against(adv),
             opts.seeds(15),
         )
         .expect("valid scenario");
@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn quick_run_sweeps_adversaries() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E7"));
         assert!(out.contains("sandwich"));
         assert!(!out.contains("VIOLATED"), "{out}");

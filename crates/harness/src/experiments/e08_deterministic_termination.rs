@@ -9,7 +9,7 @@
 //! observed worst case against that envelope.
 
 use crate::experiments::{section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::table::Table;
 
 /// Runs E8 and renders its markdown section.
@@ -41,7 +41,7 @@ pub fn run(opts: &EvalOpts) -> String {
             ),
         ] {
             let batch = Batch::run(
-                Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+                opts.scenario(Algorithm::BilBase, n).against(adv),
                 opts.seeds(10),
             )
             .expect("valid scenario");
@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn worst_cases_stay_within_bound() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E8"));
         assert!(!out.contains("NO"), "{out}");
         assert!(!out.contains("OUTSIDE"), "{out}");

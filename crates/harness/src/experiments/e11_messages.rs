@@ -8,7 +8,7 @@
 //! forms and reports bytes-per-message growth.
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::table::Table;
 
 /// Runs E11 and renders its markdown section.
@@ -24,10 +24,11 @@ pub fn run(opts: &EvalOpts) -> String {
     ]);
     for &n in &ns {
         let batch = Batch::run(
-            Scenario::failure_free(Algorithm::BilBase, n).against(AdversarySpec::Burst {
-                round: 1,
-                count: n / 8,
-            }),
+            opts.scenario(Algorithm::BilBase, n)
+                .against(AdversarySpec::Burst {
+                    round: 1,
+                    count: n / 8,
+                }),
             opts.seeds(10),
         )
         .expect("valid scenario");
@@ -65,7 +66,10 @@ mod tests {
 
     #[test]
     fn quick_run_accounts_messages() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E11"));
         assert!(out.contains("bytes / message"));
     }

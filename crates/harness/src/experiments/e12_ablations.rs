@@ -12,7 +12,7 @@
 //!    but it collapses the *mean* decision latency.
 
 use crate::experiments::{f2, section, EvalOpts};
-use crate::scenario::{AdversarySpec, Algorithm, Batch, Scenario};
+use crate::scenario::{AdversarySpec, Algorithm, Batch};
 use crate::table::Table;
 
 /// Runs E12 and renders its markdown section.
@@ -26,16 +26,10 @@ pub fn run(opts: &EvalOpts) -> String {
         "uniform / weighted",
     ]);
     for &n in &ns {
-        let weighted = Batch::run(
-            Scenario::failure_free(Algorithm::BilBase, n),
-            opts.seeds(15),
-        )
-        .expect("valid scenario");
-        let uniform = Batch::run(
-            Scenario::failure_free(Algorithm::BilUniformCoin, n),
-            opts.seeds(15),
-        )
-        .expect("valid scenario");
+        let weighted = Batch::run(opts.scenario(Algorithm::BilBase, n), opts.seeds(15))
+            .expect("valid scenario");
+        let uniform = Batch::run(opts.scenario(Algorithm::BilUniformCoin, n), opts.seeds(15))
+            .expect("valid scenario");
         let (w, u) = (weighted.rounds(), uniform.rounds());
         coin_table.row([
             n.to_string(),
@@ -71,12 +65,12 @@ pub fn run(opts: &EvalOpts) -> String {
         ),
     ] {
         let global = Batch::run(
-            Scenario::failure_free(Algorithm::BilBase, n).against(adv),
+            opts.scenario(Algorithm::BilBase, n).against(adv),
             opts.seeds(10),
         )
         .expect("valid scenario");
         let at_leaf = Batch::run(
-            Scenario::failure_free(Algorithm::BilDecideAtLeaf, n).against(adv),
+            opts.scenario(Algorithm::BilDecideAtLeaf, n).against(adv),
             opts.seeds(10),
         )
         .expect("valid scenario");
@@ -111,7 +105,10 @@ mod tests {
 
     #[test]
     fn quick_run_has_both_ablations() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E12"));
         assert!(out.contains("uniform coin"));
         assert!(out.contains("decide-at-leaf"));

@@ -68,6 +68,7 @@ pub fn run(opts: &EvalOpts) -> String {
                     n,
                     adversary: *adv,
                     max_rounds: Some(64 * n as u64),
+                    executor: opts.executor,
                 },
                 opts.seeds(30),
             )
@@ -103,7 +104,10 @@ mod tests {
 
     #[test]
     fn quick_run_scores_all_algorithms() {
-        let out = run(&EvalOpts { quick: true });
+        let out = run(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("E13"));
         assert!(out.contains("retry-eager-reclaim"));
         assert!(out.contains("balls-into-leaves"));

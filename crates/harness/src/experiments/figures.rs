@@ -12,7 +12,7 @@
 
 use bil_core::{BallsIntoLeaves, BilConfig, BilView, PathRule};
 use bil_runtime::adversary::NoFailures;
-use bil_runtime::engine::SyncEngine;
+use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
 use bil_runtime::{Label, Round, SeedTree};
 use bil_tree::{CoinRule, LocalTree, Topology};
@@ -20,8 +20,9 @@ use bil_tree::{CoinRule, LocalTree, Topology};
 use crate::experiments::{section, EvalOpts};
 use crate::render::{render_path_closeup, render_tree};
 
-/// Captures the shared tree at the end of `round` in a failure-free run.
-fn tree_at_round(cfg: BilConfig, n: usize, seed: u64, round: Round) -> LocalTree {
+/// Captures the (shared, failure-free) tree at the end of `round` in a
+/// failure-free run on the given in-memory engine mode.
+fn tree_at_round(cfg: BilConfig, n: usize, seed: u64, round: Round, mode: EngineMode) -> LocalTree {
     let labels: Vec<Label> = (1..=n as u64).map(Label).collect();
     let mut snapshot: Option<LocalTree> = None;
     {
@@ -30,11 +31,15 @@ fn tree_at_round(cfg: BilConfig, n: usize, seed: u64, round: Round) -> LocalTree
                 snapshot = Some(clusters[0].view.tree().clone());
             }
         });
-        SyncEngine::new(
+        SyncEngine::with_options(
             BallsIntoLeaves::new(cfg),
             labels,
             NoFailures,
             SeedTree::new(seed),
+            EngineOptions {
+                max_rounds: None,
+                mode,
+            },
         )
         .expect("valid configuration")
         .run_observed(&mut obs);
@@ -43,16 +48,18 @@ fn tree_at_round(cfg: BilConfig, n: usize, seed: u64, round: Round) -> LocalTree
 }
 
 /// Renders Figures 1 and 2.
-pub fn run_fig12(_opts: &EvalOpts) -> String {
+pub fn run_fig12(opts: &EvalOpts) -> String {
     let n = 8;
-    let initial = tree_at_round(BilConfig::new(), n, 7, Round(0));
+    let mode = opts.observed_engine_mode();
+    let initial = tree_at_round(BilConfig::new(), n, 7, Round(0), mode);
     let pileup = tree_at_round(
         BilConfig::new().with_path_rule(PathRule::Random(CoinRule::Leftmost)),
         n,
         7,
         Round(2),
+        mode,
     );
-    let spread = tree_at_round(BilConfig::new(), n, 7, Round(2));
+    let spread = tree_at_round(BilConfig::new(), n, 7, Round(2), mode);
     section(
         "Figures 1 & 2 — initial configuration and the tree after one phase",
         &format!(
@@ -119,7 +126,10 @@ mod tests {
 
     #[test]
     fn fig12_shows_pileup_and_spread() {
-        let out = run_fig12(&EvalOpts { quick: true });
+        let out = run_fig12(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("Figure 1"));
         assert!(out.contains("Figure 2a"));
         assert!(out.contains("{1,2,3,4,5,6,7,8}"), "{out}");
@@ -127,14 +137,17 @@ mod tests {
 
     #[test]
     fn fig4_balances_gateways_and_path() {
-        let out = run_fig4(&EvalOpts { quick: true });
+        let out = run_fig4(&EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        });
         assert!(out.contains("balls on the path: 5"), "{out}");
         assert!(out.contains("leaf meta-child"));
     }
 
     #[test]
     fn tree_at_round_zero_has_all_at_root() {
-        let t = tree_at_round(BilConfig::new(), 8, 1, Round(0));
+        let t = tree_at_round(BilConfig::new(), 8, 1, Round(0), EngineMode::Clustered);
         assert_eq!(t.load_at(1), 8);
     }
 }

@@ -19,6 +19,8 @@ pub mod e12_ablations;
 pub mod e13_baseline_failures;
 pub mod figures;
 
+use crate::scenario::{Algorithm, Executor, Scenario};
+
 /// Global evaluation options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvalOpts {
@@ -26,9 +28,73 @@ pub struct EvalOpts {
     /// builds. Full mode (the default) reproduces the committed
     /// `EXPERIMENTS.md`.
     pub quick: bool,
+    /// Which executor carries every scenario's rounds. The executors are
+    /// bit-identical, so tables come out the same on all of them; this
+    /// picks the cost profile (clustered for sweeps, threaded to
+    /// demonstrate real message passing, …).
+    pub executor: Executor,
 }
 
 impl EvalOpts {
+    /// A failure-free scenario on this evaluation's executor; experiment
+    /// modules start from this so `--executor` reaches every run.
+    pub fn scenario(&self, algorithm: Algorithm, n: usize) -> Scenario {
+        Scenario::failure_free(algorithm, n).on_executor(self.executor)
+    }
+
+    /// These options with the executor replaced by the in-memory one
+    /// that observer-based experiments (E5, E6, the figures) will
+    /// actually run: they read live cluster state, and the channel
+    /// executor has no observers, so it falls back to the clustered
+    /// engine with a printed note instead of silently pretending. Size
+    /// grids capped through the returned options therefore reflect the
+    /// executor that really runs.
+    pub(crate) fn observed(&self) -> EvalOpts {
+        match self.executor.engine_mode() {
+            Some(_) => *self,
+            None => {
+                eprintln!(
+                    "note: the {} executor has no observer hooks; \
+                     observer-based experiments run on the clustered engine",
+                    self.executor
+                );
+                EvalOpts {
+                    executor: Executor::Clustered,
+                    ..*self
+                }
+            }
+        }
+    }
+
+    /// The engine mode for observer-based experiments: the chosen
+    /// executor's, or the clustered fallback when the channel executor
+    /// (which has no observer hooks) was requested.
+    pub fn observed_engine_mode(&self) -> bil_runtime::engine::EngineMode {
+        self.observed()
+            .executor
+            .engine_mode()
+            .expect("observed executor is in-memory")
+    }
+
+    /// Caps a size grid to what this evaluation's executor can feasibly
+    /// carry, printing what was dropped (no silent truncation).
+    fn cap_sizes(&self, ns: Vec<usize>) -> Vec<usize> {
+        match self.executor.max_n() {
+            None => ns,
+            Some(max_n) => {
+                let (keep, drop): (Vec<usize>, Vec<usize>) =
+                    ns.into_iter().partition(|n| *n <= max_n);
+                if !drop.is_empty() {
+                    eprintln!(
+                        "note: dropping sizes {drop:?} — beyond the {} executor's cap of {max_n}",
+                        self.executor
+                    );
+                }
+                keep
+            }
+        }
+    }
+
     /// Seed range: `full` seeds normally, a handful in quick mode.
     pub fn seeds(&self, full: u64) -> std::ops::Range<u64> {
         if self.quick {
@@ -39,13 +105,16 @@ impl EvalOpts {
     }
 
     /// Powers of two `2^lo ..= 2^hi` stepping the exponent by `step`,
-    /// with `hi` clamped down in quick mode.
+    /// with `hi` clamped down in quick mode and the grid capped to the
+    /// chosen executor's feasible sizes (dropped points are printed).
     pub fn pow2s(&self, lo: u32, hi: u32, step: u32) -> Vec<usize> {
         let hi = if self.quick { hi.min(8) } else { hi };
-        (lo..=hi)
-            .step_by(step as usize)
-            .map(|e| 1usize << e)
-            .collect()
+        self.cap_sizes(
+            (lo..=hi)
+                .step_by(step as usize)
+                .map(|e| 1usize << e)
+                .collect(),
+        )
     }
 }
 
@@ -90,12 +159,33 @@ mod tests {
 
     #[test]
     fn quick_opts_shrink_work() {
-        let q = EvalOpts { quick: true };
+        let q = EvalOpts {
+            quick: true,
+            ..EvalOpts::default()
+        };
         assert_eq!(q.seeds(100), 0..3);
         assert!(q.pow2s(4, 16, 2).iter().all(|n| *n <= 256));
         let f = EvalOpts::default();
         assert_eq!(f.seeds(10), 0..10);
         assert_eq!(f.pow2s(4, 8, 2), vec![16, 64, 256]);
+    }
+
+    #[test]
+    fn size_grids_respect_executor_caps() {
+        let threaded = EvalOpts {
+            quick: false,
+            executor: Executor::Threaded,
+        };
+        // Full e1-style grid: everything past the thread-per-process cap
+        // is dropped, not crashed into.
+        assert_eq!(threaded.pow2s(4, 16, 2), vec![16, 64, 256, 1024, 4096]);
+        let per_process = EvalOpts {
+            quick: false,
+            executor: Executor::PerProcess,
+        };
+        assert!(per_process.pow2s(4, 16, 2).iter().all(|n| *n <= 1 << 14));
+        // Unbounded executors keep the full grid.
+        assert_eq!(EvalOpts::default().pow2s(4, 16, 2).last(), Some(&65536));
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod stats;
 mod table;
 
 pub use render::{render_path_closeup, render_tree};
-pub use scenario::{AdversarySpec, Algorithm, Batch, Scenario, ScenarioError};
+pub use scenario::{AdversarySpec, Algorithm, Batch, Executor, Scenario, ScenarioError};
 pub use table::Table;

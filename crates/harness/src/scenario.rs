@@ -12,8 +12,9 @@ use bil_baselines::{det_rank, FloodRank, RetryBins};
 use bil_core::adversary::{AdaptiveSplitter, LeafDenier, Sandwich, SyncSplitter};
 use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilMsg, PathRule};
 use bil_runtime::adversary::{Adversary, CrashBurst, NoFailures, RandomCrash, SteadyAttrition};
-use bil_runtime::engine::{ConfigError, EngineOptions, SyncEngine};
+use bil_runtime::engine::{ConfigError, EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::rng::split_mix64;
+use bil_runtime::threaded::run_threaded;
 use bil_runtime::{Label, Round, RunReport, SeedTree, ViewProtocol};
 use bil_tree::CoinRule;
 use rand::seq::SliceRandom;
@@ -75,6 +76,83 @@ impl Algorithm {
                 | Algorithm::BilDecideAtLeaf
                 | Algorithm::DetRank
         )
+    }
+}
+
+/// Which executor carries a scenario's rounds. All four produce
+/// bit-identical [`RunReport`]s (enforced by workspace tests), so the
+/// choice only affects wall-clock time and what is being demonstrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Cluster-sharing in-memory engine (fast, default).
+    #[default]
+    Clustered,
+    /// One view per process (reference semantics).
+    PerProcess,
+    /// One OS thread per process over wire-encoded channels.
+    Threaded,
+    /// Clustered views with rounds sharded across OS threads.
+    Parallel,
+}
+
+impl Executor {
+    /// Every executor, in the order used by comparison sweeps.
+    pub const ALL: [Executor; 4] = [
+        Executor::Clustered,
+        Executor::PerProcess,
+        Executor::Threaded,
+        Executor::Parallel,
+    ];
+
+    /// Parses a CLI name (`clustered`, `per-process`, `threaded`,
+    /// `parallel`).
+    pub fn parse(name: &str) -> Option<Executor> {
+        match name {
+            "clustered" => Some(Executor::Clustered),
+            "per-process" => Some(Executor::PerProcess),
+            "threaded" => Some(Executor::Threaded),
+            "parallel" => Some(Executor::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The [`EngineMode`] backing this executor, or `None` for the
+    /// channel executor (which is not an engine mode and has no
+    /// observer support).
+    pub fn engine_mode(&self) -> Option<EngineMode> {
+        match self {
+            Executor::Clustered => Some(EngineMode::Clustered),
+            Executor::PerProcess => Some(EngineMode::PerProcess),
+            Executor::Parallel => Some(EngineMode::Parallel),
+            Executor::Threaded => None,
+        }
+    }
+
+    /// The largest `n` this executor can feasibly carry, if bounded.
+    ///
+    /// Per-process holds `n` distinct `O(n)` views (≈ GBs at `2^14`,
+    /// tens of GB beyond); threaded spawns one OS thread per process
+    /// (thread creation fails well below `2^16`). Scenario dispatch
+    /// refuses larger systems loudly instead of crashing or OOMing
+    /// mid-sweep; the clustered and parallel executors are unbounded.
+    pub fn max_n(&self) -> Option<usize> {
+        match self {
+            Executor::Clustered | Executor::Parallel => None,
+            Executor::PerProcess => Some(1 << 14),
+            Executor::Threaded => Some(1 << 12),
+        }
+    }
+}
+
+impl fmt::Display for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Executor::Clustered => "clustered",
+            Executor::PerProcess => "per-process",
+            Executor::Threaded => "threaded",
+            Executor::Parallel => "parallel",
+        };
+        f.write_str(s)
     }
 }
 
@@ -150,6 +228,16 @@ pub enum ScenarioError {
     /// A Balls-into-Leaves-specific adversary was paired with a
     /// non-Balls-into-Leaves algorithm.
     AdversaryRequiresBil,
+    /// The requested system size exceeds what the chosen executor can
+    /// feasibly carry (see [`Executor::max_n`]).
+    ExecutorInfeasible {
+        /// The chosen executor.
+        executor: Executor,
+        /// The requested system size.
+        n: usize,
+        /// The executor's cap.
+        max_n: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -160,6 +248,14 @@ impl fmt::Display for ScenarioError {
                 write!(
                     f,
                     "this adversary inspects BilMsg and needs a BiL algorithm"
+                )
+            }
+            ScenarioError::ExecutorInfeasible { executor, n, max_n } => {
+                write!(
+                    f,
+                    "the {executor} executor cannot feasibly carry n = {n} \
+                     (cap {max_n}); use the clustered or parallel executor \
+                     for systems this large"
                 )
             }
         }
@@ -185,6 +281,8 @@ pub struct Scenario {
     pub adversary: AdversarySpec,
     /// Optional round cap (defaults to the engine's `8n + 64`).
     pub max_rounds: Option<u64>,
+    /// Which executor carries the rounds.
+    pub executor: Executor,
 }
 
 impl Scenario {
@@ -195,12 +293,26 @@ impl Scenario {
             n,
             adversary: AdversarySpec::None,
             max_rounds: None,
+            executor: Executor::default(),
         }
     }
 
     /// This scenario against a different adversary.
     pub fn against(mut self, adversary: AdversarySpec) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// This scenario on a different executor.
+    pub fn on_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// This scenario with an explicit round cap (benchmarks measuring
+    /// per-round cost pin this to a small constant).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
         self
     }
 
@@ -276,7 +388,7 @@ impl Scenario {
         options: EngineOptions,
     ) -> Result<RunReport, ScenarioError> {
         let adversary = self.bil_adversary(seeds);
-        Ok(SyncEngine::with_options(protocol, labels, adversary, seeds, options)?.run())
+        self.dispatch(protocol, labels, adversary, seeds, options)
     }
 
     fn run_generic<P>(
@@ -287,10 +399,45 @@ impl Scenario {
         options: EngineOptions,
     ) -> Result<RunReport, ScenarioError>
     where
-        P: ViewProtocol,
+        P: ViewProtocol + Clone + Send + 'static,
     {
         let adversary = self.generic_adversary::<P::Msg>(seeds)?;
-        Ok(SyncEngine::with_options(protocol, labels, adversary, seeds, options)?.run())
+        self.dispatch(protocol, labels, adversary, seeds, options)
+    }
+
+    /// Runs `(protocol, labels, adversary, seed)` on the scenario's
+    /// executor; every choice yields a bit-identical report.
+    fn dispatch<P>(
+        &self,
+        protocol: P,
+        labels: Vec<Label>,
+        adversary: Box<dyn Adversary<P::Msg> + Send>,
+        seeds: SeedTree,
+        options: EngineOptions,
+    ) -> Result<RunReport, ScenarioError>
+    where
+        P: ViewProtocol + Clone + Send + 'static,
+    {
+        if let Some(max_n) = self.executor.max_n() {
+            if self.n > max_n {
+                return Err(ScenarioError::ExecutorInfeasible {
+                    executor: self.executor,
+                    n: self.n,
+                    max_n,
+                });
+            }
+        }
+        Ok(match self.executor.engine_mode() {
+            Some(mode) => SyncEngine::with_options(
+                protocol,
+                labels,
+                adversary,
+                seeds,
+                EngineOptions { mode, ..options },
+            )?
+            .run(),
+            None => run_threaded(protocol, labels, adversary, seeds, options)?,
+        })
     }
 
     fn bil_adversary(&self, seeds: SeedTree) -> Box<dyn Adversary<BilMsg> + Send> {
@@ -492,6 +639,56 @@ mod tests {
         assert!(ScenarioError::AdversaryRequiresBil
             .to_string()
             .contains("BiL"));
+    }
+
+    #[test]
+    fn executor_names_round_trip() {
+        for e in Executor::ALL {
+            assert_eq!(Executor::parse(&e.to_string()), Some(e));
+        }
+        assert_eq!(Executor::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn infeasible_executor_sizes_rejected_loudly() {
+        let too_big = (1 << 12) + 1;
+        let err = Scenario::failure_free(Algorithm::BilBase, too_big)
+            .on_executor(Executor::Threaded)
+            .run(0)
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ExecutorInfeasible { n, .. } if n == too_big),
+            "{err}"
+        );
+        assert!(err.to_string().contains("threaded"));
+        // The unbounded executors accept the same size (not run here —
+        // that is what the sweeps are for).
+        assert_eq!(Executor::Clustered.max_n(), None);
+        assert_eq!(Executor::Parallel.max_n(), None);
+    }
+
+    #[test]
+    fn all_executors_agree_on_reports() {
+        let base = Scenario::failure_free(Algorithm::BilBase, 12)
+            .against(AdversarySpec::Burst { round: 1, count: 3 });
+        let reference = base.run(5).unwrap();
+        for executor in Executor::ALL {
+            let report = base.clone().on_executor(executor).run(5).unwrap();
+            assert_eq!(reference, report, "{executor}");
+        }
+    }
+
+    #[test]
+    fn baseline_algorithms_run_on_every_executor() {
+        for algo in [Algorithm::FloodRank, Algorithm::RetryUniform] {
+            for executor in Executor::ALL {
+                let report = Scenario::failure_free(algo, 6)
+                    .on_executor(executor)
+                    .run(2)
+                    .unwrap();
+                assert!(report.completed(), "{algo} on {executor}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! all of this round's messages, and every surviving process then folds its
 //! inbox into its local view.
 //!
-//! The engine runs in one of two observationally-equivalent modes
-//! ([`EngineMode`]):
+//! The round structure itself lives in [`crate::pipeline::RoundPipeline`];
+//! this engine is a thin driver that picks a transport for one of three
+//! observationally-equivalent modes ([`EngineMode`]):
 //!
 //! * [`EngineMode::PerProcess`] — the reference semantics: one view per
 //!   process, `O(n² log n)` work per phase for Balls-into-Leaves.
@@ -15,41 +16,24 @@
 //!   one view; views split on partial deliveries and re-merge when they
 //!   become equal again (which the paper's position-resynchronization round
 //!   makes the common case). Failure-free this is a single shared view.
+//! * [`EngineMode::Parallel`] — clustered semantics with each round's
+//!   compose and apply work sharded across OS threads
+//!   ([`crate::parallel::ParallelTransport`]), merged deterministically.
 //!
-//! Equivalence of the two modes is asserted by unit and property tests.
+//! Equivalence of the modes is asserted by unit, property, and workspace
+//! tests.
 
-use std::collections::BTreeMap;
-use std::error::Error;
 use std::fmt;
 
-use rand::rngs::SmallRng;
-
-use crate::adversary::{Adversary, AdversaryView, Recipients};
-use crate::ids::{Label, ProcId, Round};
+use crate::adversary::Adversary;
+use crate::ids::Label;
+use crate::parallel::ParallelTransport;
+use crate::pipeline::{validate_labels, LocalTransport, RoundPipeline};
 use crate::rng::SeedTree;
-use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
-use crate::view::{Cluster, NoObserver, Observer, ObserverCtx, Status, ViewProtocol};
-use crate::wire::Wire;
+use crate::trace::RunReport;
+use crate::view::{NoObserver, Observer, ViewProtocol};
 
-/// Invalid engine construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ConfigError {
-    /// `n == 0`.
-    EmptySystem,
-    /// Two processes were given the same label.
-    DuplicateLabel(Label),
-}
-
-impl fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConfigError::EmptySystem => write!(f, "system must have at least one process"),
-            ConfigError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
-        }
-    }
-}
-
-impl Error for ConfigError {}
+pub use crate::pipeline::ConfigError;
 
 /// Execution mode; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +43,8 @@ pub enum EngineMode {
     Clustered,
     /// One view per process (reference semantics).
     PerProcess,
+    /// Clustered semantics with per-round work sharded across OS threads.
+    Parallel,
 }
 
 /// Engine tuning knobs.
@@ -82,7 +68,7 @@ impl Default for EngineOptions {
 }
 
 impl EngineOptions {
-    fn round_limit(&self, n: usize) -> u64 {
+    pub(crate) fn round_limit(&self, n: usize) -> u64 {
         self.max_rounds.unwrap_or(8 * n as u64 + 64)
     }
 }
@@ -154,16 +140,7 @@ where
         seeds: SeedTree,
         options: EngineOptions,
     ) -> Result<Self, ConfigError> {
-        if labels.is_empty() {
-            return Err(ConfigError::EmptySystem);
-        }
-        let mut sorted = labels.clone();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            if w[0] == w[1] {
-                return Err(ConfigError::DuplicateLabel(w[0]));
-            }
-        }
+        validate_labels(&labels)?;
         Ok(SyncEngine {
             protocol,
             adversary,
@@ -183,241 +160,37 @@ where
     /// retire from their clusters, so a deciding process's final view is
     /// observable.
     pub fn run_observed(self, observer: &mut dyn Observer<P>) -> RunReport {
-        let n = self.labels.len();
-        let round_limit = self.options.round_limit(n);
-        let protocol = self.protocol;
-        let mut adversary = self.adversary;
-
-        let mut rngs: Vec<SmallRng> = (0..n)
-            .map(|p| self.seeds.process_rng(ProcId(p as u32)))
-            .collect();
-        let mut alive = vec![true; n];
-        let mut decided: Vec<Option<Decision>> = vec![None; n];
-        let mut decided_flags = vec![false; n];
-        let mut crash_events: Vec<CrashEvent> = Vec::new();
-        let budget = Adversary::<P::Msg>::budget(&adversary).min(n.saturating_sub(1));
-        let mut budget_used = 0usize;
-        let mut messages_sent = 0u64;
-        let mut messages_delivered = 0u64;
-        let mut wire_bytes_sent = 0u64;
-
-        let mut clusters: Vec<Cluster<P::View>> = match self.options.mode {
-            EngineMode::Clustered => vec![Cluster {
-                members: (0..n as u32).map(ProcId).collect(),
-                view: protocol.init_view(n),
-            }],
-            EngineMode::PerProcess => (0..n as u32)
-                .map(|p| Cluster {
-                    members: vec![ProcId(p)],
-                    view: protocol.init_view(n),
-                })
-                .collect(),
-        };
-
-        let mut rounds_executed = 0u64;
-        let mut outcome = Outcome::RoundLimit;
-
-        for round_idx in 0..round_limit {
-            let round = Round(round_idx);
-
-            // Everyone alive has decided: done. (Checked at loop top so a
-            // fully-decided system does not execute an empty round.)
-            if (0..n).all(|p| !alive[p] || decided[p].is_some()) {
-                outcome = Outcome::Completed;
-                break;
+        let round_limit = self.options.round_limit(self.labels.len());
+        let pipeline =
+            RoundPipeline::new(self.labels.clone(), self.adversary, self.seeds, round_limit)
+                .expect("labels validated at engine construction");
+        match self.options.mode {
+            EngineMode::Clustered => {
+                let mut transport =
+                    LocalTransport::clustered(self.protocol, &self.labels, &self.seeds);
+                pipeline.run(&mut transport, observer)
             }
-
-            // 1. Compose: every alive, undecided process broadcasts.
-            let mut outgoing: Vec<(ProcId, Label, P::Msg)> = Vec::new();
-            for cluster in &clusters {
-                for &pid in &cluster.members {
-                    let label = self.labels[pid.index()];
-                    let msg = protocol.compose(&cluster.view, label, round, &mut rngs[pid.index()]);
-                    outgoing.push((pid, label, msg));
-                }
+            EngineMode::PerProcess => {
+                let mut transport =
+                    LocalTransport::per_process(self.protocol, &self.labels, &self.seeds);
+                pipeline.run(&mut transport, observer)
             }
-            outgoing.sort_by_key(|(p, _, _)| *p);
-
-            // 2. Adversary plans crashes with the full-information view.
-            let plan = {
-                let view = AdversaryView {
-                    round,
-                    outgoing: &outgoing,
-                    alive: &alive,
-                    decided: &decided_flags,
-                    budget_left: budget - budget_used,
-                    n,
-                };
-                adversary.plan(&view)
-            };
-            let mut round_crashes: Vec<(ProcId, Recipients)> = Vec::new();
-            for c in plan.crashes {
-                let p = c.victim;
-                let dup = round_crashes.iter().any(|(v, _)| *v == p);
-                if alive[p.index()] && !decided_flags[p.index()] && !dup && budget_used < budget {
-                    round_crashes.push((p, c.deliver_to));
-                    budget_used += 1;
-                }
+            EngineMode::Parallel => {
+                let mut transport =
+                    ParallelTransport::new(self.protocol, &self.labels, &self.seeds);
+                pipeline.run(&mut transport, observer)
             }
-            for (victim, _) in &round_crashes {
-                alive[victim.index()] = false;
-                crash_events.push(CrashEvent {
-                    pid: *victim,
-                    label: self.labels[victim.index()],
-                    round,
-                });
-            }
-
-            // 3. Accounting: every broadcast is n−1 point-to-point sends.
-            for (_, _, msg) in &outgoing {
-                messages_sent += (n - 1) as u64;
-                wire_bytes_sent += (msg.encoded_len() as u64) * (n - 1) as u64;
-            }
-
-            // 4. Deliver and apply. Split outgoing into reliably-delivered
-            // (sender survived the round) and partially-delivered (sender
-            // crashed mid-broadcast).
-            let mut base: Vec<(Label, P::Msg)> = Vec::new();
-            let mut partial: Vec<(Label, P::Msg, Recipients)> = Vec::new();
-            for (pid, label, msg) in outgoing {
-                if alive[pid.index()] {
-                    base.push((label, msg));
-                } else {
-                    let rec = round_crashes
-                        .iter()
-                        .find(|(v, _)| *v == pid)
-                        .map(|(_, r)| r.clone())
-                        .unwrap_or(Recipients::None);
-                    partial.push((label, msg, rec));
-                }
-            }
-            base.sort_by_key(|(l, _)| *l);
-
-            let mut next: Vec<Cluster<P::View>> = Vec::new();
-            for cluster in clusters {
-                let Cluster { members, view } = cluster;
-                let live: Vec<ProcId> = members.into_iter().filter(|m| alive[m.index()]).collect();
-                if live.is_empty() {
-                    continue;
-                }
-                // Partition members by which dying broadcasts they hear.
-                let mut groups: BTreeMap<Vec<bool>, Vec<ProcId>> = BTreeMap::new();
-                for m in live {
-                    let sig: Vec<bool> = partial.iter().map(|(_, _, r)| r.contains(m)).collect();
-                    groups.entry(sig).or_default().push(m);
-                }
-                let single = groups.len() == 1;
-                let mut view_src = Some(view);
-                for (sig, group_members) in groups {
-                    // The sole (or last-constructed) group can take the
-                    // view by move instead of clone.
-                    let mut v = if single {
-                        view_src.take().expect("single group consumes view once")
-                    } else {
-                        view_src.as_ref().expect("view available").clone()
-                    };
-                    let mut inbox = base.clone();
-                    for (i, (label, msg, _)) in partial.iter().enumerate() {
-                        if sig[i] {
-                            inbox.push((*label, msg.clone()));
-                        }
-                    }
-                    inbox.sort_by_key(|(l, _)| *l);
-                    // Wire deliveries: each member's inbox minus its own
-                    // loopback message.
-                    messages_delivered +=
-                        (inbox.len().saturating_sub(1) * group_members.len()) as u64;
-                    protocol.apply(&mut v, round, &inbox);
-                    next.push(Cluster {
-                        members: group_members,
-                        view: v,
-                    });
-                }
-            }
-
-            // 5. Re-merge identical views (Clustered mode only).
-            if self.options.mode == EngineMode::Clustered {
-                next = merge_clusters(next);
-            }
-
-            // Observe the round's resulting views *before* the status
-            // sweep retires decided members, so the final state of a
-            // deciding process (e.g. its ball placed on a leaf) is
-            // visible to experiment observers.
-            observer.after_round(
-                ObserverCtx {
-                    round,
-                    labels: &self.labels,
-                    alive: &alive,
-                },
-                &next,
-            );
-
-            // 6. Status sweep: decided members leave their cluster and go
-            // silent from the next round.
-            for cluster in &mut next {
-                cluster.members.retain(|&pid| {
-                    let label = self.labels[pid.index()];
-                    match protocol.status(&cluster.view, label, round) {
-                        Status::Running => true,
-                        Status::Decided(name) => {
-                            decided[pid.index()] = Some(Decision { name, round });
-                            decided_flags[pid.index()] = true;
-                            false
-                        }
-                    }
-                });
-            }
-            next.retain(|c| !c.members.is_empty());
-            clusters = next;
-            rounds_executed = round_idx + 1;
-        }
-
-        // The loop may also exit by exhausting `round_limit` iterations
-        // with everyone already decided; classify correctly.
-        if outcome == Outcome::RoundLimit && (0..n).all(|p| !alive[p] || decided[p].is_some()) {
-            outcome = Outcome::Completed;
-        }
-
-        RunReport {
-            n,
-            seed: self.seeds.master(),
-            rounds: rounds_executed,
-            decisions: decided,
-            labels: self.labels,
-            crashes: crash_events,
-            messages_sent,
-            messages_delivered,
-            wire_bytes_sent,
-            outcome,
         }
     }
-}
-
-/// Coalesces clusters whose views are equal. Deterministic: output ordered
-/// by smallest member slot, members sorted.
-fn merge_clusters<V: Eq>(clusters: Vec<Cluster<V>>) -> Vec<Cluster<V>> {
-    let mut out: Vec<Cluster<V>> = Vec::new();
-    for c in clusters {
-        if let Some(existing) = out.iter_mut().find(|e| e.view == c.view) {
-            existing.members.extend(c.members);
-        } else {
-            out.push(c);
-        }
-    }
-    for c in &mut out {
-        c.members.sort_unstable();
-    }
-    out.sort_by_key(|c| c.members[0]);
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
-    use crate::ids::Name;
+    use crate::ids::{Name, ProcId, Round};
     use crate::testproto::{RankOnce, UnionRank};
+    use crate::trace::Outcome;
 
     fn labels(n: u64) -> Vec<Label> {
         // Deliberately non-contiguous, shuffled-ish labels.
@@ -516,7 +289,7 @@ mod tests {
     }
 
     #[test]
-    fn per_process_and_clustered_agree() {
+    fn all_modes_agree() {
         let ls = labels(7);
         for seed in 0..5 {
             let adv = || {
@@ -535,31 +308,23 @@ mod tests {
                     },
                 ])
             };
-            let clustered = SyncEngine::with_options(
-                UnionRank::rounds(4),
-                ls.clone(),
-                adv(),
-                SeedTree::new(seed),
-                EngineOptions {
-                    max_rounds: None,
-                    mode: EngineMode::Clustered,
-                },
-            )
-            .unwrap()
-            .run();
-            let per_process = SyncEngine::with_options(
-                UnionRank::rounds(4),
-                ls.clone(),
-                adv(),
-                SeedTree::new(seed),
-                EngineOptions {
-                    max_rounds: None,
-                    mode: EngineMode::PerProcess,
-                },
-            )
-            .unwrap()
-            .run();
-            assert_eq!(clustered, per_process, "seed {seed}");
+            let run = |mode| {
+                SyncEngine::with_options(
+                    UnionRank::rounds(4),
+                    ls.clone(),
+                    adv(),
+                    SeedTree::new(seed),
+                    EngineOptions {
+                        max_rounds: None,
+                        mode,
+                    },
+                )
+                .unwrap()
+                .run()
+            };
+            let clustered = run(EngineMode::Clustered);
+            assert_eq!(clustered, run(EngineMode::PerProcess), "seed {seed}");
+            assert_eq!(clustered, run(EngineMode::Parallel), "seed {seed}");
         }
     }
 
@@ -629,7 +394,7 @@ mod tests {
 
     #[test]
     fn observer_sees_every_round() {
-        use crate::view::FnObserver;
+        use crate::view::{Cluster, FnObserver, ObserverCtx};
         let ls = labels(5);
         let mut rounds_seen = Vec::new();
         {
@@ -641,28 +406,5 @@ mod tests {
             engine.run_observed(&mut obs);
         }
         assert_eq!(rounds_seen, vec![Round(0), Round(1), Round(2)]);
-    }
-
-    #[test]
-    fn merge_clusters_coalesces_equal_views() {
-        let clusters = vec![
-            Cluster {
-                members: vec![ProcId(2)],
-                view: 7u32,
-            },
-            Cluster {
-                members: vec![ProcId(0)],
-                view: 7u32,
-            },
-            Cluster {
-                members: vec![ProcId(1)],
-                view: 9u32,
-            },
-        ];
-        let merged = merge_clusters(clusters);
-        assert_eq!(merged.len(), 2);
-        assert_eq!(merged[0].members, vec![ProcId(0), ProcId(2)]);
-        assert_eq!(merged[0].view, 7);
-        assert_eq!(merged[1].members, vec![ProcId(1)]);
     }
 }

@@ -16,16 +16,21 @@
 //! ## Architecture
 //!
 //! Algorithms are written once against the [`view::ViewProtocol`]
-//! abstraction (compose a broadcast / fold an inbox / read a decision) and
-//! can then be executed by any of three interchangeable executors:
+//! abstraction (compose a broadcast / fold an inbox / read a decision).
+//! A single shared round loop — [`pipeline::RoundPipeline`] — owns the
+//! lock-step structure (compose → adversary → deliver → apply → status
+//! sweep), all model bookkeeping, and the per-round shared message
+//! buffers ([`pipeline::RoundMessages`]); executors differ only in the
+//! [`pipeline::Transport`] they plug in:
 //!
-//! | executor | what it is | use it for |
+//! | executor | transport | use it for |
 //! |---|---|---|
-//! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | reference semantics, one view per process | fidelity cross-checks |
-//! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | processes with identical views share one | large-`n` experiment sweeps |
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | in-memory, one view per process | fidelity cross-checks (reference semantics) |
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | in-memory, identical views shared | large-`n` experiment sweeps |
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::Parallel`] / [`parallel::run_parallel`] | in-memory clustered, rounds sharded across OS threads | multi-core sweeps |
 //! | [`threaded::run_threaded`] | one OS thread per process, wire-encoded messages over crossbeam channels | demonstrating the protocol over real message passing |
 //!
-//! All three produce bit-identical [`trace::RunReport`]s for the same
+//! All four produce bit-identical [`trace::RunReport`]s for the same
 //! `(protocol, labels, adversary, seed)`; tests enforce this.
 //!
 //! ## Example
@@ -53,6 +58,8 @@
 pub mod adversary;
 pub mod engine;
 pub mod ids;
+pub mod parallel;
+pub mod pipeline;
 pub mod rng;
 pub mod testproto;
 pub mod threaded;

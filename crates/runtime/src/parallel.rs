@@ -1,0 +1,356 @@
+//! The data-parallel executor: clustered semantics, sharded rounds.
+//!
+//! [`ParallelTransport`] keeps its views in memory exactly like the
+//! clustered [`crate::pipeline::LocalTransport`], but fans each round's
+//! two heavy stages out across OS threads (vendored crossbeam scoped
+//! threads, so nothing needs `'static`):
+//!
+//! * **compose** — every participant's broadcast is independent (its own
+//!   RNG stream, a shared read-only view), so participants are sharded
+//!   into contiguous slot ranges, one thread per shard;
+//! * **apply** — each (cluster × delivery-signature) group folds its
+//!   shared inbox into its own view, so groups are sharded the same way.
+//!
+//! Determinism is by construction, not by luck: shard results are merged
+//! back in slot order (compose) and in group-construction order followed
+//! by the same label-ordered cluster-coalescing pass the clustered
+//! engine runs (apply), and
+//! every per-process RNG stream is identical to the serial engines'. The
+//! thread count therefore affects wall-clock time only — a
+//! [`crate::trace::RunReport`] from this executor is bit-identical to the
+//! other three executors' for the same `(protocol, labels, adversary,
+//! seed)`, which workspace tests enforce.
+
+use std::fmt;
+
+use crossbeam::thread as cb_thread;
+use rand::rngs::SmallRng;
+
+use crate::adversary::Adversary;
+use crate::engine::{ConfigError, EngineOptions};
+use crate::ids::{Label, ProcId, Round};
+use crate::pipeline::{merge_clusters, LocalTransport, RoundMessages, RoundPipeline, Transport};
+use crate::rng::SeedTree;
+use crate::trace::RunReport;
+use crate::view::{Cluster, NoObserver, Observer, ObserverCtx, Status, ViewProtocol};
+
+/// A [`Transport`] with clustered in-memory views whose per-round compose
+/// and apply stages run on multiple OS threads; see the module docs.
+pub struct ParallelTransport<P: ViewProtocol> {
+    inner: LocalTransport<P>,
+    threads: usize,
+}
+
+impl<P: ViewProtocol + fmt::Debug> fmt::Debug for ParallelTransport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelTransport")
+            .field("inner", &self.inner)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<P: ViewProtocol> ParallelTransport<P> {
+    /// A parallel transport using every available hardware thread.
+    pub fn new(protocol: P, labels: &[Label], seeds: &SeedTree) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        Self::with_threads(protocol, labels, seeds, threads)
+    }
+
+    /// A parallel transport with an explicit shard count (≥ 1). The
+    /// produced [`RunReport`] does not depend on `threads`; tests use
+    /// this to assert exactly that.
+    pub fn with_threads(protocol: P, labels: &[Label], seeds: &SeedTree, threads: usize) -> Self {
+        ParallelTransport {
+            inner: LocalTransport::clustered(protocol, labels, seeds),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The shard count this transport fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
+    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)> {
+        let threads = self.threads;
+        let LocalTransport {
+            protocol,
+            labels,
+            clusters,
+            rngs,
+            ..
+        } = &mut self.inner;
+
+        // Flatten (member, shared view) pairs into slot order so shards
+        // cover contiguous — and therefore disjoint — RNG ranges.
+        let mut items: Vec<(ProcId, &P::View)> = clusters
+            .iter()
+            .flat_map(|c| c.members.iter().map(move |&pid| (pid, &c.view)))
+            .collect();
+        items.sort_unstable_by_key(|(p, _)| *p);
+        debug_assert_eq!(items.len(), participants.len());
+
+        if threads < 2 || items.len() < 2 {
+            return items
+                .into_iter()
+                .map(|(pid, view)| {
+                    let label = labels[pid.index()];
+                    let msg = protocol.compose(view, label, round, &mut rngs[pid.index()]);
+                    (pid, label, msg)
+                })
+                .collect();
+        }
+
+        let shard_len = items.len().div_ceil(threads);
+        let protocol: &P = protocol;
+        let labels: &[Label] = labels;
+        let mut out: Vec<(ProcId, Label, P::Msg)> = Vec::with_capacity(items.len());
+        cb_thread::scope(|s| {
+            let mut handles = Vec::new();
+            // Hand each shard the exact sub-slice of RNGs covering its
+            // slot range; ranges are disjoint and increasing, so the
+            // streams consumed match the serial engines' exactly.
+            let mut rng_tail: &mut [SmallRng] = rngs.as_mut_slice();
+            let mut consumed = 0usize;
+            for shard in items.chunks(shard_len) {
+                let lo = shard[0].0.index();
+                let hi = shard.last().expect("non-empty shard").0.index();
+                let tail = std::mem::take(&mut rng_tail);
+                let (_, tail) = tail.split_at_mut(lo - consumed);
+                let (mine, rest) = tail.split_at_mut(hi - lo + 1);
+                rng_tail = rest;
+                consumed = hi + 1;
+                handles.push(s.spawn(move || {
+                    shard
+                        .iter()
+                        .map(|&(pid, view)| {
+                            let label = labels[pid.index()];
+                            let msg =
+                                protocol.compose(view, label, round, &mut mine[pid.index() - lo]);
+                            (pid, label, msg)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            // Join in shard order: the concatenation is slot-ordered
+            // regardless of thread scheduling.
+            for h in handles {
+                out.extend(h.join().expect("compose shard panicked"));
+            }
+        });
+        out
+    }
+
+    fn apply(
+        &mut self,
+        round: Round,
+        alive: &[bool],
+        _survivors: &[ProcId],
+        msgs: &RoundMessages<P::Msg>,
+    ) {
+        let threads = self.threads;
+        let LocalTransport {
+            protocol,
+            clusters,
+            merge,
+            ..
+        } = &mut self.inner;
+
+        // Same deterministic (cluster × signature) work items as the
+        // serial transport; only the folding is sharded.
+        let mut items = LocalTransport::<P>::split_groups(clusters, alive, msgs);
+        if threads < 2 || items.len() < 2 {
+            for (sig, _, view) in items.iter_mut() {
+                protocol.apply(view, round, msgs.inbox_for(sig));
+            }
+        } else {
+            let shard_len = items.len().div_ceil(threads);
+            let protocol: &P = protocol;
+            cb_thread::scope(|s| {
+                for shard in items.chunks_mut(shard_len) {
+                    s.spawn(move || {
+                        for (sig, _, view) in shard.iter_mut() {
+                            protocol.apply(view, round, msgs.inbox_for(sig));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Shards mutated disjoint items in place, so the merge is the
+        // item order itself (cluster-major, then signature), followed by
+        // the same label-ordered coalescing pass the clustered engine
+        // runs.
+        let mut next: Vec<Cluster<P::View>> = items
+            .into_iter()
+            .map(|(_, members, view)| Cluster { members, view })
+            .collect();
+        if *merge {
+            next = merge_clusters(next);
+        }
+        *clusters = next;
+    }
+
+    fn observe(&mut self, ctx: ObserverCtx<'_>, observer: &mut dyn Observer<P>) {
+        self.inner.observe(ctx, observer);
+    }
+
+    fn sweep(&mut self, round: Round) -> Vec<(ProcId, Status)> {
+        self.inner.sweep(round)
+    }
+}
+
+/// Runs `protocol` on the data-parallel executor and returns the same
+/// report every other executor would.
+///
+/// A convenience mirroring [`crate::threaded::run_threaded`]; equivalent
+/// to [`crate::engine::SyncEngine`] with [`crate::engine::EngineMode::Parallel`]
+/// (the `mode` in `options` is ignored).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+pub fn run_parallel<P, A>(
+    protocol: P,
+    labels: Vec<Label>,
+    adversary: A,
+    seeds: SeedTree,
+    options: EngineOptions,
+) -> Result<RunReport, ConfigError>
+where
+    P: ViewProtocol,
+    A: Adversary<P::Msg>,
+{
+    let round_limit = options.round_limit(labels.len());
+    let mut transport = ParallelTransport::new(protocol, &labels, &seeds);
+    let pipeline = RoundPipeline::new(labels, adversary, seeds, round_limit)?;
+    Ok(pipeline.run(&mut transport, &mut NoObserver))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
+    use crate::engine::{EngineMode, SyncEngine};
+    use crate::testproto::{RankOnce, UnionRank};
+    use crate::trace::Outcome;
+
+    fn labels(n: u64) -> Vec<Label> {
+        (0..n).map(|i| Label(i * 29 + 7)).collect()
+    }
+
+    fn hostile() -> Scripted {
+        Scripted::new(vec![
+            ScriptedCrash {
+                round: Round(0),
+                victim_index: 2,
+                modulus: 2,
+                residue: 0,
+            },
+            ScriptedCrash {
+                round: Round(1),
+                victim_index: 4,
+                modulus: 3,
+                residue: 1,
+            },
+        ])
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(matches!(
+            run_parallel(
+                RankOnce,
+                vec![],
+                NoFailures,
+                SeedTree::new(0),
+                EngineOptions::default()
+            ),
+            Err(ConfigError::EmptySystem)
+        ));
+    }
+
+    #[test]
+    fn matches_clustered_engine_failure_free() {
+        let ls = labels(16);
+        let clustered = SyncEngine::new(
+            UnionRank::rounds(3),
+            ls.clone(),
+            NoFailures,
+            SeedTree::new(5),
+        )
+        .unwrap()
+        .run();
+        let parallel = run_parallel(
+            UnionRank::rounds(3),
+            ls,
+            NoFailures,
+            SeedTree::new(5),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(clustered, parallel);
+    }
+
+    #[test]
+    fn matches_clustered_engine_with_crashes() {
+        let ls = labels(12);
+        let clustered = SyncEngine::new(
+            UnionRank::rounds(4),
+            ls.clone(),
+            hostile(),
+            SeedTree::new(9),
+        )
+        .unwrap()
+        .run();
+        let parallel = run_parallel(
+            UnionRank::rounds(4),
+            ls,
+            hostile(),
+            SeedTree::new(9),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(clustered, parallel);
+    }
+
+    #[test]
+    fn report_is_independent_of_thread_count() {
+        let ls = labels(14);
+        let run_with = |threads: usize| {
+            let seeds = SeedTree::new(13);
+            let mut t = ParallelTransport::with_threads(UnionRank::rounds(4), &ls, &seeds, threads);
+            assert_eq!(t.threads(), threads.max(1));
+            RoundPipeline::new(ls.clone(), hostile(), seeds, 1000)
+                .unwrap()
+                .run(&mut t, &mut NoObserver)
+        };
+        let one = run_with(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(one, run_with(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn engine_mode_parallel_round_limit() {
+        let ls = labels(4);
+        let report = run_parallel(
+            UnionRank::rounds(100),
+            ls,
+            NoFailures,
+            SeedTree::new(1),
+            EngineOptions {
+                max_rounds: Some(2),
+                mode: EngineMode::Parallel,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, Outcome::RoundLimit);
+        assert_eq!(report.rounds, 2);
+    }
+}

@@ -1,31 +1,35 @@
 //! Thread-per-process executor over crossbeam channels.
 //!
-//! Where [`crate::engine::SyncEngine`] *simulates* the synchronous network,
+//! Where the in-memory transports *simulate* the synchronous network,
 //! this executor *is* one, in miniature: every process runs on its own OS
-//! thread, owns its view and RNG privately, and communicates exclusively by
-//! sending **encoded wire bytes** through channels. A coordinator enforces
-//! the lock-step round structure (the "synchronization harness" the model
-//! presumes) and plays the adversary: it intercepts each round's
-//! broadcasts, decides crashes, and routes each survivor a personalized
-//! inbox — which is exactly how a strong adaptive adversary is defined.
+//! thread, owns its view and RNG privately, and communicates exclusively
+//! by sending **encoded wire bytes** through channels. The shared
+//! [`RoundPipeline`] enforces the lock-step round structure (the
+//! "synchronization harness" the model presumes) and plays the adversary;
+//! [`ChannelTransport`] carries each round's broadcasts to the worker
+//! threads and routes each survivor its personalized inbox — which is
+//! exactly how a strong adaptive adversary is defined.
 //!
 //! For any `(protocol, labels, adversary, seed)`, this executor produces a
-//! [`RunReport`] **bit-identical** to the simulator's; the
+//! [`RunReport`] **bit-identical** to the in-memory executors'; the
 //! `threaded_matches_sim` tests enforce that. Use the simulator for sweeps
 //! (it is orders of magnitude faster) and this executor to demonstrate the
 //! protocol over real message passing.
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::thread;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::adversary::{Adversary, AdversaryView, Recipients};
+use crate::adversary::Adversary;
 use crate::engine::{ConfigError, EngineOptions};
 use crate::ids::{Label, ProcId, Round};
+use crate::pipeline::{RoundMessages, RoundPipeline, Transport};
 use crate::rng::SeedTree;
-use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
-use crate::view::{Status, ViewProtocol};
+use crate::trace::RunReport;
+use crate::view::{NoObserver, Status, ViewProtocol};
 use crate::wire::Wire;
 
 enum ToProc {
@@ -42,6 +46,190 @@ enum ToProc {
 enum FromProc {
     Composed(Bytes),
     Applied(Status),
+}
+
+/// The wire transport: one worker thread per process, lock-stepped by the
+/// [`RoundPipeline`] through command/response channels carrying encoded
+/// bytes. Views never leave their worker thread.
+pub struct ChannelTransport<P: ViewProtocol> {
+    labels: Vec<Label>,
+    to_procs: Vec<Sender<ToProc>>,
+    from_procs: Vec<Receiver<FromProc>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// Workers already told to exit (crashed, decided, or shut down).
+    exited: Vec<bool>,
+    /// This round's encoded broadcasts, for inbox routing.
+    bytes_by_label: BTreeMap<Label, Bytes>,
+    /// Statuses collected in [`Transport::apply`], drained by
+    /// [`Transport::sweep`].
+    statuses: Vec<(ProcId, Status)>,
+    _protocol: std::marker::PhantomData<P>,
+}
+
+impl<P: ViewProtocol> fmt::Debug for ChannelTransport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("n", &self.labels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> ChannelTransport<P>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+{
+    /// Spawns one worker thread per label, each owning its view and its
+    /// process RNG stream.
+    pub fn spawn(protocol: &P, labels: &[Label], seeds: &SeedTree) -> Self {
+        let n = labels.len();
+        let mut to_procs: Vec<Sender<ToProc>> = Vec::with_capacity(n);
+        let mut from_procs: Vec<Receiver<FromProc>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (pid, label) in labels.iter().copied().enumerate() {
+            let (tx_cmd, rx_cmd) = unbounded::<ToProc>();
+            let (tx_rsp, rx_rsp) = unbounded::<FromProc>();
+            to_procs.push(tx_cmd);
+            from_procs.push(rx_rsp);
+            let proto = protocol.clone();
+            let mut rng = seeds.process_rng(ProcId(pid as u32));
+            handles.push(thread::spawn(move || {
+                let mut view = proto.init_view(n);
+                while let Ok(cmd) = rx_cmd.recv() {
+                    match cmd {
+                        ToProc::Compose { round } => {
+                            let msg = proto.compose(&view, label, round, &mut rng);
+                            if tx_rsp.send(FromProc::Composed(msg.to_bytes())).is_err() {
+                                break;
+                            }
+                        }
+                        ToProc::Deliver { round, inbox } => {
+                            let mut decoded: Vec<(Label, P::Msg)> = inbox
+                                .into_iter()
+                                .map(|(l, b)| {
+                                    let m = P::Msg::from_bytes(b).expect("wire decode");
+                                    (l, m)
+                                })
+                                .collect();
+                            decoded.sort_by_key(|(l, _)| *l);
+                            proto.apply(&mut view, round, &decoded);
+                            let status = proto.status(&view, label, round);
+                            if tx_rsp.send(FromProc::Applied(status)).is_err() {
+                                break;
+                            }
+                        }
+                        ToProc::Exit => break,
+                    }
+                }
+            }));
+        }
+        ChannelTransport {
+            labels: labels.to_vec(),
+            to_procs,
+            from_procs,
+            handles,
+            exited: vec![false; n],
+            bytes_by_label: BTreeMap::new(),
+            statuses: Vec::new(),
+            _protocol: std::marker::PhantomData,
+        }
+    }
+
+    fn exit(&mut self, pid: ProcId) {
+        if !self.exited[pid.index()] {
+            self.to_procs[pid.index()].send(ToProc::Exit).ok();
+            self.exited[pid.index()] = true;
+        }
+    }
+}
+
+impl<P> Transport<P> for ChannelTransport<P>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+{
+    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)> {
+        for &p in participants {
+            self.to_procs[p.index()]
+                .send(ToProc::Compose { round })
+                .expect("process thread alive");
+        }
+        self.bytes_by_label.clear();
+        let mut outgoing = Vec::with_capacity(participants.len());
+        for &p in participants {
+            match self.from_procs[p.index()].recv().expect("compose response") {
+                FromProc::Composed(bytes) => {
+                    let label = self.labels[p.index()];
+                    let msg = P::Msg::from_bytes(bytes.clone()).expect("wire decode");
+                    self.bytes_by_label.insert(label, bytes);
+                    outgoing.push((p, label, msg));
+                }
+                FromProc::Applied(_) => unreachable!("expected Composed"),
+            }
+        }
+        outgoing
+    }
+
+    fn crashed(&mut self, pid: ProcId) {
+        self.exit(pid);
+    }
+
+    fn apply(
+        &mut self,
+        round: Round,
+        _alive: &[bool],
+        survivors: &[ProcId],
+        msgs: &RoundMessages<P::Msg>,
+    ) {
+        // Route each survivor its personalized inbox as wire bytes: the
+        // shared inbox for its delivery signature, re-encoded from the
+        // bytes the senders actually produced.
+        for &dst in survivors {
+            let inbox: Vec<(Label, Bytes)> = msgs
+                .inbox(dst)
+                .iter()
+                .map(|(label, _)| {
+                    (
+                        *label,
+                        self.bytes_by_label
+                            .get(label)
+                            .expect("sender composed this round")
+                            .clone(),
+                    )
+                })
+                .collect();
+            self.to_procs[dst.index()]
+                .send(ToProc::Deliver { round, inbox })
+                .expect("process thread alive");
+        }
+        // Collect statuses in slot order; sweep hands them to the
+        // pipeline.
+        self.statuses.clear();
+        for &p in survivors {
+            match self.from_procs[p.index()].recv().expect("apply response") {
+                FromProc::Applied(status) => self.statuses.push((p, status)),
+                FromProc::Composed(_) => unreachable!("expected Applied"),
+            }
+        }
+    }
+
+    fn sweep(&mut self, _round: Round) -> Vec<(ProcId, Status)> {
+        let statuses = std::mem::take(&mut self.statuses);
+        for (pid, status) in &statuses {
+            if matches!(status, Status::Decided(_)) {
+                self.exit(*pid);
+            }
+        }
+        statuses
+    }
+
+    fn shutdown(&mut self) {
+        for pid in 0..self.labels.len() {
+            self.exit(ProcId(pid as u32));
+        }
+        self.to_procs.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("process thread panicked");
+        }
+    }
 }
 
 /// Runs `protocol` on one thread per process, coordinated into lock-step
@@ -67,212 +255,10 @@ where
     P: ViewProtocol + Clone + Send + 'static,
     A: Adversary<P::Msg>,
 {
-    if labels.is_empty() {
-        return Err(ConfigError::EmptySystem);
-    }
-    let mut sorted = labels.clone();
-    sorted.sort_unstable();
-    for w in sorted.windows(2) {
-        if w[0] == w[1] {
-            return Err(ConfigError::DuplicateLabel(w[0]));
-        }
-    }
-
-    let n = labels.len();
-    let round_limit = options.max_rounds.unwrap_or(8 * n as u64 + 64);
-    let mut adversary = adversary;
-    let budget = Adversary::<P::Msg>::budget(&adversary).min(n.saturating_sub(1));
-    let mut budget_used = 0usize;
-
-    // Spawn process threads.
-    let mut to_procs: Vec<Sender<ToProc>> = Vec::with_capacity(n);
-    let mut from_procs: Vec<Receiver<FromProc>> = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
-    for (pid, label) in labels.iter().copied().enumerate() {
-        let (tx_cmd, rx_cmd) = unbounded::<ToProc>();
-        let (tx_rsp, rx_rsp) = unbounded::<FromProc>();
-        to_procs.push(tx_cmd);
-        from_procs.push(rx_rsp);
-        let proto = protocol.clone();
-        let mut rng = seeds.process_rng(ProcId(pid as u32));
-        handles.push(thread::spawn(move || {
-            let mut view = proto.init_view(n);
-            while let Ok(cmd) = rx_cmd.recv() {
-                match cmd {
-                    ToProc::Compose { round } => {
-                        let msg = proto.compose(&view, label, round, &mut rng);
-                        if tx_rsp.send(FromProc::Composed(msg.to_bytes())).is_err() {
-                            break;
-                        }
-                    }
-                    ToProc::Deliver { round, inbox } => {
-                        let mut decoded: Vec<(Label, P::Msg)> = inbox
-                            .into_iter()
-                            .map(|(l, b)| {
-                                let m = P::Msg::from_bytes(b).expect("wire decode");
-                                (l, m)
-                            })
-                            .collect();
-                        decoded.sort_by_key(|(l, _)| *l);
-                        proto.apply(&mut view, round, &decoded);
-                        let status = proto.status(&view, label, round);
-                        if tx_rsp.send(FromProc::Applied(status)).is_err() {
-                            break;
-                        }
-                    }
-                    ToProc::Exit => break,
-                }
-            }
-        }));
-    }
-
-    let mut alive = vec![true; n];
-    let mut decided: Vec<Option<Decision>> = vec![None; n];
-    let mut decided_flags = vec![false; n];
-    let mut crash_events = Vec::new();
-    let mut messages_sent = 0u64;
-    let mut messages_delivered = 0u64;
-    let mut wire_bytes_sent = 0u64;
-    let mut rounds_executed = 0u64;
-    let mut outcome = Outcome::RoundLimit;
-
-    for round_idx in 0..round_limit {
-        let round = Round(round_idx);
-        let participants: Vec<ProcId> = (0..n as u32)
-            .map(ProcId)
-            .filter(|p| alive[p.index()] && !decided_flags[p.index()])
-            .collect();
-        if participants.is_empty() {
-            outcome = Outcome::Completed;
-            break;
-        }
-
-        // 1. Ask every participant to compose; collect in slot order.
-        for &p in &participants {
-            to_procs[p.index()]
-                .send(ToProc::Compose { round })
-                .expect("process thread alive");
-        }
-        let mut outgoing: Vec<(ProcId, Label, P::Msg, Bytes)> = Vec::new();
-        for &p in &participants {
-            match from_procs[p.index()].recv().expect("compose response") {
-                FromProc::Composed(bytes) => {
-                    let msg = P::Msg::from_bytes(bytes.clone()).expect("wire decode");
-                    outgoing.push((p, labels[p.index()], msg, bytes));
-                }
-                FromProc::Applied(_) => unreachable!("expected Composed"),
-            }
-        }
-
-        // 2. Adversary plans with the full-information (decoded) view.
-        let decoded_view: Vec<(ProcId, Label, P::Msg)> = outgoing
-            .iter()
-            .map(|(p, l, m, _)| (*p, *l, m.clone()))
-            .collect();
-        let plan = adversary.plan(&AdversaryView {
-            round,
-            outgoing: &decoded_view,
-            alive: &alive,
-            decided: &decided_flags,
-            budget_left: budget - budget_used,
-            n,
-        });
-        let mut round_crashes: Vec<(ProcId, Recipients)> = Vec::new();
-        for c in plan.crashes {
-            let p = c.victim;
-            let dup = round_crashes.iter().any(|(v, _)| *v == p);
-            if alive[p.index()] && !decided_flags[p.index()] && !dup && budget_used < budget {
-                round_crashes.push((p, c.deliver_to));
-                budget_used += 1;
-            }
-        }
-        for (victim, _) in &round_crashes {
-            alive[victim.index()] = false;
-            crash_events.push(CrashEvent {
-                pid: *victim,
-                label: labels[victim.index()],
-                round,
-            });
-            to_procs[victim.index()].send(ToProc::Exit).ok();
-        }
-
-        // 3. Accounting (broadcast = n−1 point-to-point sends).
-        for (_, _, _, bytes) in &outgoing {
-            messages_sent += (n - 1) as u64;
-            wire_bytes_sent += (bytes.len() as u64) * (n - 1) as u64;
-        }
-
-        // 4. Route personalized inboxes to survivors.
-        let survivors: Vec<ProcId> = participants
-            .iter()
-            .copied()
-            .filter(|p| alive[p.index()])
-            .collect();
-        for &dst in &survivors {
-            let mut inbox: Vec<(Label, Bytes)> = Vec::new();
-            for (src, label, _, bytes) in &outgoing {
-                let delivered = if alive[src.index()] {
-                    true
-                } else {
-                    round_crashes
-                        .iter()
-                        .find(|(v, _)| v == src)
-                        .map(|(_, r)| r.contains(dst))
-                        .unwrap_or(false)
-                };
-                if delivered {
-                    inbox.push((*label, bytes.clone()));
-                }
-            }
-            messages_delivered += inbox.len().saturating_sub(1) as u64;
-            to_procs[dst.index()]
-                .send(ToProc::Deliver { round, inbox })
-                .expect("process thread alive");
-        }
-
-        // 5. Collect statuses in slot order.
-        for &p in &survivors {
-            match from_procs[p.index()].recv().expect("apply response") {
-                FromProc::Applied(Status::Running) => {}
-                FromProc::Applied(Status::Decided(name)) => {
-                    decided[p.index()] = Some(Decision { name, round });
-                    decided_flags[p.index()] = true;
-                    to_procs[p.index()].send(ToProc::Exit).ok();
-                }
-                FromProc::Composed(_) => unreachable!("expected Applied"),
-            }
-        }
-        rounds_executed = round_idx + 1;
-
-        if (0..n).all(|p| !alive[p] || decided[p].is_some()) {
-            outcome = Outcome::Completed;
-            break;
-        }
-    }
-
-    // Tear down any still-running threads (round limit case).
-    for (pid, tx) in to_procs.iter().enumerate() {
-        if alive[pid] && !decided_flags[pid] {
-            tx.send(ToProc::Exit).ok();
-        }
-    }
-    drop(to_procs);
-    for h in handles {
-        h.join().expect("process thread panicked");
-    }
-
-    Ok(RunReport {
-        n,
-        seed: seeds.master(),
-        rounds: rounds_executed,
-        decisions: decided,
-        labels,
-        crashes: crash_events,
-        messages_sent,
-        messages_delivered,
-        wire_bytes_sent,
-        outcome,
-    })
+    let round_limit = options.round_limit(labels.len());
+    let pipeline = RoundPipeline::new(labels.clone(), adversary, seeds, round_limit)?;
+    let mut transport = ChannelTransport::spawn(&protocol, &labels, &seeds);
+    Ok(pipeline.run(&mut transport, &mut NoObserver))
 }
 
 #[cfg(test)]
@@ -281,6 +267,7 @@ mod tests {
     use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
     use crate::engine::SyncEngine;
     use crate::testproto::{RankOnce, UnionRank};
+    use crate::trace::Outcome;
 
     fn labels(n: u64) -> Vec<Label> {
         (0..n).map(|i| Label(i * 13 + 5)).collect()

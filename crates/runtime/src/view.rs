@@ -13,9 +13,12 @@
 //! * [`ViewProtocol::status`] — read a ball's decision off the view,
 //!
 //! and every executor — the per-process reference engine, the
-//! cluster-sharing engine ([`crate::engine::SyncEngine`]), and the
-//! thread-per-process channel executor ([`crate::threaded`]) — runs those
-//! same functions. Cross-executor equivalence is enforced by tests.
+//! cluster-sharing engine ([`crate::engine::SyncEngine`]), the
+//! thread-per-process channel executor ([`crate::threaded`]), and the
+//! data-parallel executor ([`crate::parallel`]) — drives those same
+//! functions through the one shared round loop
+//! ([`crate::pipeline::RoundPipeline`]). Cross-executor equivalence is
+//! enforced by tests.
 //!
 //! The payoff of the formulation is the **cluster engine**: processes whose
 //! views are bit-identical (all of them, in failure-free rounds; all but a
@@ -61,11 +64,16 @@ pub enum Status {
 /// Views of processes that received identical broadcast prefixes must be
 /// equal (`View: Eq`); the engines rely on this to share and re-merge
 /// views, and `debug_assert` it in cross-checks.
-pub trait ViewProtocol {
+///
+/// Protocols, messages, and views must be `Sync`: the data-parallel
+/// executor ([`crate::parallel`]) shares them read-only across its shard
+/// threads. Protocols are pure function suites over plain data, so in
+/// practice this costs nothing.
+pub trait ViewProtocol: Sync {
     /// Broadcast message type.
-    type Msg: Clone + Eq + fmt::Debug + Wire + Send + 'static;
+    type Msg: Clone + Eq + fmt::Debug + Wire + Send + Sync + 'static;
     /// Local view (state) type.
-    type View: Clone + Eq + fmt::Debug + Send + 'static;
+    type View: Clone + Eq + fmt::Debug + Send + Sync + 'static;
 
     /// The view every process starts with, before round 0. Must not depend
     /// on the process's own label (all per-ball data is derived inside

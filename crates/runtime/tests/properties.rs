@@ -4,8 +4,11 @@
 
 use bil_runtime::adversary::{Scripted, ScriptedCrash};
 use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+use bil_runtime::parallel::ParallelTransport;
+use bil_runtime::pipeline::RoundPipeline;
 use bil_runtime::testproto::{LabelSet, RankOnce, UnionRank};
 use bil_runtime::threaded::run_threaded;
+use bil_runtime::view::NoObserver;
 use bil_runtime::wire::Wire;
 use bil_runtime::{Label, Round, SeedTree};
 use proptest::prelude::*;
@@ -29,7 +32,9 @@ fn labels(n: usize) -> Vec<Label> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The three executors agree bit-for-bit on every run.
+    /// The four executors agree bit-for-bit on every run. The parallel
+    /// executor runs with a forced shard count > 1 so its fan-out/merge
+    /// path is exercised even on single-core CI machines.
     #[test]
     fn executors_agree(
         n in 1usize..10,
@@ -55,6 +60,15 @@ proptest! {
         )
         .unwrap()
         .run();
+        let parallel = {
+            let seeds = SeedTree::new(seed);
+            let ls = labels(n);
+            let mut transport =
+                ParallelTransport::with_threads(UnionRank::rounds(rounds), &ls, &seeds, 3);
+            RoundPipeline::new(ls, Scripted::new(schedule.clone()), seeds, 8 * n as u64 + 64)
+                .unwrap()
+                .run(&mut transport, &mut NoObserver)
+        };
         let threaded = run_threaded(
             UnionRank::rounds(rounds),
             labels(n),
@@ -64,6 +78,7 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(&clustered, &per_process);
+        prop_assert_eq!(&clustered, &parallel);
         prop_assert_eq!(&clustered, &threaded);
     }
 

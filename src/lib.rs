@@ -11,7 +11,9 @@
 //!   (base, early-terminating, deterministic baseline), the renaming
 //!   specification checker, and protocol-aware adversaries;
 //! * [`runtime`] — the synchronous crash-prone message-passing
-//!   substrate: three interchangeable executors and the strong adaptive
+//!   substrate: one shared round pipeline behind four interchangeable
+//!   executors (clustered, per-process, data-parallel, and
+//!   thread-per-process over wire bytes) and the strong adaptive
 //!   adversary interface;
 //! * [`tree`] — the capacity tree (local views, remaining capacity, the
 //!   priority order `<R`, candidate paths);
@@ -53,8 +55,11 @@ pub mod prelude {
         assignment, check_tight_renaming, solve_tight_renaming, BallsIntoLeaves, BilConfig,
         PathRule, RenamingVerdict,
     };
+    pub use bil_harness::Executor;
     pub use bil_runtime::adversary::NoFailures;
     pub use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+    pub use bil_runtime::parallel::run_parallel;
+    pub use bil_runtime::threaded::run_threaded;
     pub use bil_runtime::{Label, Name, Outcome, ProcId, Round, RunReport, SeedTree};
     pub use bil_tree::{CoinRule, LocalTree, Topology};
 }

@@ -1,18 +1,23 @@
 //! Cross-executor determinism: for one fixed `(protocol, labels,
-//! adversary, seed)`, the clustered simulator, the per-process
-//! simulator, and the thread-per-process channel executor must produce
-//! **bit-identical** `RunReport`s — decisions, crash events, round
-//! counts, and every accounting counter included.
+//! adversary, seed)`, all four executors — the clustered simulator, the
+//! per-process simulator, the data-parallel executor, and the
+//! thread-per-process channel executor — must produce **bit-identical**
+//! `RunReport`s: decisions, crash events, round counts, and every
+//! accounting counter included.
 //!
 //! This is the load-bearing equivalence of DESIGN.md §3: experiments
 //! sweep with the (fast) clustered engine while correctness arguments
 //! are made against per-process reference semantics and demonstrated
-//! over real message passing.
+//! over real message passing — and since the shared `RoundPipeline`
+//! refactor, the equivalence holds by construction, which these tests
+//! keep honest.
 
 use balls_into_leaves::core::{check_tight_renaming, BallsIntoLeaves, BilConfig};
 use balls_into_leaves::prelude::*;
-use balls_into_leaves::runtime::adversary::{Scripted, ScriptedCrash};
+use balls_into_leaves::runtime::adversary::{Adversary, RandomCrash, Scripted, ScriptedCrash};
+use balls_into_leaves::runtime::parallel::run_parallel;
 use balls_into_leaves::runtime::threaded::run_threaded;
+use balls_into_leaves::runtime::ViewProtocol;
 
 /// Shuffle-ish unique labels so no executor can rely on label = slot.
 fn labels(n: u64) -> Vec<Label> {
@@ -44,18 +49,25 @@ fn schedule() -> Scripted {
     ])
 }
 
-#[test]
-fn executors_are_bit_identical_on_fixed_input() {
-    const N: u64 = 24;
-    const SEED: u64 = 2014;
-    let protocol = || BallsIntoLeaves::new(BilConfig::new().with_decide_at_leaf(true));
-
+/// Runs one `(protocol, labels, adversary, seed)` on all four executors
+/// and asserts the reports are bit-identical, returning the common one.
+fn assert_executors_agree<P, A, F>(
+    protocol: P,
+    labels: Vec<Label>,
+    adversary: F,
+    seed: u64,
+) -> RunReport
+where
+    P: ViewProtocol + Clone + Send + 'static,
+    A: Adversary<P::Msg>,
+    F: Fn() -> A,
+{
     let run_mode = |mode| {
         SyncEngine::with_options(
-            protocol(),
-            labels(N),
-            schedule(),
-            SeedTree::new(SEED),
+            protocol.clone(),
+            labels.clone(),
+            adversary(),
+            SeedTree::new(seed),
             EngineOptions {
                 max_rounds: None,
                 mode,
@@ -66,11 +78,19 @@ fn executors_are_bit_identical_on_fixed_input() {
     };
     let clustered = run_mode(EngineMode::Clustered);
     let per_process = run_mode(EngineMode::PerProcess);
+    let parallel = run_parallel(
+        protocol.clone(),
+        labels.clone(),
+        adversary(),
+        SeedTree::new(seed),
+        EngineOptions::default(),
+    )
+    .expect("valid configuration");
     let threaded = run_threaded(
-        protocol(),
-        labels(N),
-        schedule(),
-        SeedTree::new(SEED),
+        protocol,
+        labels,
+        adversary(),
+        SeedTree::new(seed),
         EngineOptions::default(),
     )
     .expect("valid configuration");
@@ -78,15 +98,58 @@ fn executors_are_bit_identical_on_fixed_input() {
     // Bit-identical: RunReport's derived Eq covers decisions (name and
     // round per process), crash events, rounds, and all accounting
     // counters (messages sent/delivered, wire bytes).
-    assert_eq!(clustered, per_process);
-    assert_eq!(clustered, threaded);
+    assert_eq!(clustered, per_process, "per-process diverged (seed {seed})");
+    assert_eq!(clustered, parallel, "parallel diverged (seed {seed})");
+    assert_eq!(clustered, threaded, "threaded diverged (seed {seed})");
+    clustered
+}
+
+#[test]
+fn executors_are_bit_identical_on_fixed_input() {
+    const N: u64 = 24;
+    const SEED: u64 = 2014;
+    let protocol = BallsIntoLeaves::new(BilConfig::new().with_decide_at_leaf(true));
+
+    let report = assert_executors_agree(protocol, labels(N), schedule, SEED);
 
     // And the run itself is a valid renaming, so the equivalence is not
-    // vacuous (e.g. three identically-empty reports).
-    let verdict = check_tight_renaming(&clustered);
+    // vacuous (e.g. four identically-empty reports).
+    let verdict = check_tight_renaming(&report);
     assert!(verdict.holds(), "{verdict}");
-    assert!(clustered.rounds > 0);
-    assert!(!clustered.all_names().is_empty());
+    assert!(report.rounds > 0);
+    assert!(!report.all_names().is_empty());
+}
+
+#[test]
+fn executors_are_bit_identical_under_crash_heavy_schedule() {
+    // A dense adaptive-random schedule: budget n/3, firing hard every
+    // round, with i.i.d. partial-delivery subsets — the regime that
+    // historically shook out view-splitting bugs (DESIGN.md §8.3).
+    const N: u64 = 18;
+    for seed in [3u64, 17, 2014] {
+        let adversary =
+            || RandomCrash::new(N as usize / 3, 0.9, SeedTree::new(seed).adversary_rng());
+        let report = assert_executors_agree(BallsIntoLeaves::base(), labels(N), adversary, seed);
+        assert!(report.completed(), "seed {seed}");
+        assert!(
+            report.failures() >= 2,
+            "seed {seed}: schedule was supposed to be crash-heavy, saw {}",
+            report.failures()
+        );
+        let verdict = check_tight_renaming(&report);
+        assert!(verdict.holds(), "seed {seed}: {verdict}");
+    }
+}
+
+#[test]
+fn executors_are_bit_identical_for_early_terminating_variant() {
+    let report = assert_executors_agree(
+        BallsIntoLeaves::early_terminating(),
+        labels(16),
+        schedule,
+        77,
+    );
+    assert!(report.completed());
 }
 
 #[test]

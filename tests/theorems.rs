@@ -3,7 +3,7 @@
 //! sweeps live in the harness / `EXPERIMENTS.md`).
 
 use balls_into_leaves::harness::stats::{classify_growth, GrowthModel};
-use balls_into_leaves::harness::{AdversarySpec, Algorithm, Batch, Scenario};
+use balls_into_leaves::harness::{AdversarySpec, Algorithm, Batch, Executor, Scenario};
 
 /// Theorem 2 shape: failure-free rounds grow far slower than `log n` —
 /// quadrupling `n` twice must not add more than a few rounds.
@@ -139,6 +139,7 @@ fn motivation_reclaim_baseline_breaks_uniqueness() {
             n: 32,
             adversary: AdversarySpec::None,
             max_rounds: Some(512),
+            executor: Executor::default(),
         },
         0..20,
     )

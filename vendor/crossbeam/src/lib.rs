@@ -2,13 +2,41 @@
 //! crate.
 //!
 //! The build environment has no access to crates.io, so this vendored shim
-//! provides `crossbeam::channel` with the subset the workspace uses —
-//! [`channel::unbounded`] plus blocking [`channel::Sender::send`] /
-//! [`channel::Receiver::recv`] — implemented over [`std::sync::mpsc`].
-//! The threaded executor only needs MPSC semantics, so the std channel is
-//! a faithful substitute.
+//! provides the subset the workspace uses:
+//!
+//! * `crossbeam::channel` — [`channel::unbounded`] plus blocking
+//!   [`channel::Sender::send`] / [`channel::Receiver::recv`], implemented
+//!   over [`std::sync::mpsc`]. The threaded executor only needs MPSC
+//!   semantics, so the std channel is a faithful substitute.
+//! * `crossbeam::thread` — scoped threads whose closures may borrow from
+//!   the caller's stack, implemented over [`std::thread::scope`] (the std
+//!   API that superseded crossbeam's scope). The parallel executor uses
+//!   these to shard per-round work without `'static` bounds.
 
 #![forbid(unsafe_code)]
+
+/// Scoped threads: spawned closures may borrow non-`'static` data from
+/// the enclosing scope, and every thread is joined before
+/// [`thread::scope`] returns.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = [1u32, 2, 3, 4];
+            let mut sums = [0u32; 2];
+            super::scope(|s| {
+                let (a, b) = sums.split_at_mut(1);
+                let (lo, hi) = data.split_at(2);
+                s.spawn(|| a[0] = lo.iter().sum());
+                s.spawn(|| b[0] = hi.iter().sum());
+            });
+            assert_eq!(sums, [3, 7]);
+        }
+    }
+}
 
 /// Multi-producer single-consumer channels.
 pub mod channel {
