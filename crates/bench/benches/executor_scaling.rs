@@ -1,4 +1,4 @@
-//! Per-round cost of the four executors at `n = 2^12 … 2^16`,
+//! Per-round cost of the five executors at `n = 2^12 … 2^16`,
 //! failure-free and under a crash burst.
 //!
 //! Each iteration runs a fixed, small number of rounds (`max_rounds`), so
@@ -19,7 +19,11 @@
 //!
 //! * per-process holds `n` distinct `O(n)` views in memory, so it stops
 //!   at `2^14` (a `2^16` grid point would need tens of GB);
-//! * threaded spawns one OS thread per process, so it stops at `2^12`.
+//! * threaded spawns one OS thread per process, so it stops at `2^12`;
+//! * socket holds the same `n` views as per-process (sharded over a few
+//!   workers) and additionally ships every round's inboxes over loopback
+//!   TCP, so it shares the `2^14` cap — its cells measure real
+//!   kernel-boundary message passing, frames and all.
 //!
 //! Skipped cells are printed explicitly.
 
@@ -47,8 +51,9 @@ fn bench_grid(c: &mut Criterion, group_name: &str, adversary: AdversarySpec, rou
         for executor in Executor::ALL {
             if n > size_cap(executor) {
                 eprintln!(
-                    "{group_name}/{executor}/{n:<40} skipped (above {executor}'s size cap {})",
-                    size_cap(executor)
+                    "{cell:<48} skipped (above {executor}'s size cap {cap})",
+                    cell = format!("{group_name}/{executor}/{n}"),
+                    cap = size_cap(executor)
                 );
                 continue;
             }

@@ -1,16 +1,17 @@
 //! `paper-eval` — regenerate the paper's evaluation.
 //!
 //! ```text
-//! paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel}]
+//! paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel|socket}]
 //!            [all | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 |
 //!             e11 | e12 | e13 | fig12 | fig4]...
 //! ```
 //!
 //! With no experiment ids, runs everything. `--quick` shrinks sizes and
 //! seed counts (CI/debug builds); the committed `EXPERIMENTS.md` comes
-//! from a full `--release` run. `--executor` selects which of the four
+//! from a full `--release` run. `--executor` selects which of the five
 //! bit-identical executors carries the rounds (default: `clustered`, the
-//! fast one). Unknown flags are rejected rather than being mistaken for
+//! fast one; `socket` runs every round over loopback TCP and caps sizes
+//! at `2^14`). Unknown flags are rejected rather than being mistaken for
 //! experiment ids.
 
 use std::process::ExitCode;
@@ -19,7 +20,7 @@ use bil_harness::experiments::{self, EvalOpts};
 use bil_harness::Executor;
 
 fn usage() -> &'static str {
-    "usage: paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel}]\n\
+    "usage: paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel|socket}]\n\
      \x20                 [all|e1|e2|e3|e4|e5|e6|e7|e8|e11|e12|e13|fig12|fig4]..."
 }
 

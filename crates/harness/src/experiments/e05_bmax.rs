@@ -64,10 +64,7 @@ pub fn run(opts: &EvalOpts) -> String {
         vec![1 << 10, 1 << 14]
     });
     let seeds: Vec<u64> = opts.seeds(10).collect();
-    let mode = opts
-        .executor
-        .engine_mode()
-        .expect("observed executor is in-memory");
+    let mode = opts.observed_engine_mode();
 
     // traces[i][seed] = per-phase bmax for ns[i].
     let mut all: Vec<Vec<Vec<u32>>> = Vec::new();

@@ -31,7 +31,8 @@ pub struct EvalOpts {
     /// Which executor carries every scenario's rounds. The executors are
     /// bit-identical, so tables come out the same on all of them; this
     /// picks the cost profile (clustered for sweeps, threaded to
-    /// demonstrate real message passing, …).
+    /// demonstrate real message passing, socket to send every round over
+    /// loopback TCP, …).
     pub executor: Executor,
 }
 
@@ -184,6 +185,11 @@ mod tests {
             executor: Executor::PerProcess,
         };
         assert!(per_process.pow2s(4, 16, 2).iter().all(|n| *n <= 1 << 14));
+        let socket = EvalOpts {
+            quick: false,
+            executor: Executor::Socket,
+        };
+        assert!(socket.pow2s(4, 16, 2).iter().all(|n| *n <= 1 << 14));
         // Unbounded executors keep the full grid.
         assert_eq!(EvalOpts::default().pow2s(4, 16, 2).last(), Some(&65536));
     }

@@ -14,8 +14,9 @@ use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilMsg, PathRul
 use bil_runtime::adversary::{Adversary, CrashBurst, NoFailures, RandomCrash, SteadyAttrition};
 use bil_runtime::engine::{ConfigError, EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::rng::split_mix64;
+use bil_runtime::socket::run_socket;
 use bil_runtime::threaded::run_threaded;
-use bil_runtime::{Label, Round, RunReport, SeedTree, ViewProtocol};
+use bil_runtime::{Label, Round, RunError, RunReport, SeedTree, ViewProtocol};
 use bil_tree::CoinRule;
 use rand::seq::SliceRandom;
 
@@ -79,7 +80,7 @@ impl Algorithm {
     }
 }
 
-/// Which executor carries a scenario's rounds. All four produce
+/// Which executor carries a scenario's rounds. All five produce
 /// bit-identical [`RunReport`]s (enforced by workspace tests), so the
 /// choice only affects wall-clock time and what is being demonstrated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,38 +94,43 @@ pub enum Executor {
     Threaded,
     /// Clustered views with rounds sharded across OS threads.
     Parallel,
+    /// Worker threads over loopback TCP exchanging length-prefixed
+    /// frames of wire bytes — messages cross a real OS boundary.
+    Socket,
 }
 
 impl Executor {
     /// Every executor, in the order used by comparison sweeps.
-    pub const ALL: [Executor; 4] = [
+    pub const ALL: [Executor; 5] = [
         Executor::Clustered,
         Executor::PerProcess,
         Executor::Threaded,
         Executor::Parallel,
+        Executor::Socket,
     ];
 
     /// Parses a CLI name (`clustered`, `per-process`, `threaded`,
-    /// `parallel`).
+    /// `parallel`, `socket`).
     pub fn parse(name: &str) -> Option<Executor> {
         match name {
             "clustered" => Some(Executor::Clustered),
             "per-process" => Some(Executor::PerProcess),
             "threaded" => Some(Executor::Threaded),
             "parallel" => Some(Executor::Parallel),
+            "socket" => Some(Executor::Socket),
             _ => None,
         }
     }
 
-    /// The [`EngineMode`] backing this executor, or `None` for the
-    /// channel executor (which is not an engine mode and has no
-    /// observer support).
+    /// The [`EngineMode`] backing this executor, or `None` for the wire
+    /// executors (channel and socket), which are drivers rather than
+    /// engine modes and have no observer support.
     pub fn engine_mode(&self) -> Option<EngineMode> {
         match self {
             Executor::Clustered => Some(EngineMode::Clustered),
             Executor::PerProcess => Some(EngineMode::PerProcess),
             Executor::Parallel => Some(EngineMode::Parallel),
-            Executor::Threaded => None,
+            Executor::Threaded | Executor::Socket => None,
         }
     }
 
@@ -132,13 +138,16 @@ impl Executor {
     ///
     /// Per-process holds `n` distinct `O(n)` views (≈ GBs at `2^14`,
     /// tens of GB beyond); threaded spawns one OS thread per process
-    /// (thread creation fails well below `2^16`). Scenario dispatch
+    /// (thread creation fails well below `2^16`); socket holds the same
+    /// per-process views as per-process mode (sharded over a few
+    /// workers) and additionally ships every round's inboxes over
+    /// loopback, so it shares the `2^14` memory cap. Scenario dispatch
     /// refuses larger systems loudly instead of crashing or OOMing
     /// mid-sweep; the clustered and parallel executors are unbounded.
     pub fn max_n(&self) -> Option<usize> {
         match self {
             Executor::Clustered | Executor::Parallel => None,
-            Executor::PerProcess => Some(1 << 14),
+            Executor::PerProcess | Executor::Socket => Some(1 << 14),
             Executor::Threaded => Some(1 << 12),
         }
     }
@@ -151,6 +160,7 @@ impl fmt::Display for Executor {
             Executor::PerProcess => "per-process",
             Executor::Threaded => "threaded",
             Executor::Parallel => "parallel",
+            Executor::Socket => "socket",
         };
         f.write_str(s)
     }
@@ -220,7 +230,7 @@ impl fmt::Display for AdversarySpec {
     }
 }
 
-/// A scenario construction error.
+/// A scenario construction or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScenarioError {
     /// Engine rejected the configuration (empty system etc.).
@@ -238,6 +248,10 @@ pub enum ScenarioError {
         /// The executor's cap.
         max_n: usize,
     },
+    /// A wire executor failed mid-run (malformed frame, worker
+    /// disconnect, socket I/O); the in-memory executors never produce
+    /// this.
+    Run(RunError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -258,6 +272,7 @@ impl fmt::Display for ScenarioError {
                      for systems this large"
                 )
             }
+            ScenarioError::Run(e) => write!(f, "executor failed: {e}"),
         }
     }
 }
@@ -267,6 +282,15 @@ impl Error for ScenarioError {}
 impl From<ConfigError> for ScenarioError {
     fn from(e: ConfigError) -> Self {
         ScenarioError::Config(e)
+    }
+}
+
+impl From<RunError> for ScenarioError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Config(c) => ScenarioError::Config(c),
+            other => ScenarioError::Run(other),
+        }
     }
 }
 
@@ -436,7 +460,11 @@ impl Scenario {
                 EngineOptions { mode, ..options },
             )?
             .run(),
-            None => run_threaded(protocol, labels, adversary, seeds, options)?,
+            None => match self.executor {
+                Executor::Threaded => run_threaded(protocol, labels, adversary, seeds, options)?,
+                Executor::Socket => run_socket(protocol, labels, adversary, seeds, options)?,
+                _ => unreachable!("every in-memory executor has an engine mode"),
+            },
         })
     }
 
@@ -647,6 +675,7 @@ mod tests {
             assert_eq!(Executor::parse(&e.to_string()), Some(e));
         }
         assert_eq!(Executor::parse("warp-drive"), None);
+        assert_eq!(Executor::parse("socket"), Some(Executor::Socket));
     }
 
     #[test]
@@ -661,6 +690,18 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("threaded"));
+        // The socket executor caps at per-process sizes (it holds the
+        // same n distinct views, sharded over a few workers).
+        let too_big = (1 << 14) + 1;
+        let err = Scenario::failure_free(Algorithm::BilBase, too_big)
+            .on_executor(Executor::Socket)
+            .run(0)
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ExecutorInfeasible { n, .. } if n == too_big),
+            "{err}"
+        );
+        assert!(err.to_string().contains("socket"));
         // The unbounded executors accept the same size (not run here —
         // that is what the sweeps are for).
         assert_eq!(Executor::Clustered.max_n(), None);

@@ -159,12 +159,17 @@ where
     /// every round's views are updated — and before decided members
     /// retire from their clusters, so a deciding process's final view is
     /// observable.
+    ///
+    /// Every [`EngineMode`] is backed by an in-memory transport, which is
+    /// infallible past construction — unlike the wire executors
+    /// ([`crate::threaded::run_threaded`], [`crate::socket::run_socket`]),
+    /// whose drivers return a [`crate::error::RunError`].
     pub fn run_observed(self, observer: &mut dyn Observer<P>) -> RunReport {
         let round_limit = self.options.round_limit(self.labels.len());
         let pipeline =
             RoundPipeline::new(self.labels.clone(), self.adversary, self.seeds, round_limit)
                 .expect("labels validated at engine construction");
-        match self.options.mode {
+        let result = match self.options.mode {
             EngineMode::Clustered => {
                 let mut transport =
                     LocalTransport::clustered(self.protocol, &self.labels, &self.seeds);
@@ -180,7 +185,8 @@ where
                     ParallelTransport::new(self.protocol, &self.labels, &self.seeds);
                 pipeline.run(&mut transport, observer)
             }
-        }
+        };
+        result.expect("in-memory transports are infallible")
     }
 }
 

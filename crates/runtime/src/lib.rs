@@ -29,9 +29,12 @@
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | in-memory, identical views shared | large-`n` experiment sweeps |
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Parallel`] / [`parallel::run_parallel`] | in-memory clustered, rounds sharded across OS threads | multi-core sweeps |
 //! | [`threaded::run_threaded`] | one OS thread per process, wire-encoded messages over crossbeam channels | demonstrating the protocol over real message passing |
+//! | [`socket::run_socket`] | worker threads over loopback TCP, length-prefixed frames ([`frame`]) of wire bytes | messages crossing a real OS boundary |
 //!
-//! All four produce bit-identical [`trace::RunReport`]s for the same
-//! `(protocol, labels, adversary, seed)`; tests enforce this.
+//! All five produce bit-identical [`trace::RunReport`]s for the same
+//! `(protocol, labels, adversary, seed)`; tests enforce this. The wire
+//! executors are fallible — malformed frames and hung workers surface as
+//! a structured [`error::RunError`], never as a worker-thread panic.
 //!
 //! ## Example
 //!
@@ -57,16 +60,20 @@
 
 pub mod adversary;
 pub mod engine;
+pub mod error;
+pub mod frame;
 pub mod ids;
 pub mod parallel;
 pub mod pipeline;
 pub mod rng;
+pub mod socket;
 pub mod testproto;
 pub mod threaded;
 pub mod trace;
 pub mod view;
 pub mod wire;
 
+pub use error::RunError;
 pub use ids::{Label, Name, ProcId, Round};
 pub use rng::SeedTree;
 pub use trace::{CrashEvent, Decision, Outcome, RunReport};

@@ -27,7 +27,8 @@ use crossbeam::thread as cb_thread;
 use rand::rngs::SmallRng;
 
 use crate::adversary::Adversary;
-use crate::engine::{ConfigError, EngineOptions};
+use crate::engine::EngineOptions;
+use crate::error::RunError;
 use crate::ids::{Label, ProcId, Round};
 use crate::pipeline::{merge_clusters, LocalTransport, RoundMessages, RoundPipeline, Transport};
 use crate::rng::SeedTree;
@@ -76,7 +77,11 @@ impl<P: ViewProtocol> ParallelTransport<P> {
 }
 
 impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
-    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)> {
+    fn compose(
+        &mut self,
+        round: Round,
+        participants: &[ProcId],
+    ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
         let threads = self.threads;
         let LocalTransport {
             protocol,
@@ -96,14 +101,14 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
         debug_assert_eq!(items.len(), participants.len());
 
         if threads < 2 || items.len() < 2 {
-            return items
+            return Ok(items
                 .into_iter()
                 .map(|(pid, view)| {
                     let label = labels[pid.index()];
                     let msg = protocol.compose(view, label, round, &mut rngs[pid.index()]);
                     (pid, label, msg)
                 })
-                .collect();
+                .collect());
         }
 
         let shard_len = items.len().div_ceil(threads);
@@ -143,7 +148,7 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
                 out.extend(h.join().expect("compose shard panicked"));
             }
         });
-        out
+        Ok(out)
     }
 
     fn apply(
@@ -152,7 +157,7 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
         alive: &[bool],
         _survivors: &[ProcId],
         msgs: &RoundMessages<P::Msg>,
-    ) {
+    ) -> Result<(), RunError> {
         let threads = self.threads;
         let LocalTransport {
             protocol,
@@ -166,7 +171,7 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
         let mut items = LocalTransport::<P>::split_groups(clusters, alive, msgs);
         if threads < 2 || items.len() < 2 {
             for (sig, _, view) in items.iter_mut() {
-                protocol.apply(view, round, msgs.inbox_for(sig));
+                protocol.apply(view, round, msgs.inbox_by_id(*sig));
             }
         } else {
             let shard_len = items.len().div_ceil(threads);
@@ -175,7 +180,7 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
                 for shard in items.chunks_mut(shard_len) {
                     s.spawn(move || {
                         for (sig, _, view) in shard.iter_mut() {
-                            protocol.apply(view, round, msgs.inbox_for(sig));
+                            protocol.apply(view, round, msgs.inbox_by_id(*sig));
                         }
                     });
                 }
@@ -194,13 +199,14 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
             next = merge_clusters(next);
         }
         *clusters = next;
+        Ok(())
     }
 
     fn observe(&mut self, ctx: ObserverCtx<'_>, observer: &mut dyn Observer<P>) {
         self.inner.observe(ctx, observer);
     }
 
-    fn sweep(&mut self, round: Round) -> Vec<(ProcId, Status)> {
+    fn sweep(&mut self, round: Round) -> Result<Vec<(ProcId, Status)>, RunError> {
         self.inner.sweep(round)
     }
 }
@@ -214,14 +220,15 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+/// Returns [`RunError::Config`] if `labels` is empty or contains
+/// duplicates; the in-memory transport itself is infallible.
 pub fn run_parallel<P, A>(
     protocol: P,
     labels: Vec<Label>,
     adversary: A,
     seeds: SeedTree,
     options: EngineOptions,
-) -> Result<RunReport, ConfigError>
+) -> Result<RunReport, RunError>
 where
     P: ViewProtocol,
     A: Adversary<P::Msg>,
@@ -229,14 +236,14 @@ where
     let round_limit = options.round_limit(labels.len());
     let mut transport = ParallelTransport::new(protocol, &labels, &seeds);
     let pipeline = RoundPipeline::new(labels, adversary, seeds, round_limit)?;
-    Ok(pipeline.run(&mut transport, &mut NoObserver))
+    pipeline.run(&mut transport, &mut NoObserver)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
-    use crate::engine::{EngineMode, SyncEngine};
+    use crate::engine::{ConfigError, EngineMode, SyncEngine};
     use crate::testproto::{RankOnce, UnionRank};
     use crate::trace::Outcome;
 
@@ -271,7 +278,7 @@ mod tests {
                 SeedTree::new(0),
                 EngineOptions::default()
             ),
-            Err(ConfigError::EmptySystem)
+            Err(RunError::Config(ConfigError::EmptySystem))
         ));
     }
 
@@ -329,6 +336,7 @@ mod tests {
             RoundPipeline::new(ls.clone(), hostile(), seeds, 1000)
                 .unwrap()
                 .run(&mut t, &mut NoObserver)
+                .unwrap()
         };
         let one = run_with(1);
         for threads in [2, 3, 8, 64] {

@@ -43,6 +43,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 
 use crate::adversary::{Adversary, AdversaryView, Recipients};
+use crate::error::RunError;
 use crate::ids::{Label, ProcId, Round};
 use crate::rng::SeedTree;
 use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
@@ -88,6 +89,12 @@ pub fn validate_labels(labels: &[Label]) -> Result<(), ConfigError> {
     Ok(())
 }
 
+/// An interned delivery-signature id, assigned by
+/// [`RoundMessages::prepare`]. Ids are dense (`0..variant_count`) and
+/// deterministic: signatures are numbered in first-encounter order over
+/// the survivors, which the pipeline visits in slot order.
+pub type SigId = u32;
+
 /// One round's broadcasts in shared form: a single label-sorted buffer of
 /// reliably-delivered messages behind an [`Arc`], plus the partial
 /// deliveries of senders that crashed mid-broadcast.
@@ -95,23 +102,33 @@ pub fn validate_labels(labels: &[Label]) -> Result<(), ConfigError> {
 /// Recipients are keyed by their *delivery signature* — which of the
 /// round's dying broadcasts they hear. All recipients with the same
 /// signature share one physical inbox; with no crashes that is the `base`
-/// buffer itself, handed out by `Arc` clone.
+/// buffer itself, handed out by `Arc` clone. [`RoundMessages::prepare`]
+/// interns each destination's signature once, so per-delivery lookups
+/// ([`RoundMessages::inbox`], [`RoundMessages::sig_id`]) are
+/// allocation-free — crash-free rounds never rebuild a signature vector
+/// per recipient.
 pub struct RoundMessages<M> {
     /// Broadcasts of senders that survived the round, sorted by label.
-    base: Arc<Vec<(Label, M)>>,
+    base: Inbox<M>,
     /// Broadcasts of senders that crashed this round, with the recipient
     /// set the adversary chose for each.
     partial: Vec<(Label, M, Recipients)>,
-    /// Signature → shared inbox, built by [`RoundMessages::prepare`].
-    inboxes: BTreeMap<Vec<bool>, Arc<Vec<(Label, M)>>>,
+    /// Distinct delivery signatures with their shared inboxes, indexed by
+    /// [`SigId`]; built by [`RoundMessages::prepare`].
+    variants: Vec<(Vec<bool>, Inbox<M>)>,
+    /// Slot → interned signature id, filled by [`RoundMessages::prepare`].
+    sig_of: Vec<Option<SigId>>,
 }
+
+/// A shared, label-sorted inbox buffer.
+type Inbox<M> = Arc<Vec<(Label, M)>>;
 
 impl<M: fmt::Debug> fmt::Debug for RoundMessages<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RoundMessages")
             .field("base", &self.base.len())
             .field("partial", &self.partial.len())
-            .field("inboxes", &self.inboxes.len())
+            .field("variants", &self.variants.len())
             .finish()
     }
 }
@@ -142,7 +159,8 @@ impl<M: Clone> RoundMessages<M> {
         RoundMessages {
             base: Arc::new(base),
             partial,
-            inboxes: BTreeMap::new(),
+            variants: Vec::new(),
+            sig_of: vec![None; alive.len()],
         }
     }
 
@@ -155,18 +173,35 @@ impl<M: Clone> RoundMessages<M> {
             .collect()
     }
 
-    /// Builds the shared inbox of every signature occurring among `dsts`.
+    /// Interns the signature of every `dst` and builds one shared inbox
+    /// per distinct signature. In crash-free rounds this is a single
+    /// variant — the base buffer itself — assigned to every destination
+    /// without computing any signatures.
     pub fn prepare(&mut self, dsts: &[ProcId]) {
+        if self.partial.is_empty() {
+            if self.variants.is_empty() {
+                self.variants.push((Vec::new(), Arc::clone(&self.base)));
+            }
+            for &dst in dsts {
+                self.sig_of[dst.index()] = Some(0);
+            }
+            return;
+        }
         for &dst in dsts {
             let sig = self.signature(dst);
-            if !self.inboxes.contains_key(&sig) {
-                let inbox = self.build(&sig);
-                self.inboxes.insert(sig, inbox);
-            }
+            let id = match self.variants.iter().position(|(s, _)| *s == sig) {
+                Some(i) => i,
+                None => {
+                    let inbox = self.build(&sig);
+                    self.variants.push((sig, inbox));
+                    self.variants.len() - 1
+                }
+            };
+            self.sig_of[dst.index()] = Some(id as SigId);
         }
     }
 
-    fn build(&self, sig: &[bool]) -> Arc<Vec<(Label, M)>> {
+    fn build(&self, sig: &[bool]) -> Inbox<M> {
         if !sig.iter().any(|&heard| heard) {
             // No dying broadcast heard: the shared base buffer *is* the
             // inbox — no clone, no sort.
@@ -182,25 +217,36 @@ impl<M: Clone> RoundMessages<M> {
         Arc::new(inbox)
     }
 
-    /// The shared inbox for delivery signature `sig`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sig` was not covered by [`RoundMessages::prepare`].
-    pub fn inbox_for(&self, sig: &[bool]) -> &[(Label, M)] {
-        self.inboxes
-            .get(sig)
-            .expect("signature prepared before delivery")
+    /// The number of distinct delivery signatures interned so far.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
     }
 
-    /// The shared inbox of recipient `dst`.
+    /// `dst`'s interned signature id. Allocation-free.
     ///
     /// # Panics
     ///
-    /// Panics if `dst`'s signature was not covered by
-    /// [`RoundMessages::prepare`].
+    /// Panics if `dst` was not covered by [`RoundMessages::prepare`].
+    pub fn sig_id(&self, dst: ProcId) -> SigId {
+        self.sig_of[dst.index()].expect("destination prepared before delivery")
+    }
+
+    /// The shared inbox for interned signature `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by [`RoundMessages::prepare`].
+    pub fn inbox_by_id(&self, id: SigId) -> &[(Label, M)] {
+        &self.variants[id as usize].1
+    }
+
+    /// The shared inbox of recipient `dst`. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` was not covered by [`RoundMessages::prepare`].
     pub fn inbox(&self, dst: ProcId) -> &[(Label, M)] {
-        self.inbox_for(&self.signature(dst))
+        self.inbox_by_id(self.sig_id(dst))
     }
 }
 
@@ -211,16 +257,29 @@ impl<M: Clone> RoundMessages<M> {
 /// structure; implementations must uphold the determinism contract of
 /// [`ViewProtocol`] (same views, same RNG streams, same apply order) so
 /// that every transport yields a bit-identical [`RunReport`].
+///
+/// The per-round methods are fallible because the wire transports
+/// ([`crate::threaded::ChannelTransport`], the socket transport) move
+/// encoded bytes across real OS boundaries: a malformed frame or a hung
+/// worker surfaces as a structured [`RunError`] that the pipeline
+/// propagates to the driver (after best-effort teardown), never as a
+/// panic inside a worker thread. The in-memory transports are
+/// infallible and always return `Ok`.
 pub trait Transport<P: ViewProtocol> {
     /// Composes the round broadcast of every process in `participants`
     /// (all alive and undecided, in slot order). The result must be
     /// sorted by slot with exactly one entry per participant.
-    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)>;
+    fn compose(
+        &mut self,
+        round: Round,
+        participants: &[ProcId],
+    ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError>;
 
     /// Notifies that `pid` crashed this round, before delivery. Its view
     /// receives no further updates.
-    fn crashed(&mut self, pid: ProcId) {
+    fn crashed(&mut self, pid: ProcId) -> Result<(), RunError> {
         let _ = pid;
+        Ok(())
     }
 
     /// Folds the round's shared inboxes into the views of `survivors`
@@ -232,7 +291,7 @@ pub trait Transport<P: ViewProtocol> {
         alive: &[bool],
         survivors: &[ProcId],
         msgs: &RoundMessages<P::Msg>,
-    );
+    ) -> Result<(), RunError>;
 
     /// Observer hook, fired after [`Transport::apply`] and before
     /// [`Transport::sweep`] retires decided processes. Transports with
@@ -245,10 +304,11 @@ pub trait Transport<P: ViewProtocol> {
     /// Reads the post-apply [`Status`] of every survivor (slot order) and
     /// retires the decided ones: they must not participate in later
     /// rounds.
-    fn sweep(&mut self, round: Round) -> Vec<(ProcId, Status)>;
+    fn sweep(&mut self, round: Round) -> Result<Vec<(ProcId, Status)>, RunError>;
 
-    /// Tears the transport down after the final round (join worker
-    /// threads, release channels). Called exactly once.
+    /// Tears the transport down (join worker threads, release channels
+    /// and sockets). Called exactly once, after the final round or after
+    /// the first error; best-effort, so it is infallible.
     fn shutdown(&mut self) {}
 }
 
@@ -301,7 +361,35 @@ impl<A> RoundPipeline<A> {
 
     /// Runs the synchronous execution to completion (or the round limit)
     /// over `transport`, reporting each round to `observer`.
-    pub fn run<P, T>(mut self, transport: &mut T, observer: &mut dyn Observer<P>) -> RunReport
+    ///
+    /// The transport is shut down exactly once before returning, on
+    /// success and on error alike.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] the transport reports (wire
+    /// decode failures, worker disconnects, socket I/O). In-memory
+    /// transports never fail.
+    pub fn run<P, T>(
+        mut self,
+        transport: &mut T,
+        observer: &mut dyn Observer<P>,
+    ) -> Result<RunReport, RunError>
+    where
+        P: ViewProtocol,
+        A: Adversary<P::Msg>,
+        T: Transport<P>,
+    {
+        let result = self.drive(transport, observer);
+        transport.shutdown();
+        result
+    }
+
+    fn drive<P, T>(
+        &mut self,
+        transport: &mut T,
+        observer: &mut dyn Observer<P>,
+    ) -> Result<RunReport, RunError>
     where
         P: ViewProtocol,
         A: Adversary<P::Msg>,
@@ -335,7 +423,7 @@ impl<A> RoundPipeline<A> {
                 .map(ProcId)
                 .filter(|p| alive[p.index()] && !decided_flags[p.index()])
                 .collect();
-            let outgoing = transport.compose(round, &participants);
+            let outgoing = transport.compose(round, &participants)?;
             debug_assert!(
                 outgoing.len() == participants.len()
                     && outgoing
@@ -370,7 +458,7 @@ impl<A> RoundPipeline<A> {
                     label: self.labels[victim.index()],
                     round,
                 });
-                transport.crashed(*victim);
+                transport.crashed(*victim)?;
             }
 
             // 3. Accounting: every broadcast is n−1 point-to-point sends.
@@ -394,7 +482,7 @@ impl<A> RoundPipeline<A> {
             }
 
             // 5. Apply the round on the transport's views.
-            transport.apply(round, &alive, &survivors, &msgs);
+            transport.apply(round, &alive, &survivors, &msgs)?;
 
             // Observe the round's resulting views *before* the status
             // sweep retires decided members, so the final state of a
@@ -411,7 +499,7 @@ impl<A> RoundPipeline<A> {
 
             // 6. Status sweep: decided processes leave the computation
             // and go silent from the next round.
-            for (pid, status) in transport.sweep(round) {
+            for (pid, status) in transport.sweep(round)? {
                 if let Status::Decided(name) = status {
                     decided[pid.index()] = Some(Decision { name, round });
                     decided_flags[pid.index()] = true;
@@ -419,7 +507,6 @@ impl<A> RoundPipeline<A> {
             }
             rounds_executed = round_idx + 1;
         }
-        transport.shutdown();
 
         // The loop may also exit by exhausting `round_limit` iterations
         // with everyone already decided; classify correctly.
@@ -427,18 +514,18 @@ impl<A> RoundPipeline<A> {
             outcome = Outcome::Completed;
         }
 
-        RunReport {
+        Ok(RunReport {
             n,
             seed: self.master_seed,
             rounds: rounds_executed,
             decisions: decided,
-            labels: self.labels,
+            labels: std::mem::take(&mut self.labels),
             crashes: crash_events,
             messages_sent,
             messages_delivered,
             wire_bytes_sent,
             outcome,
-        }
+        })
     }
 }
 
@@ -503,16 +590,17 @@ impl<P: ViewProtocol> LocalTransport<P> {
         }
     }
 
-    /// Splits each cluster's live members into groups by delivery
-    /// signature, handing each group an owned view (the sole — or
-    /// last-constructed — group takes the view by move instead of clone).
-    /// Returns `(signature, members, view)` work items in deterministic
-    /// order; the caller applies the protocol and reassembles clusters.
+    /// Splits each cluster's live members into groups by interned
+    /// delivery signature, handing each group an owned view (the sole —
+    /// or last-constructed — group takes the view by move instead of
+    /// clone). Returns `(sig_id, members, view)` work items in
+    /// deterministic order; the caller applies the protocol and
+    /// reassembles clusters.
     pub(crate) fn split_groups(
         clusters: &mut Vec<Cluster<P::View>>,
         alive: &[bool],
         msgs: &RoundMessages<P::Msg>,
-    ) -> Vec<(Vec<bool>, Vec<ProcId>, P::View)> {
+    ) -> Vec<(SigId, Vec<ProcId>, P::View)> {
         let mut items = Vec::new();
         for cluster in clusters.drain(..) {
             let Cluster { members, view } = cluster;
@@ -520,10 +608,11 @@ impl<P: ViewProtocol> LocalTransport<P> {
             if live.is_empty() {
                 continue;
             }
-            // Partition members by which dying broadcasts they hear.
-            let mut groups: BTreeMap<Vec<bool>, Vec<ProcId>> = BTreeMap::new();
+            // Partition members by which dying broadcasts they hear
+            // (allocation-free: signatures were interned in `prepare`).
+            let mut groups: BTreeMap<SigId, Vec<ProcId>> = BTreeMap::new();
             for m in live {
-                groups.entry(msgs.signature(m)).or_default().push(m);
+                groups.entry(msgs.sig_id(m)).or_default().push(m);
             }
             let single = groups.len() == 1;
             let mut view_src = Some(view);
@@ -541,7 +630,11 @@ impl<P: ViewProtocol> LocalTransport<P> {
 }
 
 impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
-    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)> {
+    fn compose(
+        &mut self,
+        round: Round,
+        participants: &[ProcId],
+    ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
         let mut outgoing: Vec<(ProcId, Label, P::Msg)> = Vec::with_capacity(participants.len());
         for cluster in &self.clusters {
             for &pid in &cluster.members {
@@ -553,7 +646,7 @@ impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
             }
         }
         outgoing.sort_by_key(|(p, _, _)| *p);
-        outgoing
+        Ok(outgoing)
     }
 
     fn apply(
@@ -562,24 +655,25 @@ impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
         alive: &[bool],
         _survivors: &[ProcId],
         msgs: &RoundMessages<P::Msg>,
-    ) {
+    ) -> Result<(), RunError> {
         let items = Self::split_groups(&mut self.clusters, alive, msgs);
         let mut next: Vec<Cluster<P::View>> = Vec::with_capacity(items.len());
         for (sig, members, mut view) in items {
-            self.protocol.apply(&mut view, round, msgs.inbox_for(&sig));
+            self.protocol.apply(&mut view, round, msgs.inbox_by_id(sig));
             next.push(Cluster { members, view });
         }
         if self.merge {
             next = merge_clusters(next);
         }
         self.clusters = next;
+        Ok(())
     }
 
     fn observe(&mut self, ctx: ObserverCtx<'_>, observer: &mut dyn Observer<P>) {
         observer.after_round(ctx, &self.clusters);
     }
 
-    fn sweep(&mut self, round: Round) -> Vec<(ProcId, Status)> {
+    fn sweep(&mut self, round: Round) -> Result<Vec<(ProcId, Status)>, RunError> {
         let mut statuses = Vec::new();
         for cluster in &mut self.clusters {
             let protocol = &self.protocol;
@@ -592,7 +686,7 @@ impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
             });
         }
         self.clusters.retain(|c| !c.members.is_empty());
-        statuses
+        Ok(statuses)
     }
 }
 
@@ -638,9 +732,11 @@ mod tests {
         let mut msgs = RoundMessages::new(outgoing, &alive, &[]);
         msgs.prepare(&[ProcId(0), ProcId(1)]);
         // One shared inbox, sorted by label.
-        assert_eq!(msgs.inboxes.len(), 1);
+        assert_eq!(msgs.variant_count(), 1);
         assert_eq!(msgs.inbox(ProcId(0)), &[(Label(10), 2), (Label(20), 1)]);
-        let a = msgs.inboxes.values().next().expect("one inbox");
+        // Both recipients intern the same signature id.
+        assert_eq!(msgs.sig_id(ProcId(0)), msgs.sig_id(ProcId(1)));
+        let a = &msgs.variants[0].1;
         assert!(
             Arc::ptr_eq(a, &msgs.base),
             "crash-free inbox is the base buffer"
@@ -659,7 +755,8 @@ mod tests {
         let crashes = vec![(ProcId(1), Recipients::Set(vec![ProcId(0)]))];
         let mut msgs = RoundMessages::new(outgoing, &alive, &crashes);
         msgs.prepare(&[ProcId(0), ProcId(2)]);
-        assert_eq!(msgs.inboxes.len(), 2);
+        assert_eq!(msgs.variant_count(), 2);
+        assert_ne!(msgs.sig_id(ProcId(0)), msgs.sig_id(ProcId(2)));
         assert_eq!(
             msgs.inbox(ProcId(0)),
             &[(Label(3), 1), (Label(5), 0), (Label(8), 2)]
@@ -680,7 +777,8 @@ mod tests {
         let mut t = LocalTransport::clustered(RankOnce, &labels, &seeds);
         let report = RoundPipeline::new(labels, NoFailures, seeds, 64)
             .expect("valid configuration")
-            .run(&mut t, &mut NoObserver);
+            .run(&mut t, &mut NoObserver)
+            .expect("in-memory transports are infallible");
         assert!(report.completed());
         assert_eq!(report.rounds, 1);
     }

@@ -1,0 +1,1013 @@
+//! Socket executor: workers on real OS sockets, lock-stepped per round.
+//!
+//! This is the first executor where messages cross an actual OS boundary:
+//! the coordinator binds a loopback TCP listener, spawns worker threads
+//! that each *connect back over the kernel's socket layer*, and every
+//! command, broadcast, and inbox travels as a length-prefixed frame
+//! ([`crate::frame`]) of [`Wire`]-encoded bytes. Each worker owns a
+//! contiguous range of process slots — their views and RNG streams never
+//! leave the worker — so the executor scales the paper's model from
+//! "thread per process" to "a few workers, each simulating a cluster of
+//! processes", the same shape a multi-host deployment would have.
+//!
+//! The shared [`RoundPipeline`] remains the single round loop: it plays
+//! the strong adaptive adversary, plans deliveries (including the partial
+//! deliveries of dying broadcasts), and does all accounting, while
+//! [`SocketTransport`] only moves bytes. A [`RunReport`] from
+//! [`run_socket`] is therefore **bit-identical** to every other
+//! executor's for the same `(protocol, labels, adversary, seed)` — the
+//! workspace determinism tests assert this, crash-heavy schedules
+//! included — and independent of the worker count.
+//!
+//! ## Wire protocol
+//!
+//! Every frame payload starts with a varint tag. The coordinator sends
+//! `Compose` (round + participating slots), `Deliver` (round + one
+//! shared inbox per interned delivery signature, each with its recipient
+//! slots — so an inbox crosses the wire once per worker per signature,
+//! not once per recipient), `Retire` (a slot crashed or decided), and
+//! `Exit`. Workers answer `Composed` (slot-ordered encoded broadcasts),
+//! `Applied` (slot-ordered statuses), or `Error` (a structured fault).
+//!
+//! ## Failure handling
+//!
+//! All I/O carries a timeout (see [`SocketOptions::io_timeout`]), so a
+//! hung peer surfaces as [`RunError::Io`] instead of a stalled run; a
+//! malformed frame or message surfaces as [`RunError::Frame`] /
+//! [`RunError::Decode`]; a worker that dies mid-run as
+//! [`RunError::Disconnected`]. Workers never panic across the boundary —
+//! they report faults as `Error` frames and exit their loop.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::adversary::Adversary;
+use crate::engine::EngineOptions;
+use crate::error::RunError;
+use crate::frame::{get_blob, put_blob, read_frame, write_frame, FrameDecoder};
+use crate::ids::{Label, Name, ProcId, Round};
+use crate::pipeline::{RoundMessages, RoundPipeline, SigId, Transport};
+use crate::rng::SeedTree;
+use crate::trace::RunReport;
+use crate::view::{NoObserver, Status, ViewProtocol};
+use crate::wire::{get_varint, put_varint, Wire, WireError};
+
+/// Frame tags of the coordinator↔worker protocol.
+mod tag {
+    pub const HELLO: u64 = 0;
+    pub const COMPOSE: u64 = 1;
+    pub const DELIVER: u64 = 2;
+    pub const RETIRE: u64 = 3;
+    pub const EXIT: u64 = 4;
+    pub const COMPOSED: u64 = 5;
+    pub const APPLIED: u64 = 6;
+    pub const ERROR: u64 = 7;
+}
+
+/// Fault kinds carried by an `Error` frame.
+mod fault {
+    pub const WIRE: u64 = 0;
+    pub const BAD_SLOT: u64 = 1;
+}
+
+/// Tuning knobs of the socket executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketOptions {
+    /// Number of worker connections; `None` picks
+    /// `min(available_parallelism, n)`. The produced [`RunReport`] does
+    /// not depend on this — only wall-clock time does.
+    pub workers: Option<usize>,
+    /// Read/write/accept timeout on every stream. A hung peer then fails
+    /// the run with [`RunError::Io`] instead of stalling it; `None`
+    /// blocks forever (not recommended outside debugging).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for SocketOptions {
+    fn default() -> Self {
+        SocketOptions {
+            workers: None,
+            io_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl SocketOptions {
+    fn worker_count(&self, n: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        };
+        self.workers.unwrap_or_else(auto).clamp(1, n.max(1))
+    }
+}
+
+/// Encodes a [`WireError`] into an `Error` frame body.
+fn put_wire_error(buf: &mut BytesMut, sender: Option<Label>, e: &WireError) {
+    put_varint(buf, fault::WIRE);
+    match sender {
+        Some(l) => {
+            put_varint(buf, 1);
+            put_varint(buf, l.0);
+        }
+        None => put_varint(buf, 0),
+    }
+    let (code, arg) = match e {
+        WireError::UnexpectedEnd => (0, 0),
+        WireError::VarintOverflow => (1, 0),
+        WireError::BadTag(t) => (2, *t as u64),
+        WireError::LengthOverflow(l) => (3, *l),
+        WireError::TrailingBytes(k) => (4, *k as u64),
+    };
+    put_varint(buf, code);
+    put_varint(buf, arg);
+}
+
+/// Decodes an `Error` frame body (after its tag) into a [`RunError`].
+fn get_worker_fault(buf: &mut Bytes, worker: usize) -> RunError {
+    let parse = |buf: &mut Bytes| -> Result<RunError, WireError> {
+        match get_varint(buf)? {
+            fault::WIRE => {
+                let sender = if get_varint(buf)? == 1 {
+                    Some(Label(get_varint(buf)?))
+                } else {
+                    None
+                };
+                let code = get_varint(buf)?;
+                let arg = get_varint(buf)?;
+                let error = match code {
+                    0 => WireError::UnexpectedEnd,
+                    1 => WireError::VarintOverflow,
+                    2 => WireError::BadTag(arg as u8),
+                    3 => WireError::LengthOverflow(arg),
+                    _ => WireError::TrailingBytes(arg as usize),
+                };
+                Ok(RunError::Decode { sender, error })
+            }
+            fault::BAD_SLOT => Ok(RunError::Protocol {
+                context: "worker executing a command",
+                detail: format!(
+                    "worker {worker} was handed unknown slot {}",
+                    get_varint(buf)?
+                ),
+            }),
+            k => Ok(RunError::Protocol {
+                context: "decoding a worker fault",
+                detail: format!("unknown fault kind {k} from worker {worker}"),
+            }),
+        }
+    };
+    parse(buf).unwrap_or_else(|error| RunError::Frame {
+        context: "decoding a worker fault",
+        error,
+    })
+}
+
+/// A worker-side failure while executing one command.
+enum WorkerFault {
+    Wire(Option<Label>, WireError),
+    BadSlot(u64),
+}
+
+impl From<WireError> for WorkerFault {
+    fn from(e: WireError) -> Self {
+        WorkerFault::Wire(None, e)
+    }
+}
+
+/// Per-slot worker state: label, private view, private RNG stream.
+struct Proc<P: ViewProtocol> {
+    label: Label,
+    view: P::View,
+    rng: rand::rngs::SmallRng,
+}
+
+/// The body of one worker thread: connect back to the coordinator,
+/// handshake, then serve framed commands until `Exit` or a dead stream.
+fn worker_main<P>(
+    proto: P,
+    n: usize,
+    index: usize,
+    slots: Vec<(u32, Label)>,
+    seeds: SeedTree,
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
+) where
+    P: ViewProtocol + Clone + Send + 'static,
+{
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(io_timeout);
+    let _ = stream.set_write_timeout(io_timeout);
+
+    let mut procs: BTreeMap<u64, Proc<P>> = slots
+        .into_iter()
+        .map(|(slot, label)| {
+            (
+                slot as u64,
+                Proc {
+                    label,
+                    view: proto.init_view(n),
+                    rng: seeds.process_rng(ProcId(slot)),
+                },
+            )
+        })
+        .collect();
+
+    let mut hello = BytesMut::new();
+    put_varint(&mut hello, tag::HELLO);
+    put_varint(&mut hello, index as u64);
+    if write_frame(&mut stream, &hello).is_err() {
+        return;
+    }
+
+    let mut decoder = FrameDecoder::new();
+    loop {
+        let Ok(frame) = read_frame(&mut stream, &mut decoder, "worker reading a command", index)
+        else {
+            return;
+        };
+        match serve_command::<P>(&proto, &mut procs, frame) {
+            Ok(Some(response)) => {
+                if write_frame(&mut stream, &response).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => continue, // fire-and-forget command (Retire)
+            Err(None) => return,  // Exit command
+            Err(Some(f)) => {
+                let mut rsp = BytesMut::new();
+                put_varint(&mut rsp, tag::ERROR);
+                match f {
+                    WorkerFault::Wire(sender, e) => put_wire_error(&mut rsp, sender, &e),
+                    WorkerFault::BadSlot(slot) => {
+                        put_varint(&mut rsp, fault::BAD_SLOT);
+                        put_varint(&mut rsp, slot);
+                    }
+                }
+                let _ = write_frame(&mut stream, &rsp);
+                return;
+            }
+        }
+    }
+}
+
+/// Executes one command frame against the worker's slots. Returns the
+/// response frame body (if the command has one), `Ok(None)` for
+/// fire-and-forget commands, `Err(None)` for `Exit`, and
+/// `Err(Some(fault))` when the command or a message inside it was
+/// malformed.
+#[allow(clippy::type_complexity)]
+fn serve_command<P>(
+    proto: &P,
+    procs: &mut BTreeMap<u64, Proc<P>>,
+    frame: Bytes,
+) -> Result<Option<BytesMut>, Option<WorkerFault>>
+where
+    P: ViewProtocol,
+{
+    let fault = |f: WorkerFault| Some(f);
+    let wire = |e: WireError| Some(WorkerFault::from(e));
+    let mut buf = frame;
+    let command = get_varint(&mut buf).map_err(wire)?;
+    let result = match command {
+        tag::COMPOSE => {
+            let round = Round(get_varint(&mut buf).map_err(wire)?);
+            let count = get_varint(&mut buf).map_err(wire)?;
+            if count > procs.len() as u64 {
+                return Err(wire(WireError::LengthOverflow(count)));
+            }
+            let mut rsp = BytesMut::new();
+            put_varint(&mut rsp, tag::COMPOSED);
+            put_varint(&mut rsp, count);
+            for _ in 0..count {
+                let slot = get_varint(&mut buf).map_err(wire)?;
+                let Some(proc) = procs.get_mut(&slot) else {
+                    return Err(fault(WorkerFault::BadSlot(slot)));
+                };
+                let msg = proto.compose(&proc.view, proc.label, round, &mut proc.rng);
+                put_varint(&mut rsp, slot);
+                put_blob(&mut rsp, &msg.to_bytes());
+            }
+            Some(rsp)
+        }
+        tag::DELIVER => {
+            let round = Round(get_varint(&mut buf).map_err(wire)?);
+            let groups = get_varint(&mut buf).map_err(wire)?;
+            if groups > procs.len() as u64 {
+                return Err(wire(WireError::LengthOverflow(groups)));
+            }
+            let mut statuses: Vec<(u64, Status)> = Vec::new();
+            for _ in 0..groups {
+                let dst_count = get_varint(&mut buf).map_err(wire)?;
+                if dst_count > procs.len() as u64 {
+                    return Err(wire(WireError::LengthOverflow(dst_count)));
+                }
+                let mut dsts = Vec::with_capacity(dst_count as usize);
+                for _ in 0..dst_count {
+                    dsts.push(get_varint(&mut buf).map_err(wire)?);
+                }
+                let inbox_len = get_varint(&mut buf).map_err(wire)?;
+                let mut inbox: Vec<(Label, P::Msg)> = Vec::with_capacity(inbox_len as usize);
+                for _ in 0..inbox_len {
+                    let label = Label(get_varint(&mut buf).map_err(wire)?);
+                    let blob = get_blob(&mut buf).map_err(wire)?;
+                    let msg = P::Msg::from_bytes(blob)
+                        .map_err(|e| fault(WorkerFault::Wire(Some(label), e)))?;
+                    inbox.push((label, msg));
+                }
+                inbox.sort_by_key(|(l, _)| *l);
+                // One decoded inbox shared by every recipient with this
+                // delivery signature.
+                for slot in dsts {
+                    let Some(proc) = procs.get_mut(&slot) else {
+                        return Err(fault(WorkerFault::BadSlot(slot)));
+                    };
+                    proto.apply(&mut proc.view, round, &inbox);
+                    statuses.push((slot, proto.status(&proc.view, proc.label, round)));
+                }
+            }
+            statuses.sort_by_key(|(s, _)| *s);
+            let mut rsp = BytesMut::new();
+            put_varint(&mut rsp, tag::APPLIED);
+            put_varint(&mut rsp, statuses.len() as u64);
+            for (slot, status) in statuses {
+                put_varint(&mut rsp, slot);
+                match status {
+                    Status::Running => put_varint(&mut rsp, 0),
+                    Status::Decided(name) => {
+                        put_varint(&mut rsp, 1);
+                        put_varint(&mut rsp, name.0 as u64);
+                    }
+                }
+            }
+            Some(rsp)
+        }
+        tag::RETIRE => {
+            let slot = get_varint(&mut buf).map_err(wire)?;
+            procs.remove(&slot);
+            None
+        }
+        tag::EXIT => return Err(None),
+        t => return Err(wire(WireError::BadTag(t as u8))),
+    };
+    if !buf.is_empty() {
+        return Err(wire(WireError::TrailingBytes(buf.len())));
+    }
+    Ok(result)
+}
+
+/// The socket transport: a few worker threads, each owning a contiguous
+/// range of process slots, connected to the coordinator over loopback
+/// TCP and lock-stepped by the [`RoundPipeline`] through length-prefixed
+/// frames of wire-encoded messages.
+pub struct SocketTransport<P: ViewProtocol> {
+    labels: Vec<Label>,
+    /// Coordinator-side stream per worker, in worker-index order.
+    streams: Vec<TcpStream>,
+    decoders: Vec<FrameDecoder>,
+    /// Slot → owning worker index. Ranges are contiguous and ascending,
+    /// so concatenating per-worker responses in worker order yields slot
+    /// order.
+    worker_of: Vec<usize>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// This round's encoded broadcasts, for inbox routing.
+    bytes_by_label: BTreeMap<Label, Bytes>,
+    /// Statuses collected in [`Transport::apply`], drained by
+    /// [`Transport::sweep`].
+    statuses: Vec<(ProcId, Status)>,
+    _protocol: std::marker::PhantomData<P>,
+}
+
+impl<P: ViewProtocol> fmt::Debug for SocketTransport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("n", &self.labels.len())
+            .field("workers", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> SocketTransport<P>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+{
+    /// Binds a loopback listener, spawns the worker threads, and
+    /// completes the handshake with each.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Io`] if binding, accepting, or the handshake times
+    /// out or fails; [`RunError::Protocol`] on a malformed handshake.
+    pub fn spawn(
+        protocol: &P,
+        labels: &[Label],
+        seeds: &SeedTree,
+        options: SocketOptions,
+    ) -> Result<Self, RunError> {
+        let n = labels.len();
+        let workers = options.worker_count(n);
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| RunError::io("binding loopback", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RunError::io("reading the listener address", &e))?;
+
+        // Contiguous slot ranges, remainder spread over the first ranges.
+        let mut worker_of = vec![0usize; n];
+        let mut handles = Vec::with_capacity(workers);
+        let base = n / workers;
+        let rem = n % workers;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < rem);
+            let slots: Vec<(u32, Label)> = (start..start + len)
+                .map(|s| {
+                    worker_of[s] = w;
+                    (s as u32, labels[s])
+                })
+                .collect();
+            start += len;
+            let proto = protocol.clone();
+            let seeds = *seeds;
+            let io_timeout = options.io_timeout;
+            handles.push(thread::spawn(move || {
+                worker_main(proto, n, w, slots, seeds, addr, io_timeout);
+            }));
+        }
+
+        // Accept with a deadline so a worker that never connects fails
+        // the run instead of hanging it; `io_timeout: None` disables the
+        // deadline here too, consistently with the stream timeouts.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RunError::io("configuring the listener", &e))?;
+        let deadline = options.io_timeout.map(|t| Instant::now() + t);
+        let mut streams: Vec<Option<(TcpStream, FrameDecoder)>> =
+            (0..workers).map(|_| None).collect();
+        let mut accepted = 0usize;
+        while accepted < workers {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| RunError::io("configuring a worker stream", &e))?;
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(options.io_timeout)
+                        .map_err(|e| RunError::io("configuring a worker stream", &e))?;
+                    stream
+                        .set_write_timeout(options.io_timeout)
+                        .map_err(|e| RunError::io("configuring a worker stream", &e))?;
+                    let mut decoder = FrameDecoder::new();
+                    let mut hello =
+                        read_frame(&mut stream, &mut decoder, "reading a handshake", accepted)?;
+                    let bad_handshake = |detail: String| RunError::Protocol {
+                        context: "reading a handshake",
+                        detail,
+                    };
+                    let t = get_varint(&mut hello).map_err(|error| RunError::Frame {
+                        context: "reading a handshake",
+                        error,
+                    })?;
+                    if t != tag::HELLO {
+                        return Err(bad_handshake(format!("expected Hello, got tag {t}")));
+                    }
+                    let index = get_varint(&mut hello).map_err(|error| RunError::Frame {
+                        context: "reading a handshake",
+                        error,
+                    })? as usize;
+                    if index >= workers {
+                        return Err(bad_handshake(format!("worker index {index} out of range")));
+                    }
+                    if streams[index].is_some() {
+                        return Err(bad_handshake(format!("duplicate handshake from {index}")));
+                    }
+                    streams[index] = Some((stream, decoder));
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        return Err(RunError::Io {
+                            context: "accepting workers",
+                            detail: format!("only {accepted} of {workers} connected in time"),
+                        });
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(RunError::io("accepting workers", &e)),
+            }
+        }
+        let (streams, decoders) = streams
+            .into_iter()
+            .map(|s| s.expect("all workers accepted"))
+            .unzip();
+        Ok(SocketTransport {
+            labels: labels.to_vec(),
+            streams,
+            decoders,
+            worker_of,
+            handles,
+            bytes_by_label: BTreeMap::new(),
+            statuses: Vec::new(),
+            _protocol: std::marker::PhantomData,
+        })
+    }
+
+    /// The number of worker connections.
+    pub fn workers(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn write(
+        &mut self,
+        worker: usize,
+        frame: &[u8],
+        context: &'static str,
+    ) -> Result<(), RunError> {
+        write_frame(&mut self.streams[worker], frame).map_err(|e| RunError::Io {
+            context,
+            detail: format!("worker {worker}: {e}"),
+        })
+    }
+
+    fn read(&mut self, worker: usize, context: &'static str) -> Result<Bytes, RunError> {
+        read_frame(
+            &mut self.streams[worker],
+            &mut self.decoders[worker],
+            context,
+            worker,
+        )
+    }
+
+    /// Reads one response frame from `worker`, mapping `Error` frames to
+    /// their [`RunError`] and any other tag mismatch to a protocol
+    /// violation. Returns the response body positioned after its tag.
+    fn read_response(
+        &mut self,
+        worker: usize,
+        expect: u64,
+        context: &'static str,
+    ) -> Result<Bytes, RunError> {
+        let mut frame = self.read(worker, context)?;
+        let t = get_varint(&mut frame).map_err(|error| RunError::Frame { context, error })?;
+        if t == expect {
+            return Ok(frame);
+        }
+        if t == tag::ERROR {
+            return Err(get_worker_fault(&mut frame, worker));
+        }
+        Err(RunError::Protocol {
+            context,
+            detail: format!("worker {worker} answered tag {t}, expected {expect}"),
+        })
+    }
+
+    /// Groups `pids` (slot-ascending) by owning worker, preserving order.
+    fn per_worker(&self, pids: &[ProcId]) -> Vec<Vec<ProcId>> {
+        let mut out: Vec<Vec<ProcId>> = vec![Vec::new(); self.streams.len()];
+        for &p in pids {
+            out[self.worker_of[p.index()]].push(p);
+        }
+        out
+    }
+}
+
+impl<P> Transport<P> for SocketTransport<P>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+{
+    fn compose(
+        &mut self,
+        round: Round,
+        participants: &[ProcId],
+    ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
+        let per_worker = self.per_worker(participants);
+        for (w, slots) in per_worker.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let mut cmd = BytesMut::new();
+            put_varint(&mut cmd, tag::COMPOSE);
+            put_varint(&mut cmd, round.0);
+            put_varint(&mut cmd, slots.len() as u64);
+            for p in slots {
+                put_varint(&mut cmd, p.0 as u64);
+            }
+            self.write(w, &cmd, "requesting broadcasts")?;
+        }
+        self.bytes_by_label.clear();
+        let mut outgoing = Vec::with_capacity(participants.len());
+        for (w, slots) in per_worker.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let context = "collecting broadcasts";
+            let mut rsp = self.read_response(w, tag::COMPOSED, context)?;
+            let framed = |error| RunError::Frame { context, error };
+            let count = get_varint(&mut rsp).map_err(framed)?;
+            if count != slots.len() as u64 {
+                return Err(RunError::Protocol {
+                    context,
+                    detail: format!(
+                        "worker {w} composed {count} broadcasts, expected {}",
+                        slots.len()
+                    ),
+                });
+            }
+            for &p in slots {
+                let slot = get_varint(&mut rsp).map_err(framed)?;
+                if slot != p.0 as u64 {
+                    return Err(RunError::Protocol {
+                        context,
+                        detail: format!("worker {w} composed slot {slot}, expected {p}"),
+                    });
+                }
+                let label = self.labels[p.index()];
+                let blob = get_blob(&mut rsp).map_err(framed)?;
+                let msg =
+                    P::Msg::from_bytes(blob.clone()).map_err(|e| RunError::decode(label, e))?;
+                self.bytes_by_label.insert(label, blob);
+                outgoing.push((p, label, msg));
+            }
+        }
+        Ok(outgoing)
+    }
+
+    fn crashed(&mut self, pid: ProcId) -> Result<(), RunError> {
+        let w = self.worker_of[pid.index()];
+        let mut cmd = BytesMut::new();
+        put_varint(&mut cmd, tag::RETIRE);
+        put_varint(&mut cmd, pid.0 as u64);
+        self.write(w, &cmd, "retiring a crashed process")
+    }
+
+    fn apply(
+        &mut self,
+        round: Round,
+        _alive: &[bool],
+        survivors: &[ProcId],
+        msgs: &RoundMessages<P::Msg>,
+    ) -> Result<(), RunError> {
+        let per_worker = self.per_worker(survivors);
+        for (w, dsts) in per_worker.iter().enumerate() {
+            if dsts.is_empty() {
+                continue;
+            }
+            // One shared inbox per delivery signature occurring at this
+            // worker; recipients are listed with it, so the inbox bytes
+            // cross the wire once per (worker × signature), never once
+            // per recipient.
+            let mut groups: BTreeMap<SigId, Vec<ProcId>> = BTreeMap::new();
+            for &dst in dsts {
+                groups.entry(msgs.sig_id(dst)).or_default().push(dst);
+            }
+            let mut cmd = BytesMut::new();
+            put_varint(&mut cmd, tag::DELIVER);
+            put_varint(&mut cmd, round.0);
+            put_varint(&mut cmd, groups.len() as u64);
+            for (sig, group) in groups {
+                put_varint(&mut cmd, group.len() as u64);
+                for dst in group {
+                    put_varint(&mut cmd, dst.0 as u64);
+                }
+                let inbox = msgs.inbox_by_id(sig);
+                put_varint(&mut cmd, inbox.len() as u64);
+                for (label, _) in inbox {
+                    put_varint(&mut cmd, label.0);
+                    let bytes = self
+                        .bytes_by_label
+                        .get(label)
+                        .expect("sender composed this round");
+                    put_blob(&mut cmd, bytes);
+                }
+            }
+            self.write(w, &cmd, "delivering inboxes")?;
+        }
+        self.statuses.clear();
+        for (w, dsts) in per_worker.iter().enumerate() {
+            if dsts.is_empty() {
+                continue;
+            }
+            let context = "collecting round statuses";
+            let mut rsp = self.read_response(w, tag::APPLIED, context)?;
+            let framed = |error| RunError::Frame { context, error };
+            let count = get_varint(&mut rsp).map_err(framed)?;
+            if count != dsts.len() as u64 {
+                return Err(RunError::Protocol {
+                    context,
+                    detail: format!(
+                        "worker {w} reported {count} statuses, expected {}",
+                        dsts.len()
+                    ),
+                });
+            }
+            for &p in dsts {
+                let slot = get_varint(&mut rsp).map_err(framed)?;
+                if slot != p.0 as u64 {
+                    return Err(RunError::Protocol {
+                        context,
+                        detail: format!("worker {w} reported status for slot {slot}, expected {p}"),
+                    });
+                }
+                let status = match get_varint(&mut rsp).map_err(framed)? {
+                    0 => Status::Running,
+                    1 => {
+                        let name = get_varint(&mut rsp).map_err(framed)?;
+                        Status::Decided(Name(name as u32))
+                    }
+                    t => {
+                        return Err(RunError::Protocol {
+                            context,
+                            detail: format!("worker {w} reported unknown status tag {t}"),
+                        })
+                    }
+                };
+                self.statuses.push((p, status));
+            }
+        }
+        Ok(())
+    }
+
+    fn sweep(&mut self, _round: Round) -> Result<Vec<(ProcId, Status)>, RunError> {
+        let statuses = std::mem::take(&mut self.statuses);
+        for (pid, status) in &statuses {
+            if matches!(status, Status::Decided(_)) {
+                let w = self.worker_of[pid.index()];
+                let mut cmd = BytesMut::new();
+                put_varint(&mut cmd, tag::RETIRE);
+                put_varint(&mut cmd, pid.0 as u64);
+                self.write(w, &cmd, "retiring a decided process")?;
+            }
+        }
+        Ok(statuses)
+    }
+
+    fn shutdown(&mut self) {
+        for stream in &mut self.streams {
+            let mut cmd = BytesMut::new();
+            put_varint(&mut cmd, tag::EXIT);
+            let _ = write_frame(stream, &cmd);
+        }
+        // Dropping the coordinator ends of the connections unblocks any
+        // worker still mid-read or mid-write, so joins cannot hang.
+        self.streams.clear();
+        self.decoders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs `protocol` over the socket executor with default
+/// [`SocketOptions`] and returns the same report every other executor
+/// would.
+///
+/// # Errors
+///
+/// [`RunError::Config`] for invalid labels; otherwise any socket-layer
+/// failure ([`RunError::Io`], [`RunError::Frame`], [`RunError::Decode`],
+/// [`RunError::Disconnected`]) after best-effort teardown.
+pub fn run_socket<P, A>(
+    protocol: P,
+    labels: Vec<Label>,
+    adversary: A,
+    seeds: SeedTree,
+    options: EngineOptions,
+) -> Result<RunReport, RunError>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+    A: Adversary<P::Msg>,
+{
+    run_socket_with(
+        protocol,
+        labels,
+        adversary,
+        seeds,
+        options,
+        SocketOptions::default(),
+    )
+}
+
+/// [`run_socket`] with explicit [`SocketOptions`] (worker count, I/O
+/// timeout).
+///
+/// # Errors
+///
+/// As [`run_socket`].
+pub fn run_socket_with<P, A>(
+    protocol: P,
+    labels: Vec<Label>,
+    adversary: A,
+    seeds: SeedTree,
+    options: EngineOptions,
+    socket: SocketOptions,
+) -> Result<RunReport, RunError>
+where
+    P: ViewProtocol + Clone + Send + 'static,
+    A: Adversary<P::Msg>,
+{
+    let round_limit = options.round_limit(labels.len());
+    // Validate the configuration before binding any sockets.
+    let pipeline = RoundPipeline::new(labels.clone(), adversary, seeds, round_limit)?;
+    let mut transport = SocketTransport::spawn(&protocol, &labels, &seeds, socket)?;
+    pipeline.run(&mut transport, &mut NoObserver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
+    use crate::engine::{ConfigError, SyncEngine};
+    use crate::testproto::{BrokenWire, RankOnce, UnionRank};
+    use crate::trace::Outcome;
+
+    fn labels(n: u64) -> Vec<Label> {
+        (0..n).map(|i| Label(i * 19 + 3)).collect()
+    }
+
+    fn hostile() -> Scripted {
+        Scripted::new(vec![
+            ScriptedCrash {
+                round: Round(0),
+                victim_index: 2,
+                modulus: 2,
+                residue: 0,
+            },
+            ScriptedCrash {
+                round: Round(1),
+                victim_index: 4,
+                modulus: 3,
+                residue: 1,
+            },
+        ])
+    }
+
+    #[test]
+    fn rejects_bad_config_before_binding() {
+        assert!(matches!(
+            run_socket(
+                RankOnce,
+                vec![],
+                NoFailures,
+                SeedTree::new(0),
+                EngineOptions::default()
+            ),
+            Err(RunError::Config(ConfigError::EmptySystem))
+        ));
+        assert!(matches!(
+            run_socket(
+                RankOnce,
+                vec![Label(2), Label(2)],
+                NoFailures,
+                SeedTree::new(0),
+                EngineOptions::default()
+            ),
+            Err(RunError::Config(ConfigError::DuplicateLabel(_)))
+        ));
+    }
+
+    #[test]
+    fn socket_matches_sim_failure_free() {
+        let ls = labels(12);
+        let sim = SyncEngine::new(
+            UnionRank::rounds(3),
+            ls.clone(),
+            NoFailures,
+            SeedTree::new(9),
+        )
+        .unwrap()
+        .run();
+        let socket = run_socket(
+            UnionRank::rounds(3),
+            ls,
+            NoFailures,
+            SeedTree::new(9),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sim, socket);
+    }
+
+    #[test]
+    fn socket_matches_sim_with_crashes() {
+        let ls = labels(10);
+        let sim = SyncEngine::new(
+            UnionRank::rounds(4),
+            ls.clone(),
+            hostile(),
+            SeedTree::new(21),
+        )
+        .unwrap()
+        .run();
+        let socket = run_socket(
+            UnionRank::rounds(4),
+            ls,
+            hostile(),
+            SeedTree::new(21),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sim, socket);
+    }
+
+    #[test]
+    fn report_is_independent_of_worker_count() {
+        let ls = labels(11);
+        let run_with = |workers: usize| {
+            run_socket_with(
+                UnionRank::rounds(4),
+                ls.clone(),
+                hostile(),
+                SeedTree::new(13),
+                EngineOptions::default(),
+                SocketOptions {
+                    workers: Some(workers),
+                    ..SocketOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let one = run_with(1);
+        for workers in [2, 3, 7, 64] {
+            assert_eq!(one, run_with(workers), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn socket_round_limit() {
+        let report = run_socket(
+            UnionRank::rounds(100),
+            labels(4),
+            NoFailures,
+            SeedTree::new(1),
+            EngineOptions {
+                max_rounds: Some(2),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, Outcome::RoundLimit);
+        assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn malformed_wire_bytes_are_an_error_not_a_panic() {
+        let report = run_socket(
+            BrokenWire,
+            labels(4),
+            NoFailures,
+            SeedTree::new(3),
+            EngineOptions::default(),
+        );
+        assert!(
+            matches!(report, Err(RunError::Decode { .. })),
+            "expected a structured decode error, got {report:?}"
+        );
+    }
+
+    #[test]
+    fn wire_error_frames_roundtrip() {
+        for (sender, e) in [
+            (None, WireError::UnexpectedEnd),
+            (Some(Label(9)), WireError::BadTag(7)),
+            (Some(Label(1 << 40)), WireError::LengthOverflow(99)),
+            (None, WireError::TrailingBytes(3)),
+            (Some(Label(0)), WireError::VarintOverflow),
+        ] {
+            let mut buf = BytesMut::new();
+            put_wire_error(&mut buf, sender, &e);
+            let fault = get_worker_fault(&mut buf.freeze(), 5);
+            assert_eq!(
+                fault,
+                RunError::Decode { sender, error: e },
+                "fault roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn default_options_have_a_timeout() {
+        let opts = SocketOptions::default();
+        assert!(
+            opts.io_timeout.is_some(),
+            "hung sockets must fail, not stall"
+        );
+        assert_eq!(opts.worker_count(0), 1);
+        assert_eq!(opts.worker_count(1), 1);
+        let forced = SocketOptions {
+            workers: Some(8),
+            ..opts
+        };
+        assert_eq!(forced.worker_count(3), 3, "clamped to n");
+        assert_eq!(forced.worker_count(100), 8);
+    }
+}

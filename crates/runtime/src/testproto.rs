@@ -131,6 +131,61 @@ impl ViewProtocol for UnionRank {
     }
 }
 
+/// A message whose encoding deliberately fails to decode: `encode` emits
+/// a byte that `decode` rejects as [`WireError::BadTag`]. Used to
+/// exercise the wire executors' structured decode-error paths (a
+/// malformed frame must surface as a [`crate::error::RunError`], never a
+/// panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mangled;
+
+impl Wire for Mangled {
+    fn encode(&self, buf: &mut BytesMut) {
+        use bytes::BufMut;
+        buf.put_u8(0xEE);
+    }
+
+    fn decode(_buf: &mut Bytes) -> Result<Self, WireError> {
+        Err(WireError::BadTag(0xEE))
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+/// Protocol whose every broadcast is a [`Mangled`] message — any executor
+/// that actually moves bytes must turn it into a decode error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokenWire;
+
+impl ViewProtocol for BrokenWire {
+    type Msg = Mangled;
+    type View = u32;
+
+    fn init_view(&self, _n: usize) -> Self::View {
+        0
+    }
+
+    fn compose(
+        &self,
+        _view: &Self::View,
+        _ball: Label,
+        _round: Round,
+        _rng: &mut SmallRng,
+    ) -> Self::Msg {
+        Mangled
+    }
+
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
+        *view += inbox.len() as u32;
+    }
+
+    fn status(&self, _view: &Self::View, _ball: Label, _round: Round) -> Status {
+        Status::Running
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +218,15 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn union_rank_zero_rounds_panics() {
         let _ = UnionRank::rounds(0);
+    }
+
+    #[test]
+    fn mangled_never_roundtrips() {
+        let bytes = Mangled.to_bytes();
+        assert_eq!(bytes.len(), Mangled.encoded_len());
+        assert!(matches!(
+            Mangled::from_bytes(bytes),
+            Err(WireError::BadTag(0xEE))
+        ));
     }
 }

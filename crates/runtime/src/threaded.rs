@@ -15,6 +15,17 @@
 //! `threaded_matches_sim` tests enforce that. Use the simulator for sweeps
 //! (it is orders of magnitude faster) and this executor to demonstrate the
 //! protocol over real message passing.
+//!
+//! ## Failure handling
+//!
+//! Wire problems are *errors, not panics*: a message that fails to decode
+//! — in a worker or in the coordinator — and a worker that hangs up
+//! mid-run both surface as a structured [`RunError`] from
+//! [`run_threaded`], after the transport has torn itself down. A worker
+//! that encounters a malformed inbox reports the [`WireError`] back
+//! through its response channel and exits cleanly; it never panics across
+//! the thread boundary. The socket executor ([`crate::socket`]) shares
+//! this exact error path.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -24,13 +35,14 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::adversary::Adversary;
-use crate::engine::{ConfigError, EngineOptions};
+use crate::engine::EngineOptions;
+use crate::error::RunError;
 use crate::ids::{Label, ProcId, Round};
 use crate::pipeline::{RoundMessages, RoundPipeline, Transport};
 use crate::rng::SeedTree;
 use crate::trace::RunReport;
 use crate::view::{NoObserver, Status, ViewProtocol};
-use crate::wire::Wire;
+use crate::wire::{Wire, WireError};
 
 enum ToProc {
     Compose {
@@ -46,6 +58,9 @@ enum ToProc {
 enum FromProc {
     Composed(Bytes),
     Applied(Status),
+    /// The worker could not decode a delivered message; it reports the
+    /// codec error and exits its loop.
+    DecodeFailed(Label, WireError),
 }
 
 /// The wire transport: one worker thread per process, lock-stepped by the
@@ -103,13 +118,24 @@ where
                             }
                         }
                         ToProc::Deliver { round, inbox } => {
-                            let mut decoded: Vec<(Label, P::Msg)> = inbox
-                                .into_iter()
-                                .map(|(l, b)| {
-                                    let m = P::Msg::from_bytes(b).expect("wire decode");
-                                    (l, m)
-                                })
-                                .collect();
+                            let mut decoded: Vec<(Label, P::Msg)> = Vec::with_capacity(inbox.len());
+                            let mut failed = None;
+                            for (l, b) in inbox {
+                                match P::Msg::from_bytes(b) {
+                                    Ok(m) => decoded.push((l, m)),
+                                    Err(e) => {
+                                        failed = Some((l, e));
+                                        break;
+                                    }
+                                }
+                            }
+                            if let Some((l, e)) = failed {
+                                // Report the malformed message and retire
+                                // this worker; the coordinator turns the
+                                // report into a RunError.
+                                tx_rsp.send(FromProc::DecodeFailed(l, e)).ok();
+                                break;
+                            }
                             decoded.sort_by_key(|(l, _)| *l);
                             proto.apply(&mut view, round, &decoded);
                             let status = proto.status(&view, label, round);
@@ -140,36 +166,64 @@ where
             self.exited[pid.index()] = true;
         }
     }
+
+    fn send(&self, pid: ProcId, cmd: ToProc, context: &'static str) -> Result<(), RunError> {
+        self.to_procs[pid.index()]
+            .send(cmd)
+            .map_err(|_| RunError::Disconnected {
+                context,
+                worker: pid.index(),
+            })
+    }
+
+    fn recv(&self, pid: ProcId, context: &'static str) -> Result<FromProc, RunError> {
+        self.from_procs[pid.index()]
+            .recv()
+            .map_err(|_| RunError::Disconnected {
+                context,
+                worker: pid.index(),
+            })
+    }
 }
 
 impl<P> Transport<P> for ChannelTransport<P>
 where
     P: ViewProtocol + Clone + Send + 'static,
 {
-    fn compose(&mut self, round: Round, participants: &[ProcId]) -> Vec<(ProcId, Label, P::Msg)> {
+    fn compose(
+        &mut self,
+        round: Round,
+        participants: &[ProcId],
+    ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
         for &p in participants {
-            self.to_procs[p.index()]
-                .send(ToProc::Compose { round })
-                .expect("process thread alive");
+            self.send(p, ToProc::Compose { round }, "requesting a broadcast")?;
         }
         self.bytes_by_label.clear();
         let mut outgoing = Vec::with_capacity(participants.len());
         for &p in participants {
-            match self.from_procs[p.index()].recv().expect("compose response") {
+            let label = self.labels[p.index()];
+            match self.recv(p, "collecting a broadcast")? {
                 FromProc::Composed(bytes) => {
-                    let label = self.labels[p.index()];
-                    let msg = P::Msg::from_bytes(bytes.clone()).expect("wire decode");
+                    let msg = P::Msg::from_bytes(bytes.clone())
+                        .map_err(|e| RunError::decode(label, e))?;
                     self.bytes_by_label.insert(label, bytes);
                     outgoing.push((p, label, msg));
                 }
-                FromProc::Applied(_) => unreachable!("expected Composed"),
+                FromProc::DecodeFailed(l, e) => return Err(RunError::decode(l, e)),
+                FromProc::Applied(_) => {
+                    return Err(RunError::Protocol {
+                        context: "collecting a broadcast",
+                        detail: format!("worker {p} answered Applied to a Compose request"),
+                    })
+                }
             }
         }
-        outgoing
+        Ok(outgoing)
     }
 
-    fn crashed(&mut self, pid: ProcId) {
+    fn crashed(&mut self, pid: ProcId) -> Result<(), RunError> {
         self.exit(pid);
+        Ok(())
     }
 
     fn apply(
@@ -178,7 +232,7 @@ where
         _alive: &[bool],
         survivors: &[ProcId],
         msgs: &RoundMessages<P::Msg>,
-    ) {
+    ) -> Result<(), RunError> {
         // Route each survivor its personalized inbox as wire bytes: the
         // shared inbox for its delivery signature, re-encoded from the
         // bytes the senders actually produced.
@@ -196,29 +250,34 @@ where
                     )
                 })
                 .collect();
-            self.to_procs[dst.index()]
-                .send(ToProc::Deliver { round, inbox })
-                .expect("process thread alive");
+            self.send(dst, ToProc::Deliver { round, inbox }, "delivering an inbox")?;
         }
         // Collect statuses in slot order; sweep hands them to the
         // pipeline.
         self.statuses.clear();
         for &p in survivors {
-            match self.from_procs[p.index()].recv().expect("apply response") {
+            match self.recv(p, "collecting a round status")? {
                 FromProc::Applied(status) => self.statuses.push((p, status)),
-                FromProc::Composed(_) => unreachable!("expected Applied"),
+                FromProc::DecodeFailed(l, e) => return Err(RunError::decode(l, e)),
+                FromProc::Composed(_) => {
+                    return Err(RunError::Protocol {
+                        context: "collecting a round status",
+                        detail: format!("worker {p} answered Composed to a Deliver request"),
+                    })
+                }
             }
         }
+        Ok(())
     }
 
-    fn sweep(&mut self, _round: Round) -> Vec<(ProcId, Status)> {
+    fn sweep(&mut self, _round: Round) -> Result<Vec<(ProcId, Status)>, RunError> {
         let statuses = std::mem::take(&mut self.statuses);
         for (pid, status) in &statuses {
             if matches!(status, Status::Decided(_)) {
                 self.exit(*pid);
             }
         }
-        statuses
+        Ok(statuses)
     }
 
     fn shutdown(&mut self) {
@@ -237,20 +296,22 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if `labels` is empty or contains duplicates.
+/// Returns [`RunError::Config`] if `labels` is empty or contains
+/// duplicates, [`RunError::Decode`] if a wire message fails to decode
+/// (codec bug or corrupted frame), and [`RunError::Disconnected`] if a
+/// worker thread hangs up mid-run. The transport is torn down before any
+/// error is returned.
 ///
 /// # Panics
 ///
-/// Panics if a process thread panics (protocol bug) or a wire message
-/// fails to decode (codec bug): both indicate internal invariant
-/// violations, not recoverable conditions.
+/// Panics only if a process thread itself panics (a protocol bug).
 pub fn run_threaded<P, A>(
     protocol: P,
     labels: Vec<Label>,
     adversary: A,
     seeds: SeedTree,
     options: EngineOptions,
-) -> Result<RunReport, ConfigError>
+) -> Result<RunReport, RunError>
 where
     P: ViewProtocol + Clone + Send + 'static,
     A: Adversary<P::Msg>,
@@ -258,15 +319,15 @@ where
     let round_limit = options.round_limit(labels.len());
     let pipeline = RoundPipeline::new(labels.clone(), adversary, seeds, round_limit)?;
     let mut transport = ChannelTransport::spawn(&protocol, &labels, &seeds);
-    Ok(pipeline.run(&mut transport, &mut NoObserver))
+    pipeline.run(&mut transport, &mut NoObserver)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adversary::{NoFailures, Scripted, ScriptedCrash};
-    use crate::engine::SyncEngine;
-    use crate::testproto::{RankOnce, UnionRank};
+    use crate::engine::{ConfigError, SyncEngine};
+    use crate::testproto::{BrokenWire, RankOnce, UnionRank};
     use crate::trace::Outcome;
 
     fn labels(n: u64) -> Vec<Label> {
@@ -283,7 +344,7 @@ mod tests {
                 SeedTree::new(0),
                 EngineOptions::default()
             ),
-            Err(ConfigError::EmptySystem)
+            Err(RunError::Config(ConfigError::EmptySystem))
         ));
         assert!(matches!(
             run_threaded(
@@ -293,8 +354,23 @@ mod tests {
                 SeedTree::new(0),
                 EngineOptions::default()
             ),
-            Err(ConfigError::DuplicateLabel(_))
+            Err(RunError::Config(ConfigError::DuplicateLabel(_)))
         ));
+    }
+
+    #[test]
+    fn malformed_wire_bytes_are_an_error_not_a_panic() {
+        let report = run_threaded(
+            BrokenWire,
+            labels(4),
+            NoFailures,
+            SeedTree::new(3),
+            EngineOptions::default(),
+        );
+        assert!(
+            matches!(report, Err(RunError::Decode { .. })),
+            "expected a structured decode error, got {report:?}"
+        );
     }
 
     #[test]

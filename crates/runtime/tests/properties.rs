@@ -4,8 +4,10 @@
 
 use bil_runtime::adversary::{Scripted, ScriptedCrash};
 use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
+use bil_runtime::frame::{encode_frame, FrameDecoder};
 use bil_runtime::parallel::ParallelTransport;
 use bil_runtime::pipeline::RoundPipeline;
+use bil_runtime::socket::{run_socket_with, SocketOptions};
 use bil_runtime::testproto::{LabelSet, RankOnce, UnionRank};
 use bil_runtime::threaded::run_threaded;
 use bil_runtime::view::NoObserver;
@@ -32,9 +34,10 @@ fn labels(n: usize) -> Vec<Label> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The four executors agree bit-for-bit on every run. The parallel
-    /// executor runs with a forced shard count > 1 so its fan-out/merge
-    /// path is exercised even on single-core CI machines.
+    /// The five executors agree bit-for-bit on every run. The parallel
+    /// executor runs with a forced shard count > 1 and the socket
+    /// executor with a forced worker count > 1, so their fan-out/merge
+    /// paths are exercised even on single-core CI machines.
     #[test]
     fn executors_agree(
         n in 1usize..10,
@@ -68,18 +71,32 @@ proptest! {
             RoundPipeline::new(ls, Scripted::new(schedule.clone()), seeds, 8 * n as u64 + 64)
                 .unwrap()
                 .run(&mut transport, &mut NoObserver)
+                .unwrap()
         };
         let threaded = run_threaded(
+            UnionRank::rounds(rounds),
+            labels(n),
+            Scripted::new(schedule.clone()),
+            SeedTree::new(seed),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let socket = run_socket_with(
             UnionRank::rounds(rounds),
             labels(n),
             Scripted::new(schedule),
             SeedTree::new(seed),
             EngineOptions::default(),
+            SocketOptions {
+                workers: Some(2),
+                ..SocketOptions::default()
+            },
         )
         .unwrap();
         prop_assert_eq!(&clustered, &per_process);
         prop_assert_eq!(&clustered, &parallel);
         prop_assert_eq!(&clustered, &threaded);
+        prop_assert_eq!(&clustered, &socket);
     }
 
     /// Crash semantics: the engine crashes at most the budget, never the
@@ -160,6 +177,82 @@ proptest! {
         let _ = Vec::<Label>::from_bytes(bytes::Bytes::from(bytes.clone()));
         let _ = u64::from_bytes(bytes::Bytes::from(bytes.clone()));
         let _ = LabelSet::from_bytes(bytes::Bytes::from(bytes));
+    }
+
+    /// Framing round-trips to identity no matter how the byte stream is
+    /// chunked — the partial-TCP-read regime: a frame split across reads
+    /// must resume cleanly, never corrupt, never panic.
+    #[test]
+    fn frames_roundtrip_under_arbitrary_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..8),
+        chunk in 1usize..17,
+    ) {
+        let mut stream: Vec<u8> = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.extend(piece);
+            while let Some(frame) = decoder.next_frame().expect("well-formed stream") {
+                out.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert_eq!(decoder.pending(), 0);
+        prop_assert!(decoder.next_frame().expect("drained stream").is_none());
+    }
+
+    /// Feeding the frame decoder arbitrary (corrupted or truncated)
+    /// bytes never panics: every frame either parses or the decoder
+    /// reports a structured `WireError` / asks for more input.
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..96),
+        chunk in 1usize..9,
+    ) {
+        let mut decoder = FrameDecoder::new();
+        'outer: for piece in bytes.chunks(chunk) {
+            decoder.extend(piece);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => break 'outer, // poisoned stream: structured, not a panic
+                }
+            }
+        }
+    }
+
+    /// A legitimate frame stream truncated at any point decodes every
+    /// complete frame and then reports "need more bytes" — never an
+    /// error, never garbage.
+    #[test]
+    fn truncated_frame_streams_decode_their_complete_prefix(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..6),
+        cut_hint in 0usize..4096,
+    ) {
+        let mut stream: Vec<u8> = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let cut = cut_hint % (stream.len() + 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&stream[..cut]);
+        let mut decoded = 0usize;
+        while let Some(frame) = decoder.next_frame().expect("prefix of a valid stream") {
+            prop_assert_eq!(&frame[..], &payloads[decoded][..]);
+            decoded += 1;
+        }
+        prop_assert!(decoded <= payloads.len());
+        // Feeding the rest completes the remaining frames exactly.
+        decoder.extend(&stream[cut..]);
+        while let Some(frame) = decoder.next_frame().expect("completed stream") {
+            prop_assert_eq!(&frame[..], &payloads[decoded][..]);
+            decoded += 1;
+        }
+        prop_assert_eq!(decoded, payloads.len());
     }
 
     /// RankOnce under no failures: one round, names are exactly the label

@@ -11,10 +11,10 @@
 //!   (base, early-terminating, deterministic baseline), the renaming
 //!   specification checker, and protocol-aware adversaries;
 //! * [`runtime`] — the synchronous crash-prone message-passing
-//!   substrate: one shared round pipeline behind four interchangeable
-//!   executors (clustered, per-process, data-parallel, and
-//!   thread-per-process over wire bytes) and the strong adaptive
-//!   adversary interface;
+//!   substrate: one shared round pipeline behind five interchangeable
+//!   executors (clustered, per-process, data-parallel,
+//!   thread-per-process over wire bytes, and socket workers over
+//!   loopback TCP) and the strong adaptive adversary interface;
 //! * [`tree`] — the capacity tree (local views, remaining capacity, the
 //!   priority order `<R`, candidate paths);
 //! * [`baselines`] — every comparison point the paper names;
@@ -59,7 +59,8 @@ pub mod prelude {
     pub use bil_runtime::adversary::NoFailures;
     pub use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
     pub use bil_runtime::parallel::run_parallel;
+    pub use bil_runtime::socket::{run_socket, SocketOptions};
     pub use bil_runtime::threaded::run_threaded;
-    pub use bil_runtime::{Label, Name, Outcome, ProcId, Round, RunReport, SeedTree};
+    pub use bil_runtime::{Label, Name, Outcome, ProcId, Round, RunError, RunReport, SeedTree};
     pub use bil_tree::{CoinRule, LocalTree, Topology};
 }

@@ -1,7 +1,9 @@
 //! Cross-executor determinism: for one fixed `(protocol, labels,
-//! adversary, seed)`, all four executors — the clustered simulator, the
-//! per-process simulator, the data-parallel executor, and the
-//! thread-per-process channel executor — must produce **bit-identical**
+//! adversary, seed)`, all five executors — the clustered simulator, the
+//! per-process simulator, the data-parallel executor, the
+//! thread-per-process channel executor, and the socket executor (whose
+//! every message crosses the kernel's loopback TCP stack as a
+//! length-prefixed wire frame) — must produce **bit-identical**
 //! `RunReport`s: decisions, crash events, round counts, and every
 //! accounting counter included.
 //!
@@ -14,8 +16,11 @@
 
 use balls_into_leaves::core::{check_tight_renaming, BallsIntoLeaves, BilConfig};
 use balls_into_leaves::prelude::*;
-use balls_into_leaves::runtime::adversary::{Adversary, RandomCrash, Scripted, ScriptedCrash};
+use balls_into_leaves::runtime::adversary::{
+    Adversary, NoFailures, RandomCrash, Scripted, ScriptedCrash,
+};
 use balls_into_leaves::runtime::parallel::run_parallel;
+use balls_into_leaves::runtime::socket::{run_socket, run_socket_with};
 use balls_into_leaves::runtime::threaded::run_threaded;
 use balls_into_leaves::runtime::ViewProtocol;
 
@@ -49,7 +54,7 @@ fn schedule() -> Scripted {
     ])
 }
 
-/// Runs one `(protocol, labels, adversary, seed)` on all four executors
+/// Runs one `(protocol, labels, adversary, seed)` on all five executors
 /// and asserts the reports are bit-identical, returning the common one.
 fn assert_executors_agree<P, A, F>(
     protocol: P,
@@ -87,13 +92,21 @@ where
     )
     .expect("valid configuration");
     let threaded = run_threaded(
+        protocol.clone(),
+        labels.clone(),
+        adversary(),
+        SeedTree::new(seed),
+        EngineOptions::default(),
+    )
+    .expect("valid configuration");
+    let socket = run_socket(
         protocol,
         labels,
         adversary(),
         SeedTree::new(seed),
         EngineOptions::default(),
     )
-    .expect("valid configuration");
+    .expect("socket executor completed");
 
     // Bit-identical: RunReport's derived Eq covers decisions (name and
     // round per process), crash events, rounds, and all accounting
@@ -101,6 +114,7 @@ where
     assert_eq!(clustered, per_process, "per-process diverged (seed {seed})");
     assert_eq!(clustered, parallel, "parallel diverged (seed {seed})");
     assert_eq!(clustered, threaded, "threaded diverged (seed {seed})");
+    assert_eq!(clustered, socket, "socket diverged (seed {seed})");
     clustered
 }
 
@@ -150,6 +164,56 @@ fn executors_are_bit_identical_for_early_terminating_variant() {
         77,
     );
     assert!(report.completed());
+}
+
+#[test]
+fn socket_executor_is_bit_identical_to_clustered_failure_free() {
+    // The acceptance bar for the socket executor, stated directly: on a
+    // failure-free schedule its report equals the clustered engine's
+    // bit for bit (the crash-heavy counterpart is covered by
+    // `executors_are_bit_identical_under_crash_heavy_schedule`, whose
+    // helper runs the socket executor too).
+    let ls = labels(20);
+    let clustered = SyncEngine::new(
+        BallsIntoLeaves::base(),
+        ls.clone(),
+        NoFailures,
+        SeedTree::new(41),
+    )
+    .expect("valid configuration")
+    .run();
+    let socket = run_socket(
+        BallsIntoLeaves::base(),
+        ls,
+        NoFailures,
+        SeedTree::new(41),
+        EngineOptions::default(),
+    )
+    .expect("socket executor completed");
+    assert_eq!(clustered, socket);
+    assert!(check_tight_renaming(&socket).holds());
+}
+
+#[test]
+fn socket_report_is_independent_of_worker_count() {
+    let run_with = |workers: usize| {
+        run_socket_with(
+            BallsIntoLeaves::base(),
+            labels(14),
+            schedule(),
+            SeedTree::new(8),
+            EngineOptions::default(),
+            SocketOptions {
+                workers: Some(workers),
+                ..SocketOptions::default()
+            },
+        )
+        .expect("socket executor completed")
+    };
+    let one = run_with(1);
+    for workers in [2, 5, 14] {
+        assert_eq!(one, run_with(workers), "workers = {workers}");
+    }
 }
 
 #[test]
