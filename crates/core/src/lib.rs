@@ -48,13 +48,15 @@
 
 pub mod adversary;
 mod config;
+mod epoch;
 mod messages;
 mod protocol;
 mod renaming;
 
 pub use config::{BilConfig, PathRule};
+pub use epoch::{EpochBil, EpochError};
 pub use messages::BilMsg;
-pub use protocol::{BallsIntoLeaves, BilView};
+pub use protocol::{Anomalies, BallsIntoLeaves, BilView};
 pub use renaming::{
     assignment, check_tight_renaming, is_order_preserving, solve_tight_renaming, RenamingVerdict,
 };

@@ -85,9 +85,41 @@ struct CommitRecord {
     provenance: Provenance,
 }
 
+/// Counters of corrupt inputs a view rejected instead of applying.
+///
+/// Correct senders never trigger these; a non-zero counter means a
+/// malformed message crossed the wire (or an engine bug) and was
+/// **dropped, not absorbed** — identically in debug and release builds.
+/// Diagnostic only: the counters never influence protocol behaviour and
+/// are excluded from view equality, so clusters still re-merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Anomalies {
+    /// Round-0 broadcasts that were not `Init`, or that collided with an
+    /// existing ball; the sender was never admitted.
+    pub malformed_init: u64,
+    /// Candidate paths that failed the move-walk's validation; the
+    /// sender was removed as crashed.
+    pub malformed_paths: u64,
+    /// Position announcements naming an out-of-range node; the sender
+    /// was removed as crashed.
+    pub malformed_positions: u64,
+    /// Commit messages (direct or echoed) naming a non-leaf; ignored.
+    pub malformed_commits: u64,
+}
+
+impl Anomalies {
+    /// Total rejected inputs.
+    pub fn total(&self) -> u64 {
+        self.malformed_init
+            + self.malformed_paths
+            + self.malformed_positions
+            + self.malformed_commits
+    }
+}
+
 /// A ball's local view: the local tree, plus (decide-at-leaf variant
 /// only) the commit bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BilView {
     tree: LocalTree,
     /// Ball → commit record. Empty in the base algorithm.
@@ -99,7 +131,24 @@ pub struct BilView {
     /// re-echoed (prevents echo chains from resurrecting evicted ghosts
     /// and re-creating the very overflow that evicted them).
     dismissed: std::collections::BTreeSet<Label>,
+    /// Rejected-input accounting; see [`Anomalies`].
+    anomalies: Anomalies,
 }
+
+impl PartialEq for BilView {
+    fn eq(&self, other: &Self) -> bool {
+        // `anomalies` is deliberately excluded: it is diagnostic-only
+        // and never feeds back into compose/apply/status, so two views
+        // that differ only in what garbage they witnessed are still
+        // behaviourally identical (and may share a cluster).
+        self.tree == other.tree
+            && self.committed == other.committed
+            && self.fresh == other.fresh
+            && self.dismissed == other.dismissed
+    }
+}
+
+impl Eq for BilView {}
 
 impl BilView {
     /// Read access to the local tree, for observers and experiments.
@@ -113,20 +162,93 @@ impl BilView {
         self.committed.iter().map(|(l, r)| (*l, r.leaf))
     }
 
+    /// The corrupt inputs this view rejected (diagnostic; excluded from
+    /// view equality).
+    pub fn anomalies(&self) -> Anomalies {
+        self.anomalies
+    }
+
+    /// A view over a partially-occupied tree: each resident
+    /// `(label, leaf)` is pre-placed at its leaf and recorded as
+    /// committed from round 0, so the shared silence rules keep it in
+    /// place forever while its occupied leaf masks itself out of every
+    /// remaining-capacity computation (the paper's Lemma 1 does the
+    /// exclusion). The foundation of epoch-scoped instances
+    /// ([`crate::EpochBil`]).
+    pub(crate) fn occupied(
+        topo: Topology,
+        residents: &[(Label, NodeId)],
+    ) -> Result<BilView, bil_tree::TreeError> {
+        for (_, leaf) in residents {
+            if !topo.is_node(*leaf) || !topo.is_leaf(*leaf) {
+                return Err(bil_tree::TreeError::BadNode(*leaf));
+            }
+        }
+        let tree = LocalTree::with_balls_at(topo, residents.iter().copied())?;
+        let committed = residents
+            .iter()
+            .map(|(l, leaf)| {
+                (
+                    *l,
+                    CommitRecord {
+                        leaf: *leaf,
+                        round: Round(0),
+                        provenance: Provenance::Direct,
+                    },
+                )
+            })
+            .collect();
+        Ok(BilView {
+            tree,
+            committed,
+            // Residents' leaves are global knowledge, not news: nothing
+            // to echo.
+            fresh: Vec::new(),
+            dismissed: std::collections::BTreeSet::new(),
+            anomalies: Anomalies::default(),
+        })
+    }
+
     /// Records a commit, inserting or repositioning the ball at its leaf
     /// and scheduling the echo. Direct knowledge is never downgraded.
     fn learn_commit(&mut self, ball: Label, leaf: NodeId, round: Round, provenance: Provenance) {
+        if !self.tree.topology().is_node(leaf) || !self.tree.topology().is_leaf(leaf) {
+            // A commit can only ever name a leaf; anything else is a
+            // corrupt message. Reject it the same way in both profiles.
+            self.anomalies.malformed_commits += 1;
+            return;
+        }
         if self.dismissed.contains(&ball) {
             return;
         }
         if let Some(existing) = self.committed.get(&ball) {
-            debug_assert_eq!(existing.leaf, leaf, "conflicting commit leaves");
+            if existing.leaf != leaf {
+                // A ball commits exactly one leaf; a second, conflicting
+                // commit is corrupt. Keep the established record and
+                // count the rejection — identically in both profiles.
+                self.anomalies.malformed_commits += 1;
+            }
+            return;
+        }
+        if provenance == Provenance::Direct && self.tree.current_node(ball) != Some(leaf) {
+            // A correct committer's leaf position was fully synchronized
+            // *before* it broadcast the commit (and a partially-delivered
+            // Pos implies the sender crashed and never committed), so
+            // every view hearing a direct commit already has the ball on
+            // that leaf. A direct commit for a ball positioned anywhere
+            // else — or absent — is corrupt: reject it rather than
+            // absorb a position (and later a name) the protocol never
+            // established.
+            self.anomalies.malformed_commits += 1;
             return;
         }
         if self.tree.current_node(ball) != Some(leaf) {
-            // Re-add (or reposition) a ball this view had removed before
-            // learning it had committed.
-            let _ = self.tree.update_node(ball, leaf);
+            // Echo path only: re-add (or reposition) a ball this view
+            // had removed before learning it had committed. Overfills
+            // this may cause are resolved by the eviction machinery.
+            self.tree
+                .update_node(ball, leaf)
+                .expect("leaf validated above");
         }
         self.committed.insert(
             ball,
@@ -216,6 +338,7 @@ impl ViewProtocol for BallsIntoLeaves {
             committed: BTreeMap::new(),
             fresh: Vec::new(),
             dismissed: std::collections::BTreeSet::new(),
+            anomalies: Anomalies::default(),
         }
     }
 
@@ -253,12 +376,15 @@ impl ViewProtocol for BallsIntoLeaves {
                 PathRule::Random(coin) => tree.random_path(ball, coin, rng),
                 PathRule::EarlyTerminating(coin) => {
                     if round.0 == 1 {
-                        // §6: descend toward the leaf indexed by the
-                        // ball's rank. In phase 1 every ball is at the
-                        // root, so the overall `<R` rank equals the
-                        // label rank at the ball's node.
-                        let rank = tree.rank_at_node(ball).map(|r| r as u32);
-                        rank.and_then(|r| tree.path_toward_rank(ball, r))
+                        // §6: descend toward the ball's rank-indexed free
+                        // slot. In phase 1 every contender is at the
+                        // root, so the overall `<R` rank equals the label
+                        // rank at the ball's node, and on a fresh tree
+                        // the slot walk is exactly the paper's straight
+                        // descent to the rank-th leaf. On a partially-
+                        // occupied (epoch) tree it additionally skips
+                        // leaves held by residents.
+                        tree.rank_slot_path(ball)
                     } else {
                         tree.random_path(ball, coin, rng)
                     }
@@ -292,10 +418,19 @@ impl ViewProtocol for BallsIntoLeaves {
     fn apply(&self, view: &mut BilView, round: Round, inbox: &[(Label, BilMsg)]) {
         if round.is_init() {
             for (label, msg) in inbox {
-                debug_assert_eq!(msg, &BilMsg::Init, "round-0 message must be Init");
-                view.tree
-                    .insert(*label, ROOT)
-                    .expect("inbox has one message per sender");
+                if msg != &BilMsg::Init {
+                    // A round-0 broadcast that is not `Init` is corrupt:
+                    // the sender is never admitted (it will read as
+                    // crashed), identically in debug and release.
+                    view.anomalies.malformed_init += 1;
+                    continue;
+                }
+                if view.tree.insert(*label, ROOT).is_err() {
+                    // Collision with an already-present ball (possible
+                    // only on corrupt input or a mis-seeded epoch):
+                    // reject the newcomer, keep the established ball.
+                    view.anomalies.malformed_init += 1;
+                }
             }
             return;
         }
@@ -335,18 +470,20 @@ impl ViewProtocol for BallsIntoLeaves {
             // broadcast; this round's direct commits join them.
             for ball in order {
                 if let Some(leaf) = commits.get(&ball) {
-                    // Commit: the sender's position was synchronized last
-                    // round, so every view already has it there.
-                    debug_assert_eq!(view.tree.current_node(ball), Some(*leaf));
+                    // Commit: a correct sender's position was synchronized
+                    // last round, so every view already has it at `leaf`;
+                    // `learn_commit` validates that and rejects (counts)
+                    // corrupt commits.
                     view.learn_commit(ball, *leaf, round, Provenance::Direct);
                 } else if let Some(path) = paths.get(&ball) {
                     // Lines 13–18: follow the path until the first full
-                    // subtree.
+                    // subtree. A path that fails the move-walk's
+                    // validation is corrupt (unreachable for correct
+                    // senders): reject it by removing the sender as
+                    // crashed and counting the drop — the same explicit
+                    // path in debug and release builds.
                     if view.tree.place_along(ball, path).is_err() {
-                        // Unreachable for correct senders; treat a
-                        // malformed path as a crash (defense in depth —
-                        // remove rather than corrupt).
-                        debug_assert!(false, "correct ball sent malformed path");
+                        view.anomalies.malformed_paths += 1;
                         view.tree.remove(ball);
                     }
                 } else if !view.committed.contains_key(&ball) && !passes.contains(&ball) {
@@ -384,9 +521,14 @@ impl ViewProtocol for BallsIntoLeaves {
             for ball in order {
                 match positions.get(&ball) {
                     Some(node) => {
-                        view.tree
-                            .update_node(ball, *node)
-                            .expect("announced positions are in range");
+                        // An out-of-range node is corrupt input (the
+                        // wire codec bounds it to u32, not to this
+                        // tree): reject by removing the sender as
+                        // crashed, identically in both profiles.
+                        if view.tree.update_node(ball, *node).is_err() {
+                            view.anomalies.malformed_positions += 1;
+                            view.tree.remove(ball);
+                        }
                     }
                     None => {
                         if !view.committed.contains_key(&ball) {
@@ -426,7 +568,13 @@ impl ViewProtocol for BallsIntoLeaves {
         }
         let tree = &view.tree;
         let Some(node) = tree.current_node(ball) else {
-            debug_assert!(false, "ball missing from its own view");
+            // A view that no longer contains its own ball is corrupt
+            // (correct runs never produce one: a ball always hears its
+            // own broadcast). The explicit rejection path — identical in
+            // debug and release — is to keep the ball Running so it can
+            // never decide a bogus name; a persistent corruption then
+            // surfaces loudly as `Outcome::RoundLimit` instead of being
+            // silently absorbed.
             return Status::Running;
         };
         if tree.all_at_leaves() {
@@ -826,6 +974,141 @@ mod tests {
             .unwrap()
         };
         assert_eq!(mk().run(), mk().run());
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected_not_absorbed() {
+        use bil_tree::CandidatePath;
+        let p = BallsIntoLeaves::base();
+        let mut view = p.init_view(4);
+        // Round 0: two correct balls; one corrupt non-Init broadcast is
+        // never admitted.
+        p.apply(
+            &mut view,
+            Round(0),
+            &[
+                (Label(1), BilMsg::Init),
+                (Label(2), BilMsg::Init),
+                (Label(3), BilMsg::pos(1)),
+            ],
+        );
+        assert!(!view.tree().contains(Label(3)));
+        assert_eq!(view.anomalies().malformed_init, 1);
+        // Round 1 (path round): ball 1 walks a valid path; ball 2's path
+        // fails validation and ball 2 is removed as crashed. An echoed
+        // commit naming an internal node is ignored.
+        p.apply(
+            &mut view,
+            Round(1),
+            &[
+                (
+                    Label(1),
+                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 2, 4])),
+                ),
+                (Label(2), BilMsg::Path(CandidatePath::from_nodes(vec![9]))),
+                (
+                    Label(3),
+                    BilMsg::Pos {
+                        node: 1,
+                        echo: vec![(Label(9), 2)],
+                    },
+                ),
+            ],
+        );
+        assert!(!view.tree().contains(Label(2)));
+        assert_eq!(view.anomalies().malformed_paths, 1);
+        assert_eq!(view.anomalies().malformed_commits, 1);
+        // Round 2 (sync round): an out-of-range position removes the
+        // sender instead of panicking.
+        p.apply(&mut view, Round(2), &[(Label(1), BilMsg::pos(999))]);
+        assert!(!view.tree().contains(Label(1)));
+        assert_eq!(view.anomalies().malformed_positions, 1);
+        assert_eq!(view.anomalies().total(), 4);
+        view.tree().validate().unwrap();
+    }
+
+    #[test]
+    fn corrupt_commits_are_rejected_in_both_profiles() {
+        use bil_tree::CandidatePath;
+        let p = BallsIntoLeaves::new(BilConfig::new().with_decide_at_leaf(true));
+        let mut view = p.init_view(4);
+        p.apply(
+            &mut view,
+            Round(0),
+            &[(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)],
+        );
+        // Legitimate phase: both balls walk to leaves and synchronize.
+        p.apply(
+            &mut view,
+            Round(1),
+            &[
+                (
+                    Label(1),
+                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 2, 4])),
+                ),
+                (
+                    Label(2),
+                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 3, 6])),
+                ),
+            ],
+        );
+        p.apply(
+            &mut view,
+            Round(2),
+            &[(Label(1), BilMsg::pos(4)), (Label(2), BilMsg::pos(6))],
+        );
+        // Ball 1 commits its own leaf (legitimate); ball 2 sends a
+        // direct commit for leaf 7 while positioned at leaf 6 — corrupt,
+        // rejected without repositioning, in both profiles.
+        p.apply(
+            &mut view,
+            Round(3),
+            &[(Label(1), BilMsg::Commit(4)), (Label(2), BilMsg::Commit(7))],
+        );
+        assert_eq!(view.committed().collect::<Vec<_>>(), vec![(Label(1), 4)]);
+        assert_eq!(view.tree().current_node(Label(2)), Some(6));
+        assert_eq!(view.anomalies().malformed_commits, 1);
+        // A later, conflicting commit for an already-committed ball is
+        // rejected and the established record kept (previously a
+        // debug-only panic).
+        p.apply(&mut view, Round(5), &[(Label(1), BilMsg::Commit(5))]);
+        assert_eq!(view.committed().collect::<Vec<_>>(), vec![(Label(1), 4)]);
+        assert_eq!(view.anomalies().malformed_commits, 2);
+        view.tree().validate().unwrap();
+    }
+
+    #[test]
+    fn status_of_missing_ball_keeps_running() {
+        // The explicit rejection path for a view missing its own ball:
+        // Running in both profiles, never a bogus decision (and never a
+        // debug-only panic).
+        let p = BallsIntoLeaves::base();
+        let mut view = p.init_view(4);
+        p.apply(&mut view, Round(0), &[(Label(1), BilMsg::Init)]);
+        assert_eq!(p.status(&view, Label(99), Round(2)), Status::Running);
+    }
+
+    #[test]
+    fn anomaly_counters_do_not_split_clusters() {
+        let p = BallsIntoLeaves::base();
+        let mut clean = p.init_view(4);
+        let mut dirty = p.init_view(4);
+        let inbox = [(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)];
+        p.apply(&mut clean, Round(0), &inbox);
+        p.apply(
+            &mut dirty,
+            Round(0),
+            &[
+                (Label(1), BilMsg::Init),
+                (Label(2), BilMsg::Init),
+                (Label(7), BilMsg::pos(3)),
+            ],
+        );
+        assert_eq!(dirty.anomalies().total(), 1);
+        assert_eq!(clean.anomalies().total(), 0);
+        // Same effective state ⇒ equal views (anomalies excluded), so
+        // the clustered engine may keep sharing them.
+        assert_eq!(clean, dirty);
     }
 
     #[test]

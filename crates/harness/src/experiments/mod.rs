@@ -17,6 +17,7 @@ pub mod e08_deterministic_termination;
 pub mod e11_messages;
 pub mod e12_ablations;
 pub mod e13_baseline_failures;
+pub mod e14_churn;
 pub mod figures;
 
 use crate::scenario::{Algorithm, Executor, Scenario};
@@ -150,6 +151,7 @@ pub fn run_all(opts: &EvalOpts) -> String {
         e11_messages::run(opts),
         e12_ablations::run(opts),
         e13_baseline_failures::run(opts),
+        e14_churn::run(opts),
     ];
     parts.join("\n")
 }

@@ -17,8 +17,11 @@
 //! * [`Table`] — aligned markdown tables;
 //! * [`render_tree`] / [`render_path_closeup`] — ASCII reproductions of
 //!   the paper's tree figures;
-//! * [`experiments`] — one module per experiment (E1–E13 and the
-//!   figures), each mapped to a paper claim in `DESIGN.md` §5.
+//! * [`experiments`] — one module per experiment (E1–E14 and the
+//!   figures), each mapped to a paper claim in `DESIGN.md` §5;
+//! * [`workload`] — churn-schedule generation (Poisson / bursty /
+//!   adversarial arrivals and departures) for the long-lived renaming
+//!   service of `bil-service` (experiment E14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +32,9 @@ mod render;
 mod scenario;
 pub mod stats;
 mod table;
+pub mod workload;
 
 pub use render::{render_path_closeup, render_tree};
 pub use scenario::{AdversarySpec, Algorithm, Batch, Executor, Scenario, ScenarioError};
 pub use table::Table;
+pub use workload::{ArrivalModel, ChurnWorkload};

@@ -12,11 +12,9 @@ use bil_baselines::{det_rank, FloodRank, RetryBins};
 use bil_core::adversary::{AdaptiveSplitter, LeafDenier, Sandwich, SyncSplitter};
 use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilMsg, PathRule};
 use bil_runtime::adversary::{Adversary, CrashBurst, NoFailures, RandomCrash, SteadyAttrition};
-use bil_runtime::engine::{ConfigError, EngineMode, EngineOptions, SyncEngine};
+use bil_runtime::engine::{ConfigError, EngineMode, EngineOptions};
 use bil_runtime::rng::split_mix64;
-use bil_runtime::socket::run_socket;
-use bil_runtime::threaded::run_threaded;
-use bil_runtime::{Label, Round, RunError, RunReport, SeedTree, ViewProtocol};
+use bil_runtime::{ExecutorKind, Label, Round, RunError, RunReport, SeedTree, ViewProtocol};
 use bil_tree::CoinRule;
 use rand::seq::SliceRandom;
 
@@ -122,16 +120,23 @@ impl Executor {
         }
     }
 
+    /// The [`bil_runtime::exec::ExecutorKind`] this CLI-level choice maps
+    /// onto; the runtime's uniform dispatch carries the actual run.
+    pub fn kind(&self) -> ExecutorKind {
+        match self {
+            Executor::Clustered => ExecutorKind::Clustered,
+            Executor::PerProcess => ExecutorKind::PerProcess,
+            Executor::Threaded => ExecutorKind::Threaded,
+            Executor::Parallel => ExecutorKind::Parallel,
+            Executor::Socket => ExecutorKind::Socket,
+        }
+    }
+
     /// The [`EngineMode`] backing this executor, or `None` for the wire
     /// executors (channel and socket), which are drivers rather than
     /// engine modes and have no observer support.
     pub fn engine_mode(&self) -> Option<EngineMode> {
-        match self {
-            Executor::Clustered => Some(EngineMode::Clustered),
-            Executor::PerProcess => Some(EngineMode::PerProcess),
-            Executor::Parallel => Some(EngineMode::Parallel),
-            Executor::Threaded | Executor::Socket => None,
-        }
+        self.kind().engine_mode()
     }
 
     /// The largest `n` this executor can feasibly carry, if bounded.
@@ -265,12 +270,24 @@ impl fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::ExecutorInfeasible { executor, n, max_n } => {
+                // The hint reflects the executor that was actually asked
+                // for, and only suggests executors whose cap (from
+                // `Executor::max_n`) really admits this n.
+                let feasible: Vec<String> = Executor::ALL
+                    .iter()
+                    .filter(|e| *e != executor && e.max_n().is_none_or(|cap| *n <= cap))
+                    .map(|e| e.to_string())
+                    .collect();
                 write!(
                     f,
                     "the {executor} executor cannot feasibly carry n = {n} \
-                     (cap {max_n}); use the clustered or parallel executor \
-                     for systems this large"
-                )
+                     (its cap is {max_n}); ",
+                )?;
+                if feasible.is_empty() {
+                    write!(f, "no executor admits a system this large")
+                } else {
+                    write!(f, "use {} instead", feasible.join(" or "))
+                }
             }
             ScenarioError::Run(e) => write!(f, "executor failed: {e}"),
         }
@@ -451,21 +468,10 @@ impl Scenario {
                 });
             }
         }
-        Ok(match self.executor.engine_mode() {
-            Some(mode) => SyncEngine::with_options(
-                protocol,
-                labels,
-                adversary,
-                seeds,
-                EngineOptions { mode, ..options },
-            )?
-            .run(),
-            None => match self.executor {
-                Executor::Threaded => run_threaded(protocol, labels, adversary, seeds, options)?,
-                Executor::Socket => run_socket(protocol, labels, adversary, seeds, options)?,
-                _ => unreachable!("every in-memory executor has an engine mode"),
-            },
-        })
+        Ok(self
+            .executor
+            .kind()
+            .run(protocol, labels, adversary, seeds, options)?)
     }
 
     fn bil_adversary(&self, seeds: SeedTree) -> Box<dyn Adversary<BilMsg> + Send> {
@@ -706,6 +712,37 @@ mod tests {
         // that is what the sweeps are for).
         assert_eq!(Executor::Clustered.max_n(), None);
         assert_eq!(Executor::Parallel.max_n(), None);
+    }
+
+    #[test]
+    fn infeasible_hint_reflects_actual_executor_and_caps() {
+        // Threaded at 2^12 + 1: per-process and socket (cap 2^14) are
+        // still feasible and must be suggested alongside the unbounded
+        // executors; the failing executor itself must not be.
+        let err = ScenarioError::ExecutorInfeasible {
+            executor: Executor::Threaded,
+            n: (1 << 12) + 1,
+            max_n: 1 << 12,
+        }
+        .to_string();
+        assert!(err.contains("the threaded executor"), "{err}");
+        assert!(err.contains("its cap is 4096"), "{err}");
+        for suggested in ["clustered", "per-process", "parallel", "socket"] {
+            assert!(err.contains(suggested), "missing {suggested}: {err}");
+        }
+        // Socket at 2^14 + 1: every capped executor is out; only the
+        // unbounded two may be suggested.
+        let err = ScenarioError::ExecutorInfeasible {
+            executor: Executor::Socket,
+            n: (1 << 14) + 1,
+            max_n: 1 << 14,
+        }
+        .to_string();
+        assert!(err.contains("the socket executor"), "{err}");
+        assert!(err.contains("clustered"), "{err}");
+        assert!(err.contains("parallel"), "{err}");
+        assert!(!err.contains("per-process"), "{err}");
+        assert!(!err.contains("threaded"), "{err}");
     }
 
     #[test]

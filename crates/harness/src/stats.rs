@@ -52,8 +52,8 @@ impl Summary {
             mean,
             std_dev: var.sqrt(),
             min: sorted[0],
-            median: percentile_sorted(&sorted, 0.50),
-            p95: percentile_sorted(&sorted, 0.95),
+            median: quantile_sorted(&sorted, 0.50),
+            p95: quantile_sorted(&sorted, 0.95),
             max: sorted[count - 1],
         }
     }
@@ -75,11 +75,48 @@ impl fmt::Display for Summary {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample, `q ∈ [0, 1]`.
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+/// Linearly-interpolated quantile of an ascending-sorted sample,
+/// `q ∈ [0, 1]` (out-of-range `q` is clamped) — the Hyndman–Fan "type 7"
+/// estimator, the default of R and NumPy: the fractional rank
+/// `h = (len − 1)·q` interpolates between the two bracketing order
+/// statistics. Unlike the rounded-rank rule it replaces, this is
+/// **monotone in `q`** and exactly bounded by the sample extremes even
+/// on small samples (the old rule could report p95 below p90, and made
+/// table columns like E6's mean/min/p95 inconsistent).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use bil_harness::stats::quantile_sorted;
+/// let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(quantile_sorted(&s, 0.0), 1.0);
+/// assert_eq!(quantile_sorted(&s, 0.5), 3.0);
+/// assert_eq!(quantile_sorted(&s, 0.95), 4.8);
+/// assert_eq!(quantile_sorted(&s, 1.0), 5.0);
+/// ```
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let h = (sorted.len() - 1) as f64 * q.clamp(0.0, 1.0);
+    assert!(!h.is_nan(), "NaN rank (NaN quantile requested?)");
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// [`quantile_sorted`] over an unsorted sample (sorts a copy).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    quantile_sorted(&sorted, q)
 }
 
 /// An ordinary-least-squares line fit `y ≈ intercept + slope · x`.
@@ -249,6 +286,37 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.p95, 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&s, 0.0), 10.0);
+        assert!((quantile_sorted(&s, 0.5) - 25.0).abs() < 1e-12);
+        assert!((quantile_sorted(&s, 0.95) - 38.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&s, 1.0), 40.0);
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert_eq!(quantile_sorted(&s, -0.5), 10.0);
+        assert_eq!(quantile_sorted(&s, 1.5), 40.0);
+        // Unsorted front-end agrees.
+        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 0.5), 25.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_on_the_old_failure_case() {
+        // With the rounded-rank rule a 3-element sample mapped q = 0.90
+        // to index round(1.8) = 2 and q = 0.95 to round(1.9) = 2, but
+        // q = 0.70 to round(1.4) = 1 — while on an 11-element sample
+        // q = 0.95 rounded *up* past q = 1.0's index, overshooting p95
+        // to the max. Interpolation keeps every pair ordered.
+        for sample in [vec![1.0, 2.0, 10.0], (0..11).map(f64::from).collect()] {
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=100 {
+                let v = quantile(&sample, i as f64 / 100.0);
+                assert!(v >= last, "q={} dropped from {last} to {v}", i);
+                last = v;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Churn workload generation for the long-lived renaming service:
+//! per-epoch acquire/release batches under Poisson, bursty, or
+//! adversarial arrival–departure schedules.
+//!
+//! The generator is *stateful but deterministic*: arrivals are drawn
+//! from its own seeded RNG stream, departures are drawn against the
+//! holder set the caller passes in, and fresh client labels are handed
+//! out sequentially — so driving two identical services (e.g. on two
+//! different executors) with two identically-seeded generators produces
+//! identical request streams, which is what the cross-executor service
+//! determinism tests lean on.
+
+use bil_runtime::rng::SeedTree;
+use bil_runtime::Label;
+use bil_service::Request;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How many contenders arrive each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Poisson-distributed arrivals with mean `rate` per epoch — the
+    /// steady-traffic model.
+    Poisson {
+        /// Mean arrivals per epoch.
+        rate: f64,
+    },
+    /// `burst` arrivals every `period` epochs, none in between — the
+    /// thundering-herd model.
+    Bursty {
+        /// Arrivals in a burst epoch.
+        burst: usize,
+        /// Epochs between bursts (`1` = every epoch).
+        period: u64,
+    },
+    /// Exactly as many arrivals as there are free names — every epoch
+    /// saturates the namespace, maximizing contention on the few free
+    /// leaves at high density (the worst schedule a request-level
+    /// adversary can aim at the admission layer).
+    Adversarial,
+}
+
+/// A deterministic churn-schedule generator; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    rng: SmallRng,
+    model: ArrivalModel,
+    /// Per-epoch probability that each current holder releases
+    /// (geometric holding times).
+    departure_rate: f64,
+    capacity: usize,
+    next_label: u64,
+    epoch: u64,
+}
+
+impl ChurnWorkload {
+    /// A generator for a service of `capacity` names, rooted at `seed`
+    /// (independent from the service's own seed tree).
+    pub fn new(capacity: usize, seed: u64, model: ArrivalModel, departure_rate: f64) -> Self {
+        ChurnWorkload {
+            rng: SeedTree::new(seed).workload_rng(),
+            model,
+            departure_rate: departure_rate.clamp(0.0, 1.0),
+            capacity,
+            next_label: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Produces the next epoch's request batch given the current
+    /// `(label, …)` holders: releases sampled per holder, then fresh
+    /// arrivals per the model. Labels never repeat across the
+    /// generator's lifetime.
+    pub fn next_batch(&mut self, holders: &[Label]) -> Vec<Request> {
+        let mut batch = Vec::new();
+        for holder in holders {
+            if self.rng.random_bool(self.departure_rate) {
+                batch.push(Request::Release(*holder));
+            }
+        }
+        let free_after = self.capacity - (holders.len() - batch.len());
+        let arrivals = match self.model {
+            ArrivalModel::Poisson { rate } => sample_poisson(&mut self.rng, rate),
+            ArrivalModel::Bursty { burst, period } => {
+                if self.epoch.is_multiple_of(period.max(1)) {
+                    burst
+                } else {
+                    0
+                }
+            }
+            ArrivalModel::Adversarial => free_after,
+        };
+        for _ in 0..arrivals {
+            batch.push(Request::Acquire(Label(self.next_label)));
+            self.next_label += 1;
+        }
+        self.epoch += 1;
+        batch
+    }
+
+    /// Total client labels handed out so far.
+    pub fn labels_issued(&self) -> u64 {
+        self.next_label
+    }
+}
+
+/// Knuth's product-of-uniforms Poisson sampler. Exact for the small
+/// per-epoch rates used here (`λ` up to a few hundred); `λ ≤ 0` yields 0.
+fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let holders: Vec<Label> = (100..110).map(Label).collect();
+        let mk = || {
+            let mut w = ChurnWorkload::new(64, 7, ArrivalModel::Poisson { rate: 4.0 }, 0.3);
+            (w.next_batch(&holders), w.next_batch(&holders))
+        };
+        assert_eq!(mk(), mk());
+        // A different seed changes the stream.
+        let mut other = ChurnWorkload::new(64, 8, ArrivalModel::Poisson { rate: 4.0 }, 0.3);
+        assert_ne!(mk().0, other.next_batch(&holders));
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = SeedTree::new(3).workload_rng();
+        let n = 4000;
+        let total: usize = (0..n).map(|_| sample_poisson(&mut rng, 6.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((5.5..6.5).contains(&mean), "mean {mean}");
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn bursty_fires_on_period() {
+        let mut w = ChurnWorkload::new(
+            64,
+            1,
+            ArrivalModel::Bursty {
+                burst: 5,
+                period: 3,
+            },
+            0.0,
+        );
+        let sizes: Vec<usize> = (0..6).map(|_| w.next_batch(&[]).len()).collect();
+        assert_eq!(sizes, vec![5, 0, 0, 5, 0, 0]);
+        assert_eq!(w.labels_issued(), 10);
+    }
+
+    #[test]
+    fn adversarial_saturates_free_capacity() {
+        let mut w = ChurnWorkload::new(16, 2, ArrivalModel::Adversarial, 0.0);
+        let batch = w.next_batch(&[]);
+        assert_eq!(batch.len(), 16);
+        // With 12 holders and no departures, exactly 4 arrive.
+        let holders: Vec<Label> = (0..12).map(Label).collect();
+        let batch = w.next_batch(&holders);
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn labels_never_repeat() {
+        let mut w = ChurnWorkload::new(32, 5, ArrivalModel::Poisson { rate: 8.0 }, 0.5);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut holders: Vec<Label> = Vec::new();
+        for _ in 0..20 {
+            for r in w.next_batch(&holders) {
+                if let Request::Acquire(l) = r {
+                    assert!(seen.insert(l), "label {l} repeated");
+                    holders.push(l);
+                    holders.truncate(16);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based checks of the interpolated quantile estimator: the
+//! regression that motivated it was a rounded-rank rule that could make
+//! p95 *non-monotone* in `q` on small samples (E6's mean/min/p95
+//! columns could disagree with each other). These properties pin the
+//! replacement down: monotonicity in `q`, exact bounds by the sample
+//! extremes, endpoint exactness, and internal consistency of `Summary`.
+
+use bil_harness::stats::{quantile, quantile_sorted, Summary};
+use proptest::prelude::*;
+
+/// Arbitrary non-empty samples (integers mapped into f64 — the vendored
+/// proptest shim has no float strategies, and integer-valued samples
+/// exercise every tie/plateau case that matters for quantiles).
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0u64..1000, 1..40)
+        .prop_map(|v| v.into_iter().map(|x| x as f64 - 500.0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// q ≤ q' implies quantile(q) ≤ quantile(q').
+    #[test]
+    fn quantile_is_monotone_in_q(values in samples(), a in 0u64..=1000, b in 0u64..=1000) {
+        let (lo, hi) = (a.min(b) as f64 / 1000.0, a.max(b) as f64 / 1000.0);
+        prop_assert!(
+            quantile(&values, lo) <= quantile(&values, hi),
+            "q={lo} gave more than q={hi} on {values:?}"
+        );
+    }
+
+    /// Every quantile lies within the sample extremes, and the endpoints
+    /// are exact.
+    #[test]
+    fn quantile_is_bounded_and_exact_at_endpoints(values in samples(), q in 0u64..=1000) {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = quantile(&values, q as f64 / 1000.0);
+        prop_assert!(v >= min && v <= max, "quantile {v} outside [{min}, {max}]");
+        prop_assert_eq!(quantile(&values, 0.0), min);
+        prop_assert_eq!(quantile(&values, 1.0), max);
+    }
+
+    /// A quantile of a singleton is that element, whatever q is.
+    #[test]
+    fn quantile_of_singleton_is_identity(x in 0u64..10_000, q in 0u64..=1000) {
+        let v = x as f64;
+        prop_assert_eq!(quantile_sorted(&[v], q as f64 / 1000.0), v);
+    }
+
+    /// Summary's order statistics are mutually consistent — the very
+    /// consistency E6's mean/min/p95 columns rely on.
+    #[test]
+    fn summary_columns_are_consistent(values in samples()) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.median);
+        prop_assert!(s.median <= s.p95);
+        prop_assert!(s.p95 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Quantiles commute with translation (no rank-dependent drift).
+    #[test]
+    fn quantile_commutes_with_shift(values in samples(), q in 0u64..=1000, shift in 0u64..100) {
+        let q = q as f64 / 1000.0;
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift as f64).collect();
+        let a = quantile(&values, q) + shift as f64;
+        let b = quantile(&shifted, q);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

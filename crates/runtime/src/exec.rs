@@ -1,0 +1,226 @@
+//! Uniform dispatch over the five executors.
+//!
+//! Every executor in this crate runs the same [`crate::pipeline`] round
+//! loop and produces a bit-identical [`RunReport`] for the same
+//! `(protocol, labels, adversary, seed)`; they differ only in where
+//! views live and how messages travel. [`ExecutorKind`] names the five
+//! choices as plain data, and [`ExecutorKind::run`] maps a kind onto the
+//! concrete driver — so higher layers (the experiment harness's scenario
+//! dispatch, the long-lived renaming service's epoch driver) can carry
+//! an executor choice around without re-rolling the dispatch match.
+//!
+//! # Examples
+//!
+//! ```
+//! use bil_runtime::adversary::NoFailures;
+//! use bil_runtime::engine::EngineOptions;
+//! use bil_runtime::exec::ExecutorKind;
+//! use bil_runtime::testproto::RankOnce;
+//! use bil_runtime::{Label, SeedTree};
+//!
+//! let labels: Vec<Label> = (0..8).map(|i| Label(5 * i + 2)).collect();
+//! let report = ExecutorKind::Clustered.run(
+//!     RankOnce,
+//!     labels,
+//!     NoFailures,
+//!     SeedTree::new(3),
+//!     EngineOptions::default(),
+//! )?;
+//! assert!(report.completed());
+//! # Ok::<(), bil_runtime::RunError>(())
+//! ```
+
+use std::fmt;
+
+use crate::adversary::Adversary;
+use crate::engine::{EngineMode, EngineOptions, SyncEngine};
+use crate::error::RunError;
+use crate::ids::Label;
+use crate::rng::SeedTree;
+use crate::socket::{run_socket_with, SocketOptions};
+use crate::threaded::run_threaded;
+use crate::trace::RunReport;
+use crate::view::ViewProtocol;
+
+/// One of the five interchangeable executors (see the crate docs for the
+/// table). All of them produce bit-identical reports; the choice picks a
+/// cost profile and what is being demonstrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// Cluster-sharing in-memory engine (fast, default).
+    #[default]
+    Clustered,
+    /// One view per process (reference semantics).
+    PerProcess,
+    /// One OS thread per process over wire-encoded channels.
+    Threaded,
+    /// Clustered views with rounds sharded across OS threads.
+    Parallel,
+    /// Worker threads over loopback TCP exchanging length-prefixed
+    /// frames of wire bytes.
+    Socket,
+}
+
+impl ExecutorKind {
+    /// Every kind, in the order used by comparison sweeps.
+    pub const ALL: [ExecutorKind; 5] = [
+        ExecutorKind::Clustered,
+        ExecutorKind::PerProcess,
+        ExecutorKind::Threaded,
+        ExecutorKind::Parallel,
+        ExecutorKind::Socket,
+    ];
+
+    /// The [`EngineMode`] backing this kind, or `None` for the wire
+    /// executors (channel and socket), which are standalone drivers.
+    pub fn engine_mode(self) -> Option<EngineMode> {
+        match self {
+            ExecutorKind::Clustered => Some(EngineMode::Clustered),
+            ExecutorKind::PerProcess => Some(EngineMode::PerProcess),
+            ExecutorKind::Parallel => Some(EngineMode::Parallel),
+            ExecutorKind::Threaded | ExecutorKind::Socket => None,
+        }
+    }
+
+    /// Runs `(protocol, labels, adversary, seeds)` on this executor with
+    /// default socket options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Config`] for invalid labels, and the wire
+    /// executors' transport failures ([`RunError::Decode`],
+    /// [`RunError::Io`], …); the in-memory executors never fail past
+    /// construction.
+    pub fn run<P, A>(
+        self,
+        protocol: P,
+        labels: Vec<Label>,
+        adversary: A,
+        seeds: SeedTree,
+        options: EngineOptions,
+    ) -> Result<RunReport, RunError>
+    where
+        P: ViewProtocol + Clone + Send + 'static,
+        A: Adversary<P::Msg>,
+    {
+        self.run_with(
+            protocol,
+            labels,
+            adversary,
+            seeds,
+            options,
+            SocketOptions::default(),
+        )
+    }
+
+    /// [`ExecutorKind::run`] with explicit [`SocketOptions`] (worker
+    /// count, I/O timeouts). The socket options are ignored by every
+    /// kind but [`ExecutorKind::Socket`] — and the report is independent
+    /// of them even there (worker count only changes wall-clock time).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ExecutorKind::run`].
+    pub fn run_with<P, A>(
+        self,
+        protocol: P,
+        labels: Vec<Label>,
+        adversary: A,
+        seeds: SeedTree,
+        options: EngineOptions,
+        socket: SocketOptions,
+    ) -> Result<RunReport, RunError>
+    where
+        P: ViewProtocol + Clone + Send + 'static,
+        A: Adversary<P::Msg>,
+    {
+        match self.engine_mode() {
+            Some(mode) => Ok(SyncEngine::with_options(
+                protocol,
+                labels,
+                adversary,
+                seeds,
+                EngineOptions { mode, ..options },
+            )?
+            .run()),
+            None => match self {
+                ExecutorKind::Threaded => run_threaded(protocol, labels, adversary, seeds, options),
+                ExecutorKind::Socket => {
+                    run_socket_with(protocol, labels, adversary, seeds, options, socket)
+                }
+                _ => unreachable!("every in-memory executor has an engine mode"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecutorKind::Clustered => "clustered",
+            ExecutorKind::PerProcess => "per-process",
+            ExecutorKind::Threaded => "threaded",
+            ExecutorKind::Parallel => "parallel",
+            ExecutorKind::Socket => "socket",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NoFailures;
+    use crate::testproto::RankOnce;
+
+    #[test]
+    fn all_kinds_agree_on_rank_once() {
+        let labels: Vec<Label> = (0..10u64).map(|i| Label(i * 17 + 3)).collect();
+        let reference = ExecutorKind::Clustered
+            .run(
+                RankOnce,
+                labels.clone(),
+                NoFailures,
+                SeedTree::new(9),
+                EngineOptions::default(),
+            )
+            .expect("clustered run");
+        for kind in ExecutorKind::ALL {
+            let report = kind
+                .run(
+                    RankOnce,
+                    labels.clone(),
+                    NoFailures,
+                    SeedTree::new(9),
+                    EngineOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            assert_eq!(reference, report, "{kind}");
+        }
+    }
+
+    #[test]
+    fn invalid_labels_surface_as_config_errors() {
+        for kind in ExecutorKind::ALL {
+            let err = kind
+                .run(
+                    RankOnce,
+                    vec![Label(1), Label(1)],
+                    NoFailures,
+                    SeedTree::new(0),
+                    EngineOptions::default(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, RunError::Config(_)), "{kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = ExecutorKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            names,
+            ["clustered", "per-process", "threaded", "parallel", "socket"]
+        );
+    }
+}

@@ -61,6 +61,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod frame;
 pub mod ids;
 pub mod parallel;
@@ -74,6 +75,7 @@ pub mod view;
 pub mod wire;
 
 pub use error::RunError;
+pub use exec::ExecutorKind;
 pub use ids::{Label, Name, ProcId, Round};
 pub use rng::SeedTree;
 pub use trace::{CrashEvent, Decision, Outcome, RunReport};

@@ -117,6 +117,55 @@ impl LocalTree {
         tree
     }
 
+    /// A view over a *partially-occupied* tree: every `(ball, node)`
+    /// placement is inserted as given. This is how a long-lived epoch
+    /// seeds its views with the resident balls that already hold leaves
+    /// (name recycling masks occupied leaves by occupying them, so the
+    /// capacity accounting — the paper's Lemma 1 — does the exclusion).
+    ///
+    /// Unlike [`LocalTree::with_balls_at_root`], whose panics indicate
+    /// constructor misuse, this validates: placements come from dynamic
+    /// service state, so violations are reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNode`] for an out-of-range node,
+    /// [`TreeError::BallExists`] for a duplicate ball, and — via the
+    /// final capacity check — [`TreeError::BadLeafCount`] if the
+    /// placements overfill any subtree (e.g. two balls on one leaf, or a
+    /// ball on a phantom leaf).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bil_runtime::Label;
+    /// use bil_tree::{LocalTree, Topology, ROOT};
+    ///
+    /// let topo = Topology::new(4)?;
+    /// // Leaves 4 and 6 already hold names; one contender at the root.
+    /// let tree = LocalTree::with_balls_at(
+    ///     topo,
+    ///     [(Label(10), 4), (Label(11), 6), (Label(1), ROOT)],
+    /// )?;
+    /// assert_eq!(tree.remaining_capacity(ROOT), 1);
+    /// # Ok::<(), bil_tree::TreeError>(())
+    /// ```
+    pub fn with_balls_at<I: IntoIterator<Item = (Label, NodeId)>>(
+        topo: Topology,
+        placements: I,
+    ) -> Result<Self, TreeError> {
+        let mut tree = LocalTree::new(topo);
+        for (ball, node) in placements {
+            tree.insert(ball, node)?;
+        }
+        for v in 1..topo.node_slots() as NodeId {
+            if tree.balls_in[v as usize] > topo.capacity(v) {
+                return Err(TreeError::BadLeafCount(tree.balls_in[v as usize] as usize));
+            }
+        }
+        Ok(tree)
+    }
+
     /// The tree shape.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -726,5 +775,35 @@ mod tests {
     #[should_panic(expected = "duplicate label")]
     fn with_balls_at_root_rejects_duplicates() {
         let _ = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(1)]);
+    }
+
+    #[test]
+    fn with_balls_at_builds_partially_occupied_views() {
+        let t =
+            LocalTree::with_balls_at(topo(4), [(Label(10), 4), (Label(11), 6), (Label(1), ROOT)])
+                .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.current_node(Label(10)), Some(4));
+        assert_eq!(t.remaining_capacity(ROOT), 1);
+        assert_eq!(t.remaining_capacity(2), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn with_balls_at_rejects_bad_placements() {
+        // Duplicate ball.
+        assert!(matches!(
+            LocalTree::with_balls_at(topo(4), [(Label(1), 4), (Label(1), 5)]),
+            Err(TreeError::BallExists(Label(1)))
+        ));
+        // Out-of-range node.
+        assert!(matches!(
+            LocalTree::with_balls_at(topo(4), [(Label(1), 99)]),
+            Err(TreeError::BadNode(99))
+        ));
+        // Two balls on one leaf overfill it.
+        assert!(LocalTree::with_balls_at(topo(4), [(Label(1), 4), (Label(2), 4)]).is_err());
+        // A ball on a phantom leaf (n=3 pads to 4; leaf 7 has capacity 0).
+        assert!(LocalTree::with_balls_at(topo(3), [(Label(1), 7)]).is_err());
     }
 }

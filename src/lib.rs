@@ -18,6 +18,9 @@
 //! * [`tree`] — the capacity tree (local views, remaining capacity, the
 //!   priority order `<R`, candidate paths);
 //! * [`baselines`] — every comparison point the paper names;
+//! * [`service`] — the long-lived renaming service: epoch-batched
+//!   acquire/release over a fixed namespace with name recycling, each
+//!   epoch one Balls-into-Leaves run over the partially-occupied tree;
 //! * [`harness`] — the experiment harness regenerating the paper's
 //!   claims (`cargo run --release -p bil-harness --bin paper-eval`);
 //! * [`modelcheck`] — bounded exhaustive verification against the full
@@ -46,6 +49,7 @@ pub use bil_core as core;
 pub use bil_harness as harness;
 pub use bil_modelcheck as modelcheck;
 pub use bil_runtime as runtime;
+pub use bil_service as service;
 pub use bil_tree as tree;
 
 /// The most common imports, bundled.
@@ -53,7 +57,7 @@ pub mod prelude {
     pub use bil_baselines::{det_rank, FloodRank, RetryBins};
     pub use bil_core::{
         assignment, check_tight_renaming, solve_tight_renaming, BallsIntoLeaves, BilConfig,
-        PathRule, RenamingVerdict,
+        EpochBil, PathRule, RenamingVerdict,
     };
     pub use bil_harness::Executor;
     pub use bil_runtime::adversary::NoFailures;
@@ -61,6 +65,9 @@ pub mod prelude {
     pub use bil_runtime::parallel::run_parallel;
     pub use bil_runtime::socket::{run_socket, SocketOptions};
     pub use bil_runtime::threaded::run_threaded;
-    pub use bil_runtime::{Label, Name, Outcome, ProcId, Round, RunError, RunReport, SeedTree};
+    pub use bil_runtime::{
+        ExecutorKind, Label, Name, Outcome, ProcId, Round, RunError, RunReport, SeedTree,
+    };
+    pub use bil_service::{RenamingService, Request, ServiceOptions};
     pub use bil_tree::{CoinRule, LocalTree, Topology};
 }
