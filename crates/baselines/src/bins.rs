@@ -38,7 +38,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use bil_runtime::wire::{get_varint, put_varint, varint_len, Wire, WireError};
-use bil_runtime::{Label, Name, Round, Status, ViewProtocol};
+use bil_runtime::{Label, Name, Round, RoundInbox, Status, ViewProtocol};
 
 /// A bin index in `0..n`.
 pub type Bin = u32;
@@ -283,16 +283,16 @@ impl ViewProtocol for RetryBins {
         }
     }
 
-    fn apply(&self, view: &mut BinsView, round: Round, inbox: &[(Label, BinsMsg)]) {
+    fn apply(&self, view: &mut BinsView, round: Round, inbox: RoundInbox<'_, BinsMsg>) {
         // 1. Reclaim: release bins whose recorded owner sent nothing.
         if self.reclaim && !round.is_init() {
             view.owners
-                .retain(|_, owner| inbox.iter().any(|(l, _)| l == owner));
+                .retain(|_, owner| inbox.labels().contains(owner));
         }
         // 2. Holds refresh (and repair divergent) ownership.
-        for (label, msg) in inbox {
+        for (label, msg) in inbox.iter() {
             if let BinsMsg::Hold(bin) = msg {
-                view.owners.insert(*bin, *label);
+                view.owners.insert(*bin, label);
             }
         }
         // 3. Claims: each bin accepts its smallest claimant; each winner
@@ -300,12 +300,12 @@ impl ViewProtocol for RetryBins {
         // round). This is a deterministic function of the claim multiset,
         // so views that heard the same claims stay identical.
         let mut claimants: BTreeMap<Bin, Vec<Label>> = BTreeMap::new();
-        for (label, msg) in inbox {
+        for (label, msg) in inbox.iter() {
             match msg {
-                BinsMsg::Claim(b) => claimants.entry(*b).or_default().push(*label),
+                BinsMsg::Claim(b) => claimants.entry(*b).or_default().push(label),
                 BinsMsg::Claim2(a, b) => {
-                    claimants.entry(*a).or_default().push(*label);
-                    claimants.entry(*b).or_default().push(*label);
+                    claimants.entry(*a).or_default().push(label);
+                    claimants.entry(*b).or_default().push(label);
                 }
                 _ => {}
             }
@@ -323,7 +323,7 @@ impl ViewProtocol for RetryBins {
             view.owners.insert(bin, ball);
         }
         // 4. Global-completion tracking for the Hold rule.
-        view.pending = inbox.iter().any(|(_, m)| {
+        view.pending = inbox.msgs().iter().any(|m| {
             matches!(
                 m,
                 BinsMsg::Claim(_) | BinsMsg::Claim2(_, _) | BinsMsg::Stuck

@@ -14,7 +14,7 @@ use bytes::{Bytes, BytesMut};
 use rand::rngs::SmallRng;
 
 use bil_runtime::wire::{Wire, WireError};
-use bil_runtime::{Label, Name, Round, Status, ViewProtocol};
+use bil_runtime::{Label, Name, Round, RoundInbox, Status, ViewProtocol};
 
 /// The flooded payload: all ids known to the sender.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,8 +99,8 @@ impl ViewProtocol for FloodRank {
         IdSet(known)
     }
 
-    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
-        for (_, IdSet(ids)) in inbox {
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: RoundInbox<'_, Self::Msg>) {
+        for IdSet(ids) in inbox.msgs() {
             for id in ids {
                 if let Err(i) = view.binary_search(id) {
                     view.insert(i, *id);

@@ -1,0 +1,270 @@
+//! The message-plane benchmark: what the packed candidate-path
+//! representation buys on the wire and on the heap.
+//!
+//! Three codecs are compared over the same root→leaf chains:
+//!
+//! * **packed (v2)** — the live format: one varint of `leaf · 32 + len`;
+//! * **v1** — the previous generation: start varint + step count +
+//!   direction bits (kept here as a reference implementation);
+//! * **node-list** — the natural serialization of the retired
+//!   `Vec<NodeId>` path representation: count varint + one varint per
+//!   node (this is the ≥2× baseline the refactor's acceptance bar is
+//!   stated against; `crates/runtime/tests/wire_fixtures.rs` asserts the
+//!   ratio, this bench reports the numbers).
+//!
+//! On top of throughput, the bench prints a bytes/message table per tree
+//! depth and counts compose-stage heap allocations with a counting
+//! global allocator (expected: **zero** for packed paths, one `Vec` per
+//! path for the legacy representation it replaced). Headline numbers are
+//! recorded in `EXPERIMENTS.md` (§message_plane).
+#![allow(unsafe_code)] // the counting global allocator
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bil_core::{BallsIntoLeaves, BilMsg};
+use bil_runtime::wire::{get_varint, put_varint, varint_len, Wire};
+use bil_runtime::{InboxBuf, Label, ProcId, Round, SeedTree, ViewProtocol};
+use bil_tree::{NodeId, PackedPath};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+/// A deterministic root→leaf chain of a `levels`-deep tree (alternating
+/// descent, so node ids exercise mixed varint widths).
+fn chain(levels: u32) -> Vec<NodeId> {
+    let mut nodes = vec![1u32];
+    for i in 0..levels {
+        let v = *nodes.last().expect("non-empty");
+        nodes.push(2 * v + (i % 2));
+    }
+    nodes
+}
+
+/// The previous format generation (wire v1), kept as a reference codec:
+/// start varint + step-count varint + one direction bit per step.
+fn encode_v1(nodes: &[NodeId], buf: &mut BytesMut) {
+    buf.put_u8(1);
+    let start = nodes.first().copied().unwrap_or(0);
+    put_varint(buf, u64::from(start));
+    let steps = nodes.len().saturating_sub(1);
+    put_varint(buf, steps as u64);
+    let mut bits = vec![0u8; steps.div_ceil(8)];
+    for (i, w) in nodes.windows(2).enumerate() {
+        if w[1] == 2 * w[0] + 1 {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.put_slice(&bits);
+}
+
+fn decode_v1(buf: &mut Bytes) -> Vec<NodeId> {
+    let _tag = buf.get_u8();
+    let start = get_varint(buf).expect("start") as NodeId;
+    let steps = get_varint(buf).expect("steps") as usize;
+    let mut bits = vec![0u8; steps.div_ceil(8)];
+    buf.copy_to_slice(&mut bits);
+    let mut nodes = Vec::with_capacity(steps + 1);
+    let mut v = start;
+    nodes.push(v);
+    for i in 0..steps {
+        let right = bits[i / 8] >> (i % 8) & 1 == 1;
+        v = 2 * v + u32::from(right);
+        nodes.push(v);
+    }
+    nodes
+}
+
+/// The retired representation's natural serialization: length-prefixed
+/// node list.
+fn encode_node_list(nodes: &[NodeId], buf: &mut BytesMut) {
+    buf.put_u8(1);
+    put_varint(buf, nodes.len() as u64);
+    for v in nodes {
+        put_varint(buf, u64::from(*v));
+    }
+}
+
+fn node_list_len(nodes: &[NodeId]) -> usize {
+    1 + varint_len(nodes.len() as u64)
+        + nodes
+            .iter()
+            .map(|v| varint_len(u64::from(*v)))
+            .sum::<usize>()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_plane/encode");
+    for levels in [8u32, 16, 26] {
+        let nodes = chain(levels);
+        let packed = BilMsg::Path(PackedPath::from_nodes(&nodes).expect("valid chain"));
+        group.bench_with_input(BenchmarkId::new("packed_v2", levels), &packed, |b, msg| {
+            let mut buf = BytesMut::with_capacity(64);
+            b.iter(|| {
+                buf.clear();
+                msg.encode(&mut buf);
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_v1", levels), &nodes, |b, nodes| {
+            let mut buf = BytesMut::with_capacity(64);
+            b.iter(|| {
+                buf.clear();
+                encode_v1(nodes, &mut buf);
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("node_list", levels), &nodes, |b, nodes| {
+            let mut buf = BytesMut::with_capacity(256);
+            b.iter(|| {
+                buf.clear();
+                encode_node_list(nodes, &mut buf);
+                black_box(buf.len())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("message_plane/decode");
+    for levels in [8u32, 16, 26] {
+        let nodes = chain(levels);
+        let packed_bytes =
+            BilMsg::Path(PackedPath::from_nodes(&nodes).expect("valid chain")).to_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("packed_v2", levels),
+            &packed_bytes,
+            |b, bytes| {
+                b.iter(|| black_box(BilMsg::from_bytes(bytes.clone()).expect("valid")));
+            },
+        );
+        let mut v1 = BytesMut::new();
+        encode_v1(&nodes, &mut v1);
+        let v1 = v1.freeze();
+        group.bench_with_input(BenchmarkId::new("legacy_v1", levels), &v1, |b, bytes| {
+            b.iter(|| black_box(decode_v1(&mut bytes.clone())));
+        });
+    }
+    group.finish();
+}
+
+/// Bytes/message for each path-bearing shape, plus the non-path
+/// variants for context. Printed as a table; headline ratios land in
+/// EXPERIMENTS.md.
+fn report_bytes_per_message(_c: &mut Criterion) {
+    eprintln!("\n== message_plane/bytes-per-message ==");
+    eprintln!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "depth", "packed_v2", "legacy_v1", "node_list", "v1/packed", "list/packed"
+    );
+    for levels in [3u32, 8, 10, 16, 20, 26] {
+        let nodes = chain(levels);
+        let packed = BilMsg::Path(PackedPath::from_nodes(&nodes).expect("valid chain"));
+        let v2 = packed.encoded_len();
+        let mut buf = BytesMut::new();
+        encode_v1(&nodes, &mut buf);
+        let v1 = buf.len();
+        let list = node_list_len(&nodes);
+        eprintln!(
+            "{:<10} {:>10} {:>10} {:>10} {:>11.2}x {:>11.2}x",
+            levels,
+            v2,
+            v1,
+            list,
+            v1 as f64 / v2 as f64,
+            list as f64 / v2 as f64
+        );
+    }
+    for (name, msg) in [
+        ("init", BilMsg::Init),
+        ("pos", BilMsg::pos(1 << 16)),
+        ("commit", BilMsg::Commit(1 << 16)),
+    ] {
+        eprintln!("{:<10} {:>10}", name, msg.encoded_len());
+    }
+}
+
+/// Compose-stage allocation counts: packed paths vs the retired
+/// `Vec<NodeId>` chains, over one failure-free path round.
+fn report_compose_allocations(c: &mut Criterion) {
+    let n = 4096usize;
+    let protocol = BallsIntoLeaves::base();
+    let labels: Vec<Label> = (0..n as u64).map(|i| Label(i * 3 + 1)).collect();
+    let seeds = SeedTree::new(7);
+    let init: InboxBuf<BilMsg> = labels.iter().map(|l| (*l, BilMsg::Init)).collect();
+    let mut view = protocol.init_view(n);
+    protocol.apply(&mut view, Round(0), init.as_inbox());
+    let mut rngs: Vec<_> = (0..n)
+        .map(|p| seeds.process_rng(ProcId(p as u32)))
+        .collect();
+
+    // Warm-up, then measure one full compose sweep.
+    for i in 0..n {
+        let _ = protocol.compose(&view, labels[i], Round(1), &mut rngs[i]);
+    }
+    let (packed_allocs, ()) = allocations_during(|| {
+        for i in 0..n {
+            black_box(protocol.compose(&view, labels[i], Round(1), &mut rngs[i]));
+        }
+    });
+    // The retired representation: one heap chain per composed path.
+    let (legacy_allocs, ()) = allocations_during(|| {
+        for i in 0..n {
+            let msg = protocol.compose(&view, labels[i], Round(1), &mut rngs[i]);
+            if let BilMsg::Path(p) = msg {
+                black_box(p.to_nodes()); // the Vec the old format carried
+            }
+        }
+    });
+    eprintln!("\n== message_plane/compose-allocations (n = {n} balls) ==");
+    eprintln!("packed paths:      {packed_allocs} allocations");
+    eprintln!("legacy Vec chains: {legacy_allocs} allocations");
+    assert_eq!(packed_allocs, 0, "packed compose must be allocation-free");
+
+    // And time the sweep for the record.
+    let mut group = c.benchmark_group("message_plane/compose");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("path_round", n), &(), |b, ()| {
+        b.iter(|| {
+            for i in 0..n {
+                black_box(protocol.compose(&view, labels[i], Round(1), &mut rngs[i]));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    message_plane,
+    bench_encode_decode,
+    report_bytes_per_message,
+    report_compose_allocations
+);
+criterion_main!(message_plane);

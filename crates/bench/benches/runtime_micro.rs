@@ -8,7 +8,7 @@ use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::testproto::UnionRank;
 use bil_runtime::wire::Wire;
 use bil_runtime::{Label, SeedTree};
-use bil_tree::CandidatePath;
+use bil_tree::PackedPath;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -22,7 +22,7 @@ fn bench_wire(c: &mut Criterion) {
         }
         nodes
     };
-    let msg = BilMsg::Path(CandidatePath::from_nodes(path));
+    let msg = BilMsg::Path(PackedPath::from_nodes(&path).expect("valid chain"));
     group.bench_function("encode_path_msg", |b| {
         b.iter(|| black_box(msg.to_bytes()));
     });

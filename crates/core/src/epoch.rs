@@ -59,7 +59,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
-use bil_runtime::{Label, Name, Round, Status, ViewProtocol};
+use bil_runtime::{Label, Name, Round, RoundInbox, Status, ViewProtocol};
 use bil_tree::{NodeId, Topology, TreeError};
 
 use crate::config::BilConfig;
@@ -217,7 +217,7 @@ impl ViewProtocol for EpochBil {
         self.inner.compose(view, ball, round, rng)
     }
 
-    fn apply(&self, view: &mut BilView, round: Round, inbox: &[(Label, BilMsg)]) {
+    fn apply(&self, view: &mut BilView, round: Round, inbox: RoundInbox<'_, BilMsg>) {
         self.inner.apply(view, round, inbox);
     }
 

@@ -58,8 +58,8 @@ use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 
-use bil_runtime::{Label, Name, Round, Status, ViewProtocol};
-use bil_tree::{LocalTree, NodeId, Topology, ROOT};
+use bil_runtime::{Label, Name, Round, RoundInbox, Status, ViewProtocol};
+use bil_tree::{LocalTree, NodeId, PackedPath, Topology, ROOT};
 
 use crate::config::{BilConfig, PathRule};
 use crate::messages::BilMsg;
@@ -347,8 +347,18 @@ impl ViewProtocol for BallsIntoLeaves {
             return BilMsg::Init;
         }
         let tree = &view.tree;
+        // A view that no longer contains its own ball is corrupt (a
+        // correct ball always hears its own broadcast; only hostile wire
+        // input can remove it). The explicit rejection path — identical
+        // in debug and release builds — is to go silence-equivalent: a
+        // repeated `Init` matches no later-round message class, so peers
+        // drop this sender as crashed instead of absorbing corrupt
+        // state, and `status` keeps it Running so it can never decide a
+        // bogus name.
+        let Some(node) = tree.current_node(ball) else {
+            return BilMsg::Init;
+        };
         if round.is_path_round() {
-            let node = tree.current_node(ball).expect("ball is in its own view");
             if self.cfg.decide_at_leaf {
                 // A ball whose (synchronized) position is a leaf commits
                 // it and will decide at the end of this round.
@@ -393,7 +403,7 @@ impl ViewProtocol for BallsIntoLeaves {
             };
             BilMsg::Path(path.expect("ball is in its own view with capacity below"))
         } else {
-            let mut node = tree.current_node(ball).expect("ball is in its own view");
+            let mut node = node;
             // Cornered recovery (decide-at-leaf variant): a ball whose
             // whole subtree is routing-blocked *retreats* — it announces
             // the nearest ancestor that still has routable capacity as
@@ -415,17 +425,17 @@ impl ViewProtocol for BallsIntoLeaves {
         }
     }
 
-    fn apply(&self, view: &mut BilView, round: Round, inbox: &[(Label, BilMsg)]) {
+    fn apply(&self, view: &mut BilView, round: Round, inbox: RoundInbox<'_, BilMsg>) {
         if round.is_init() {
-            for (label, msg) in inbox {
-                if msg != &BilMsg::Init {
+            for (label, msg) in inbox.iter() {
+                if *msg != BilMsg::Init {
                     // A round-0 broadcast that is not `Init` is corrupt:
                     // the sender is never admitted (it will read as
                     // crashed), identically in debug and release.
                     view.anomalies.malformed_init += 1;
                     continue;
                 }
-                if view.tree.insert(*label, ROOT).is_err() {
+                if view.tree.insert(label, ROOT).is_err() {
                     // Collision with an already-present ball (possible
                     // only on corrupt input or a mis-seeded epoch):
                     // reject the newcomer, keep the established ball.
@@ -440,26 +450,29 @@ impl ViewProtocol for BallsIntoLeaves {
             // evaluated on start-of-phase positions, which Proposition 1
             // makes identical across correct views).
             let order = view.tree.ordered_balls();
-            let paths: BTreeMap<Label, &bil_tree::CandidatePath> = inbox
+            // Packed paths are `Copy`: the per-ball map holds them by
+            // value, so the walk below never chases a reference into the
+            // shared inbox buffer.
+            let paths: BTreeMap<Label, PackedPath> = inbox
                 .iter()
                 .filter_map(|(l, m)| match m {
-                    BilMsg::Path(p) => Some((*l, p)),
+                    BilMsg::Path(p) => Some((l, *p)),
                     _ => None,
                 })
                 .collect();
             let commits: BTreeMap<Label, NodeId> = inbox
                 .iter()
                 .filter_map(|(l, m)| match m {
-                    BilMsg::Commit(node) => Some((*l, *node)),
+                    BilMsg::Commit(node) => Some((l, *node)),
                     _ => None,
                 })
                 .collect();
             // Cornered balls pass the phase with a Pos broadcast: they
             // stay in place (and their echoes are still processed).
             let mut passes: std::collections::BTreeSet<Label> = Default::default();
-            for (l, m) in inbox {
+            for (l, m) in inbox.iter() {
                 if let BilMsg::Pos { echo, .. } = m {
-                    passes.insert(*l);
+                    passes.insert(l);
                     for (ball, leaf) in echo {
                         view.learn_commit(*ball, *leaf, round, Provenance::Echoed);
                     }
@@ -478,8 +491,9 @@ impl ViewProtocol for BallsIntoLeaves {
                 } else if let Some(path) = paths.get(&ball) {
                     // Lines 13–18: follow the path until the first full
                     // subtree. A path that fails the move-walk's
-                    // validation is corrupt (unreachable for correct
-                    // senders): reject it by removing the sender as
+                    // re-validation is corrupt (unreachable for correct
+                    // senders — hostile wire input can produce any
+                    // packed pair): reject it by removing the sender as
                     // crashed and counting the drop — the same explicit
                     // path in debug and release builds.
                     if view.tree.place_along(ball, path).is_err() {
@@ -503,7 +517,7 @@ impl ViewProtocol for BallsIntoLeaves {
             // re-echoes, so knowledge spreads along partial-delivery
             // chains until one full broadcast makes it uniform.
             view.fresh = Vec::new();
-            for (_, msg) in inbox {
+            for msg in inbox.msgs() {
                 if let BilMsg::Pos { echo, .. } = msg {
                     for (ball, leaf) in echo {
                         view.learn_commit(*ball, *leaf, round, Provenance::Echoed);
@@ -514,7 +528,7 @@ impl ViewProtocol for BallsIntoLeaves {
             let positions: BTreeMap<Label, NodeId> = inbox
                 .iter()
                 .filter_map(|(l, m)| match m {
-                    BilMsg::Pos { node, .. } => Some((*l, *node)),
+                    BilMsg::Pos { node, .. } => Some((l, *node)),
                     _ => None,
                 })
                 .collect();
@@ -670,11 +684,22 @@ mod tests {
     use super::*;
     use bil_runtime::adversary::{NoFailures, Scripted, ScriptedCrash};
     use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
-    use bil_runtime::SeedTree;
+    use bil_runtime::{InboxBuf, SeedTree};
     use bil_tree::CoinRule;
 
     fn labels(n: u64) -> Vec<Label> {
         (0..n).map(|i| Label((i * 29 + 17) % (n * 31))).collect()
+    }
+
+    /// Hands a literal inbox to `apply` (tests build inboxes as pair
+    /// lists; the engines build shared SoA buffers).
+    fn deliver(p: &BallsIntoLeaves, view: &mut BilView, round: Round, pairs: Vec<(Label, BilMsg)>) {
+        let buf = InboxBuf::from_pairs(pairs);
+        p.apply(view, round, buf.as_inbox());
+    }
+
+    fn packed(nodes: &[bil_tree::NodeId]) -> PackedPath {
+        PackedPath::from_nodes(nodes).unwrap()
     }
 
     fn run_base(n: u64, seed: u64) -> bil_runtime::RunReport {
@@ -978,15 +1003,15 @@ mod tests {
 
     #[test]
     fn malformed_messages_are_rejected_not_absorbed() {
-        use bil_tree::CandidatePath;
         let p = BallsIntoLeaves::base();
         let mut view = p.init_view(4);
         // Round 0: two correct balls; one corrupt non-Init broadcast is
         // never admitted.
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(0),
-            &[
+            vec![
                 (Label(1), BilMsg::Init),
                 (Label(2), BilMsg::Init),
                 (Label(3), BilMsg::pos(1)),
@@ -997,15 +1022,13 @@ mod tests {
         // Round 1 (path round): ball 1 walks a valid path; ball 2's path
         // fails validation and ball 2 is removed as crashed. An echoed
         // commit naming an internal node is ignored.
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(1),
-            &[
-                (
-                    Label(1),
-                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 2, 4])),
-                ),
-                (Label(2), BilMsg::Path(CandidatePath::from_nodes(vec![9]))),
+            vec![
+                (Label(1), BilMsg::Path(packed(&[1, 2, 4]))),
+                (Label(2), BilMsg::Path(PackedPath::single(9))),
                 (
                     Label(3),
                     BilMsg::Pos {
@@ -1020,7 +1043,7 @@ mod tests {
         assert_eq!(view.anomalies().malformed_commits, 1);
         // Round 2 (sync round): an out-of-range position removes the
         // sender instead of panicking.
-        p.apply(&mut view, Round(2), &[(Label(1), BilMsg::pos(999))]);
+        deliver(&p, &mut view, Round(2), vec![(Label(1), BilMsg::pos(999))]);
         assert!(!view.tree().contains(Label(1)));
         assert_eq!(view.anomalies().malformed_positions, 1);
         assert_eq!(view.anomalies().total(), 4);
@@ -1029,41 +1052,38 @@ mod tests {
 
     #[test]
     fn corrupt_commits_are_rejected_in_both_profiles() {
-        use bil_tree::CandidatePath;
         let p = BallsIntoLeaves::new(BilConfig::new().with_decide_at_leaf(true));
         let mut view = p.init_view(4);
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(0),
-            &[(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)],
+            vec![(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)],
         );
         // Legitimate phase: both balls walk to leaves and synchronize.
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(1),
-            &[
-                (
-                    Label(1),
-                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 2, 4])),
-                ),
-                (
-                    Label(2),
-                    BilMsg::Path(CandidatePath::from_nodes(vec![1, 3, 6])),
-                ),
+            vec![
+                (Label(1), BilMsg::Path(packed(&[1, 2, 4]))),
+                (Label(2), BilMsg::Path(packed(&[1, 3, 6]))),
             ],
         );
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(2),
-            &[(Label(1), BilMsg::pos(4)), (Label(2), BilMsg::pos(6))],
+            vec![(Label(1), BilMsg::pos(4)), (Label(2), BilMsg::pos(6))],
         );
         // Ball 1 commits its own leaf (legitimate); ball 2 sends a
         // direct commit for leaf 7 while positioned at leaf 6 — corrupt,
         // rejected without repositioning, in both profiles.
-        p.apply(
+        deliver(
+            &p,
             &mut view,
             Round(3),
-            &[(Label(1), BilMsg::Commit(4)), (Label(2), BilMsg::Commit(7))],
+            vec![(Label(1), BilMsg::Commit(4)), (Label(2), BilMsg::Commit(7))],
         );
         assert_eq!(view.committed().collect::<Vec<_>>(), vec![(Label(1), 4)]);
         assert_eq!(view.tree().current_node(Label(2)), Some(6));
@@ -1071,7 +1091,7 @@ mod tests {
         // A later, conflicting commit for an already-committed ball is
         // rejected and the established record kept (previously a
         // debug-only panic).
-        p.apply(&mut view, Round(5), &[(Label(1), BilMsg::Commit(5))]);
+        deliver(&p, &mut view, Round(5), vec![(Label(1), BilMsg::Commit(5))]);
         assert_eq!(view.committed().collect::<Vec<_>>(), vec![(Label(1), 4)]);
         assert_eq!(view.anomalies().malformed_commits, 2);
         view.tree().validate().unwrap();
@@ -1084,8 +1104,33 @@ mod tests {
         // debug-only panic).
         let p = BallsIntoLeaves::base();
         let mut view = p.init_view(4);
-        p.apply(&mut view, Round(0), &[(Label(1), BilMsg::Init)]);
+        deliver(&p, &mut view, Round(0), vec![(Label(1), BilMsg::Init)]);
         assert_eq!(p.status(&view, Label(99), Round(2)), Status::Running);
+    }
+
+    #[test]
+    fn compose_of_missing_ball_goes_silence_equivalent() {
+        // The companion rejection path in `compose`: a view that lost
+        // its own ball to hostile input broadcasts a repeated `Init`
+        // (which peers treat as silence) instead of panicking — in both
+        // profiles.
+        let p = BallsIntoLeaves::new(BilConfig::new().with_decide_at_leaf(true));
+        let mut view = p.init_view(4);
+        deliver(&p, &mut view, Round(0), vec![(Label(1), BilMsg::Init)]);
+        let mut rng = SeedTree::new(0).process_rng(bil_runtime::ProcId(0));
+        for round in [Round(1), Round(2), Round(3)] {
+            assert_eq!(p.compose(&view, Label(99), round, &mut rng), BilMsg::Init);
+        }
+        // And a later-round Init reads as silence: the sender is dropped
+        // like a crashed ball, never absorbed.
+        deliver(
+            &p,
+            &mut view,
+            Round(1),
+            vec![(Label(1), BilMsg::Init), (Label(99), BilMsg::Init)],
+        );
+        assert!(!view.tree().contains(Label(99)));
+        assert!(!view.tree().contains(Label(1)), "silent ball removed");
     }
 
     #[test]
@@ -1093,12 +1138,17 @@ mod tests {
         let p = BallsIntoLeaves::base();
         let mut clean = p.init_view(4);
         let mut dirty = p.init_view(4);
-        let inbox = [(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)];
-        p.apply(&mut clean, Round(0), &inbox);
-        p.apply(
+        deliver(
+            &p,
+            &mut clean,
+            Round(0),
+            vec![(Label(1), BilMsg::Init), (Label(2), BilMsg::Init)],
+        );
+        deliver(
+            &p,
             &mut dirty,
             Round(0),
-            &[
+            vec![
                 (Label(1), BilMsg::Init),
                 (Label(2), BilMsg::Init),
                 (Label(7), BilMsg::pos(3)),

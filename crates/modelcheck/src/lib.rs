@@ -401,9 +401,9 @@ impl<P: ViewProtocol> Explorer<P> {
                 if hears {
                     let (l, m, _) = partial.as_ref().expect("hears implies partial");
                     inbox.push((*l, m.clone()));
-                    inbox.sort_by_key(|(l, _)| *l);
                 }
-                self.protocol.apply(&mut v, next.round, &inbox);
+                let inbox = bil_runtime::view::InboxBuf::from_pairs(inbox);
+                self.protocol.apply(&mut v, next.round, inbox.as_inbox());
                 new_clusters.push((group, v));
             }
         }

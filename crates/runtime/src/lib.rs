@@ -79,4 +79,4 @@ pub use exec::ExecutorKind;
 pub use ids::{Label, Name, ProcId, Round};
 pub use rng::SeedTree;
 pub use trace::{CrashEvent, Decision, Outcome, RunReport};
-pub use view::{Status, ViewProtocol};
+pub use view::{InboxBuf, RoundInbox, Status, ViewProtocol};

@@ -27,13 +27,17 @@
 //! ## Shared round messages
 //!
 //! A round's broadcasts are stored once, in a [`RoundMessages`]: the
-//! reliably-delivered messages as a single label-sorted buffer behind an
-//! [`Arc`], plus the (rare) partial deliveries of crashing senders.
-//! Recipients with the same *delivery signature* — the subset of dying
-//! broadcasts they hear — share one physical inbox, so a failure-free
-//! round builds and sorts **one** inbox for all `n` recipients instead of
-//! cloning `O(n)` messages per recipient, and a round with `c` crashes
-//! builds at most `2^c` (in practice a handful of) inbox variants.
+//! reliably-delivered messages as a single label-sorted
+//! structure-of-arrays buffer ([`InboxBuf`]) behind an [`Arc`], plus the
+//! (rare) partial deliveries of crashing senders. Recipients with the
+//! same *delivery signature* — the subset of dying broadcasts they hear
+//! — share one physical inbox, so a failure-free round builds and sorts
+//! **one** inbox for all `n` recipients instead of cloning `O(n)`
+//! messages per recipient, and a round with `c` crashes builds at most
+//! `2^c` (in practice a handful of) inbox variants. With
+//! `Copy`-dominated messages (packed candidate paths), a failure-free
+//! round's delivery is a constant number of buffer allocations total —
+//! independent of `n` — and zero per recipient.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -47,7 +51,7 @@ use crate::error::RunError;
 use crate::ids::{Label, ProcId, Round};
 use crate::rng::SeedTree;
 use crate::trace::{CrashEvent, Decision, Outcome, RunReport};
-use crate::view::{Cluster, Observer, ObserverCtx, Status, ViewProtocol};
+use crate::view::{Cluster, InboxBuf, Observer, ObserverCtx, RoundInbox, Status, ViewProtocol};
 use crate::wire::Wire;
 
 /// Invalid executor construction.
@@ -95,9 +99,10 @@ pub fn validate_labels(labels: &[Label]) -> Result<(), ConfigError> {
 /// the survivors, which the pipeline visits in slot order.
 pub type SigId = u32;
 
-/// One round's broadcasts in shared form: a single label-sorted buffer of
-/// reliably-delivered messages behind an [`Arc`], plus the partial
-/// deliveries of senders that crashed mid-broadcast.
+/// One round's broadcasts in shared form: a single label-sorted
+/// structure-of-arrays buffer of reliably-delivered messages behind an
+/// [`Arc`], plus the partial deliveries of senders that crashed
+/// mid-broadcast.
 ///
 /// Recipients are keyed by their *delivery signature* — which of the
 /// round's dying broadcasts they hear. All recipients with the same
@@ -120,8 +125,8 @@ pub struct RoundMessages<M> {
     sig_of: Vec<Option<SigId>>,
 }
 
-/// A shared, label-sorted inbox buffer.
-type Inbox<M> = Arc<Vec<(Label, M)>>;
+/// A shared, label-sorted inbox buffer (structure-of-arrays).
+type Inbox<M> = Arc<InboxBuf<M>>;
 
 impl<M: fmt::Debug> fmt::Debug for RoundMessages<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -141,11 +146,11 @@ impl<M: Clone> RoundMessages<M> {
         alive: &[bool],
         crashes: &[(ProcId, Recipients)],
     ) -> Self {
-        let mut base: Vec<(Label, M)> = Vec::new();
+        let mut pairs: Vec<(Label, M)> = Vec::with_capacity(outgoing.len());
         let mut partial: Vec<(Label, M, Recipients)> = Vec::new();
         for (pid, label, msg) in outgoing {
             if alive[pid.index()] {
-                base.push((label, msg));
+                pairs.push((label, msg));
             } else {
                 let rec = crashes
                     .iter()
@@ -155,9 +160,8 @@ impl<M: Clone> RoundMessages<M> {
                 partial.push((label, msg, rec));
             }
         }
-        base.sort_by_key(|(l, _)| *l);
         RoundMessages {
-            base: Arc::new(base),
+            base: Arc::new(InboxBuf::from_pairs(pairs)),
             partial,
             variants: Vec::new(),
             sig_of: vec![None; alive.len()],
@@ -207,14 +211,20 @@ impl<M: Clone> RoundMessages<M> {
             // inbox — no clone, no sort.
             return Arc::clone(&self.base);
         }
-        let mut inbox: Vec<(Label, M)> = (*self.base).clone();
+        let heard = sig.iter().filter(|&&h| h).count();
+        let mut pairs: Vec<(Label, M)> = Vec::with_capacity(self.base.len() + heard);
+        pairs.extend(
+            self.base
+                .as_inbox()
+                .iter()
+                .map(|(label, msg)| (label, msg.clone())),
+        );
         for (i, (label, msg, _)) in self.partial.iter().enumerate() {
             if sig[i] {
-                inbox.push((*label, msg.clone()));
+                pairs.push((*label, msg.clone()));
             }
         }
-        inbox.sort_by_key(|(l, _)| *l);
-        Arc::new(inbox)
+        Arc::new(InboxBuf::from_pairs(pairs))
     }
 
     /// The number of distinct delivery signatures interned so far.
@@ -236,8 +246,8 @@ impl<M: Clone> RoundMessages<M> {
     /// # Panics
     ///
     /// Panics if `id` was not produced by [`RoundMessages::prepare`].
-    pub fn inbox_by_id(&self, id: SigId) -> &[(Label, M)] {
-        &self.variants[id as usize].1
+    pub fn inbox_by_id(&self, id: SigId) -> RoundInbox<'_, M> {
+        self.variants[id as usize].1.as_inbox()
     }
 
     /// The shared inbox of recipient `dst`. Allocation-free.
@@ -245,7 +255,7 @@ impl<M: Clone> RoundMessages<M> {
     /// # Panics
     ///
     /// Panics if `dst` was not covered by [`RoundMessages::prepare`].
-    pub fn inbox(&self, dst: ProcId) -> &[(Label, M)] {
+    pub fn inbox(&self, dst: ProcId) -> RoundInbox<'_, M> {
         self.inbox_by_id(self.sig_id(dst))
     }
 }
@@ -645,7 +655,9 @@ impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
                 outgoing.push((pid, label, msg));
             }
         }
-        outgoing.sort_by_key(|(p, _, _)| *p);
+        // Slots are unique, so the unstable sort is deterministic (and
+        // allocates no merge scratch).
+        outgoing.sort_unstable_by_key(|(p, _, _)| *p);
         Ok(outgoing)
     }
 
@@ -725,6 +737,10 @@ mod tests {
         assert_eq!(validate_labels(&[Label(2), Label(9)]), Ok(()));
     }
 
+    fn pairs_of(inbox: RoundInbox<'_, u32>) -> Vec<(Label, u32)> {
+        inbox.iter().map(|(l, m)| (l, *m)).collect()
+    }
+
     #[test]
     fn round_messages_share_base_without_crashes() {
         let outgoing = vec![(ProcId(0), Label(20), 1u32), (ProcId(1), Label(10), 2u32)];
@@ -733,7 +749,10 @@ mod tests {
         msgs.prepare(&[ProcId(0), ProcId(1)]);
         // One shared inbox, sorted by label.
         assert_eq!(msgs.variant_count(), 1);
-        assert_eq!(msgs.inbox(ProcId(0)), &[(Label(10), 2), (Label(20), 1)]);
+        assert_eq!(
+            pairs_of(msgs.inbox(ProcId(0))),
+            vec![(Label(10), 2), (Label(20), 1)]
+        );
         // Both recipients intern the same signature id.
         assert_eq!(msgs.sig_id(ProcId(0)), msgs.sig_id(ProcId(1)));
         let a = &msgs.variants[0].1;
@@ -758,10 +777,13 @@ mod tests {
         assert_eq!(msgs.variant_count(), 2);
         assert_ne!(msgs.sig_id(ProcId(0)), msgs.sig_id(ProcId(2)));
         assert_eq!(
-            msgs.inbox(ProcId(0)),
-            &[(Label(3), 1), (Label(5), 0), (Label(8), 2)]
+            pairs_of(msgs.inbox(ProcId(0))),
+            vec![(Label(3), 1), (Label(5), 0), (Label(8), 2)]
         );
-        assert_eq!(msgs.inbox(ProcId(2)), &[(Label(5), 0), (Label(8), 2)]);
+        assert_eq!(
+            pairs_of(msgs.inbox(ProcId(2))),
+            vec![(Label(5), 0), (Label(8), 2)]
+        );
     }
 
     #[test]

@@ -54,8 +54,8 @@ use crate::ids::{Label, Name, ProcId, Round};
 use crate::pipeline::{RoundMessages, RoundPipeline, SigId, Transport};
 use crate::rng::SeedTree;
 use crate::trace::RunReport;
-use crate::view::{NoObserver, Status, ViewProtocol};
-use crate::wire::{get_varint, put_varint, Wire, WireError};
+use crate::view::{InboxBuf, NoObserver, Status, ViewProtocol};
+use crate::wire::{get_varint, put_varint, Wire, WireError, WIRE_FORMAT_VERSION};
 
 /// Frame tags of the coordinator↔worker protocol.
 mod tag {
@@ -225,6 +225,10 @@ fn worker_main<P>(
     let mut hello = BytesMut::new();
     put_varint(&mut hello, tag::HELLO);
     put_varint(&mut hello, index as u64);
+    // The handshake pins the wire-format version: a coordinator from a
+    // different format generation refuses the worker up front instead of
+    // mis-decoding its frames.
+    put_varint(&mut hello, WIRE_FORMAT_VERSION);
     if write_frame(&mut stream, &hello).is_err() {
         return;
     }
@@ -324,14 +328,14 @@ where
                         .map_err(|e| fault(WorkerFault::Wire(Some(label), e)))?;
                     inbox.push((label, msg));
                 }
-                inbox.sort_by_key(|(l, _)| *l);
+                let inbox = InboxBuf::from_pairs(inbox);
                 // One decoded inbox shared by every recipient with this
                 // delivery signature.
                 for slot in dsts {
                     let Some(proc) = procs.get_mut(&slot) else {
                         return Err(fault(WorkerFault::BadSlot(slot)));
                     };
-                    proto.apply(&mut proc.view, round, &inbox);
+                    proto.apply(&mut proc.view, round, inbox.as_inbox());
                     statuses.push((slot, proto.status(&proc.view, proc.label, round)));
                 }
             }
@@ -487,6 +491,16 @@ where
                     })? as usize;
                     if index >= workers {
                         return Err(bad_handshake(format!("worker index {index} out of range")));
+                    }
+                    let version = get_varint(&mut hello).map_err(|error| RunError::Frame {
+                        context: "reading a handshake",
+                        error,
+                    })?;
+                    if version != WIRE_FORMAT_VERSION {
+                        return Err(bad_handshake(format!(
+                            "worker {index} speaks wire format v{version}, \
+                             coordinator requires v{WIRE_FORMAT_VERSION}"
+                        )));
                     }
                     if streams[index].is_some() {
                         return Err(bad_handshake(format!("duplicate handshake from {index}")));
@@ -681,7 +695,7 @@ where
                 }
                 let inbox = msgs.inbox_by_id(sig);
                 put_varint(&mut cmd, inbox.len() as u64);
-                for (label, _) in inbox {
+                for label in inbox.labels() {
                     put_varint(&mut cmd, label.0);
                     let bytes = self
                         .bytes_by_label

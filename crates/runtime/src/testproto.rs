@@ -9,7 +9,7 @@ use bytes::{Bytes, BytesMut};
 use rand::rngs::SmallRng;
 
 use crate::ids::{Label, Name, Round};
-use crate::view::{Status, ViewProtocol};
+use crate::view::{RoundInbox, Status, ViewProtocol};
 use crate::wire::{Wire, WireError};
 
 /// Message carrying a set of labels.
@@ -53,9 +53,9 @@ impl ViewProtocol for RankOnce {
         LabelSet(vec![ball])
     }
 
-    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
-        *view = inbox.iter().map(|(l, _)| *l).collect();
-        view.sort_unstable();
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: RoundInbox<'_, Self::Msg>) {
+        // The label column is already sorted — SoA pays off directly.
+        *view = inbox.labels().to_vec();
     }
 
     fn status(&self, view: &Self::View, ball: Label, _round: Round) -> Status {
@@ -110,8 +110,8 @@ impl ViewProtocol for UnionRank {
         LabelSet(known)
     }
 
-    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
-        for (_, LabelSet(labels)) in inbox {
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: RoundInbox<'_, Self::Msg>) {
+        for LabelSet(labels) in inbox.msgs() {
             for l in labels {
                 if let Err(i) = view.binary_search(l) {
                     view.insert(i, *l);
@@ -177,7 +177,7 @@ impl ViewProtocol for BrokenWire {
         Mangled
     }
 
-    fn apply(&self, view: &mut Self::View, _round: Round, inbox: &[(Label, Self::Msg)]) {
+    fn apply(&self, view: &mut Self::View, _round: Round, inbox: RoundInbox<'_, Self::Msg>) {
         *view += inbox.len() as u32;
     }
 

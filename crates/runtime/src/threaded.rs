@@ -41,7 +41,7 @@ use crate::ids::{Label, ProcId, Round};
 use crate::pipeline::{RoundMessages, RoundPipeline, Transport};
 use crate::rng::SeedTree;
 use crate::trace::RunReport;
-use crate::view::{NoObserver, Status, ViewProtocol};
+use crate::view::{InboxBuf, NoObserver, Status, ViewProtocol};
 use crate::wire::{Wire, WireError};
 
 enum ToProc {
@@ -136,8 +136,8 @@ where
                                 tx_rsp.send(FromProc::DecodeFailed(l, e)).ok();
                                 break;
                             }
-                            decoded.sort_by_key(|(l, _)| *l);
-                            proto.apply(&mut view, round, &decoded);
+                            let decoded = InboxBuf::from_pairs(decoded);
+                            proto.apply(&mut view, round, decoded.as_inbox());
                             let status = proto.status(&view, label, round);
                             if tx_rsp.send(FromProc::Applied(status)).is_err() {
                                 break;
@@ -239,8 +239,9 @@ where
         for &dst in survivors {
             let inbox: Vec<(Label, Bytes)> = msgs
                 .inbox(dst)
+                .labels()
                 .iter()
-                .map(|(label, _)| {
+                .map(|label| {
                     (
                         *label,
                         self.bytes_by_label

@@ -44,6 +44,135 @@ pub enum Status {
     Decided(Name),
 }
 
+/// One round's delivered broadcasts in structure-of-arrays form: sender
+/// labels and their messages as two parallel, label-sorted slices.
+///
+/// Splitting the columns keeps the message payloads contiguous — with
+/// `Copy`-dominated messages (packed candidate paths) a shared inbox is
+/// two dense arrays, which is what lets the round pipeline hand the same
+/// physical buffer to every recipient with a given delivery signature
+/// and leaves the layout open to columnar/SIMD delivery later. A
+/// `RoundInbox` is a pair of borrows — `Copy`, allocation-free, and
+/// cheap to pass by value.
+#[derive(Debug)]
+pub struct RoundInbox<'a, M> {
+    labels: &'a [Label],
+    msgs: &'a [M],
+}
+
+impl<M> Clone for RoundInbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for RoundInbox<'_, M> {}
+
+impl<'a, M> RoundInbox<'a, M> {
+    /// Wraps two parallel columns. Callers must pass columns of equal
+    /// length, sorted by label with at most one entry per sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns differ in length.
+    pub fn from_parts(labels: &'a [Label], msgs: &'a [M]) -> Self {
+        assert_eq!(
+            labels.len(),
+            msgs.len(),
+            "inbox columns must be parallel arrays"
+        );
+        RoundInbox { labels, msgs }
+    }
+
+    /// Number of delivered broadcasts.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The sender column (sorted ascending).
+    pub fn labels(&self) -> &'a [Label] {
+        self.labels
+    }
+
+    /// The message column, parallel to [`RoundInbox::labels`].
+    pub fn msgs(&self) -> &'a [M] {
+        self.msgs
+    }
+
+    /// The `i`-th delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> (Label, &'a M) {
+        (self.labels[i], &self.msgs[i])
+    }
+
+    /// Iterates `(sender, message)` pairs in label order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (Label, &'a M)> + '_ {
+        self.labels.iter().copied().zip(self.msgs.iter())
+    }
+}
+
+/// An owned, label-sorted inbox buffer in the same structure-of-arrays
+/// layout as [`RoundInbox`]. This is what the executors build once per
+/// (round × delivery signature) and share across recipients; tests use
+/// it to hand literal inboxes to [`ViewProtocol::apply`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InboxBuf<M> {
+    labels: Vec<Label>,
+    msgs: Vec<M>,
+}
+
+impl<M> InboxBuf<M> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        InboxBuf {
+            labels: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Builds a buffer from `(sender, message)` pairs, sorting by label.
+    /// Senders are unique by the model (one broadcast per process per
+    /// round), so the unstable sort is deterministic — and allocates no
+    /// merge scratch.
+    pub fn from_pairs(mut pairs: Vec<(Label, M)>) -> Self {
+        pairs.sort_unstable_by_key(|(l, _)| *l);
+        let (labels, msgs) = pairs.into_iter().unzip();
+        InboxBuf { labels, msgs }
+    }
+
+    /// Number of buffered broadcasts.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the buffer holds no broadcasts.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Borrows the buffer as a [`RoundInbox`].
+    pub fn as_inbox(&self) -> RoundInbox<'_, M> {
+        RoundInbox {
+            labels: &self.labels,
+            msgs: &self.msgs,
+        }
+    }
+}
+
+impl<M> FromIterator<(Label, M)> for InboxBuf<M> {
+    fn from_iter<I: IntoIterator<Item = (Label, M)>>(iter: I) -> Self {
+        InboxBuf::from_pairs(iter.into_iter().collect())
+    }
+}
+
 /// A synchronous full-information protocol expressed over local views.
 ///
 /// Semantics per round `r` (lock-step, crash-prone, per the paper's §3):
@@ -90,8 +219,9 @@ pub trait ViewProtocol: Sync {
     ) -> Self::Msg;
 
     /// Fold the round's inbox into the view. `inbox` is sorted by sender
-    /// label and contains at most one message per sender.
-    fn apply(&self, view: &mut Self::View, round: Round, inbox: &[(Label, Self::Msg)]);
+    /// label and contains at most one message per sender (including the
+    /// receiver itself).
+    fn apply(&self, view: &mut Self::View, round: Round, inbox: RoundInbox<'_, Self::Msg>);
 
     /// Ball `ball`'s status after `round` has been applied.
     fn status(&self, view: &Self::View, ball: Label, round: Round) -> Status;
@@ -172,5 +302,40 @@ mod tests {
     fn fn_observer_debug_nonempty() {
         let obs = FnObserver(|_: ObserverCtx<'_>, _: &[Cluster<u32>]| {});
         assert!(!format!("{obs:?}").is_empty());
+    }
+
+    #[test]
+    fn inbox_buf_sorts_and_round_inbox_zips() {
+        let buf: InboxBuf<u32> = vec![(Label(30), 3u32), (Label(10), 1), (Label(20), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        let inbox = buf.as_inbox();
+        assert_eq!(inbox.labels(), &[Label(10), Label(20), Label(30)]);
+        assert_eq!(inbox.msgs(), &[1, 2, 3]);
+        assert_eq!(inbox.get(1), (Label(20), &2));
+        let pairs: Vec<(Label, u32)> = inbox.iter().map(|(l, m)| (l, *m)).collect();
+        assert_eq!(pairs, vec![(Label(10), 1), (Label(20), 2), (Label(30), 3)]);
+        // A RoundInbox is Copy: both copies read the same columns.
+        let a = inbox;
+        let b = inbox;
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel arrays")]
+    fn round_inbox_rejects_ragged_columns() {
+        let labels = [Label(1)];
+        let msgs: [u32; 2] = [1, 2];
+        let _ = RoundInbox::from_parts(&labels, &msgs);
+    }
+
+    #[test]
+    fn empty_inbox_buf() {
+        let buf: InboxBuf<u32> = InboxBuf::new();
+        assert!(buf.is_empty());
+        assert!(buf.as_inbox().is_empty());
+        assert_eq!(buf.as_inbox().iter().count(), 0);
     }
 }

@@ -47,6 +47,20 @@ impl Error for WireError {}
 /// decoder against hostile length prefixes; generous enough for `n = 2^24`.
 pub const MAX_SEQ_LEN: u64 = 1 << 26;
 
+/// Generation number of the message encodings built on this codec.
+///
+/// Bump whenever any message's byte layout changes, and regenerate the
+/// golden frame fixtures (`crates/runtime/tests/wire_fixtures.rs`) in the
+/// same change. The socket executor pins the version in its worker
+/// handshake, so peers from different format generations fail loudly at
+/// connection time instead of mis-decoding frames.
+///
+/// History: **v1** — candidate paths as start node + step count +
+/// direction bits; **v2** — candidate paths as a single packed
+/// *(leaf, length)* varint key (the `PackedPath` representation),
+/// version-pinned handshake.
+pub const WIRE_FORMAT_VERSION: u64 = 2;
+
 /// Writes `v` as a LEB128 varint.
 pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {

@@ -13,6 +13,11 @@
 //! index consistency behind it) on demand, and the property-based test
 //! suite hammers it with arbitrary operation sequences.
 //!
+//! Candidate paths are packed: a contiguous parent→child chain ending at
+//! a leaf is fully determined by its *(leaf, length)* pair, so
+//! [`PackedPath`] is a `Copy` 8-byte value — composing, shipping, and
+//! walking a path allocates nothing.
+//!
 //! ```
 //! use bil_runtime::Label;
 //! use bil_runtime::rng::SeedTree;
@@ -44,5 +49,5 @@ mod path;
 mod topology;
 
 pub use local::{InvariantViolation, LocalTree};
-pub use path::{CandidatePath, CoinRule};
+pub use path::{CoinRule, PackedPath, PathNodes, MAX_PATH_LEN};
 pub use topology::{AncestorsInclusive, NodeId, Topology, TreeError, MAX_LEAVES, ROOT};

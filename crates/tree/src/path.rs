@@ -4,6 +4,11 @@
 //! A candidate path (Algorithm 1, lines 4–10) runs from a ball's current
 //! node down to a leaf. This module provides:
 //!
+//! * [`PackedPath`] — the fixed-size, `Copy` path representation: a
+//!   contiguous parent→child chain ending at a leaf is fully determined
+//!   by its *(leaf, length)* pair, so the whole chain packs into 8 bytes
+//!   with `O(1)` construction and no heap allocation anywhere on the
+//!   per-ball per-round hot path;
 //! * the paper's **weighted random** descent — at each internal node the
 //!   child is chosen with probability proportional to its remaining
 //!   capacity (line 6);
@@ -14,6 +19,14 @@
 //! * [`LocalTree::place_along`] — the move-walk of lines 12–18: follow the
 //!   path until just before the first *full* subtree, as resolved in the
 //!   fidelity notes of `DESIGN.md` §4.
+//!
+//! Paths built by the rules in this module are valid by construction;
+//! paths received from the network are re-validated by
+//! [`LocalTree::place_along`], which rejects (without touching the tree)
+//! any packed pair whose implied chain does not start at the ball's
+//! current node or does not end on a real leaf. Chains that are not
+//! contiguous are *unrepresentable* in packed form — the class of
+//! malformed inputs shrinks by construction.
 
 use bil_runtime::Label;
 use rand::Rng;
@@ -21,54 +34,176 @@ use rand::Rng;
 use crate::local::LocalTree;
 use crate::topology::{NodeId, TreeError};
 
-/// A candidate path: a contiguous parent→child chain from a ball's
-/// current node to a leaf.
+/// Maximum number of nodes on a candidate path: a root→leaf chain of the
+/// deepest supported tree ([`crate::MAX_LEAVES`] = 2^26 leaves, depth 26).
+pub const MAX_PATH_LEN: usize = 27;
+
+/// A candidate path in packed form: a contiguous parent→child chain from
+/// a ball's current node down to a leaf, stored as the *(leaf, length)*
+/// pair that fully determines it.
 ///
-/// Instances built by the rules in this module are valid by construction;
-/// paths received from the network are re-validated by
-/// [`LocalTree::place_along`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CandidatePath {
-    nodes: Vec<NodeId>,
+/// Because every step of a contiguous chain halves the node id, the node
+/// at position `i` (top to bottom) of a chain of `len` nodes ending at
+/// `leaf` is exactly `leaf >> (len - 1 - i)` — so the packed pair
+/// reproduces, node for node, the chain a `Vec<NodeId>` would store,
+/// with `Copy` semantics and zero allocation. The representation is 8
+/// bytes ([`PackedPath::single`] of the root is `{leaf: 1, len: 1}`).
+///
+/// # Examples
+///
+/// ```
+/// use bil_tree::PackedPath;
+/// let p = PackedPath::from_nodes(&[1, 3, 6, 13])?;
+/// assert_eq!(p.first(), Some(1));
+/// assert_eq!(p.leaf(), Some(13));
+/// assert_eq!(p.iter().collect::<Vec<_>>(), vec![1, 3, 6, 13]);
+/// # Ok::<(), bil_tree::TreeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedPath {
+    /// The chain's final node (the targeted leaf). `0` iff `len == 0`.
+    leaf: NodeId,
+    /// Number of nodes on the chain.
+    len: u8,
 }
 
-impl CandidatePath {
-    /// Wraps a node chain without validation (it is checked again at
-    /// placement time).
-    pub fn from_nodes(nodes: Vec<NodeId>) -> Self {
-        CandidatePath { nodes }
+impl PackedPath {
+    /// The canonical empty path (only ever seen in hand-built or hostile
+    /// inputs; every composition rule produces a non-empty path).
+    pub const EMPTY: PackedPath = PackedPath { leaf: 0, len: 0 };
+
+    /// Packs a raw *(leaf, length)* pair **without validation** — the
+    /// wire decoder uses this, and [`LocalTree::place_along`] re-validates
+    /// at placement time (hostile pairs are rejected there and counted by
+    /// the protocol's anomaly accounting). A zero length is normalized to
+    /// [`PackedPath::EMPTY`].
+    pub fn new(leaf: NodeId, len: u8) -> PackedPath {
+        if len == 0 {
+            PackedPath::EMPTY
+        } else {
+            PackedPath { leaf, len }
+        }
     }
 
-    /// The chain, top to bottom.
-    pub fn nodes(&self) -> &[NodeId] {
-        &self.nodes
+    /// The single-node path of a ball already sitting on `node`.
+    pub fn single(node: NodeId) -> PackedPath {
+        PackedPath { leaf: node, len: 1 }
     }
 
-    /// The chain's first node (the ball's current node when composed).
+    /// Packs an explicit node chain, validating that it is a non-empty
+    /// contiguous parent→child chain of at most [`MAX_PATH_LEN`] nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadPath`] otherwise.
+    pub fn from_nodes(nodes: &[NodeId]) -> Result<PackedPath, TreeError> {
+        if nodes.is_empty() {
+            return Err(TreeError::BadPath("empty path"));
+        }
+        if nodes.len() > MAX_PATH_LEN {
+            return Err(TreeError::BadPath("path longer than any supported tree"));
+        }
+        if nodes[0] == 0 {
+            return Err(TreeError::BadPath("path contains node id 0"));
+        }
+        for w in nodes.windows(2) {
+            if w[1] != 2 * w[0] && w[1] != 2 * w[0] + 1 {
+                return Err(TreeError::BadPath("path is not a parent-child chain"));
+            }
+        }
+        Ok(PackedPath {
+            leaf: *nodes.last().expect("non-empty"),
+            len: nodes.len() as u8,
+        })
+    }
+
+    /// The chain's first node (the ball's current node when composed), or
+    /// `None` for an empty or over-long (hostile) packing.
     pub fn first(&self) -> Option<NodeId> {
-        self.nodes.first().copied()
+        if self.len == 0 {
+            return None;
+        }
+        self.leaf.checked_shr(u32::from(self.len) - 1)
     }
 
     /// The chain's final node (the targeted leaf).
     pub fn leaf(&self) -> Option<NodeId> {
-        self.nodes.last().copied()
+        (self.len != 0).then_some(self.leaf)
     }
 
     /// Number of nodes on the chain.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len as usize
     }
 
-    /// `true` if the chain is empty (only possible for hand-built paths).
+    /// `true` if the chain is empty (only possible for hand-built or
+    /// hostile packings).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
     }
 
-    /// Consumes the path, returning the chain.
-    pub fn into_nodes(self) -> Vec<NodeId> {
-        self.nodes
+    /// The node at position `i` of the chain, top to bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn node_at(&self, i: usize) -> NodeId {
+        assert!(i < self.len(), "path index {i} out of range");
+        self.leaf >> (self.len() - 1 - i)
+    }
+
+    /// Iterates the implied node chain, top to bottom, without
+    /// allocating.
+    pub fn iter(&self) -> PathNodes {
+        PathNodes {
+            path: *self,
+            pos: 0,
+        }
+    }
+
+    /// The chain as an owned vector (for tests and diagnostics; the hot
+    /// path never materializes it).
+    pub fn to_nodes(&self) -> Vec<NodeId> {
+        self.iter().collect()
     }
 }
+
+impl IntoIterator for PackedPath {
+    type Item = NodeId;
+    type IntoIter = PathNodes;
+
+    fn into_iter(self) -> PathNodes {
+        self.iter()
+    }
+}
+
+/// Iterator over the node chain implied by a [`PackedPath`], produced by
+/// [`PackedPath::iter`].
+#[derive(Debug, Clone)]
+pub struct PathNodes {
+    path: PackedPath,
+    pos: usize,
+}
+
+impl Iterator for PathNodes {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.pos >= self.path.len() {
+            return None;
+        }
+        let v = self.path.node_at(self.pos);
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.path.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PathNodes {}
 
 /// How a ball picks the child to descend into while composing its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,7 +222,8 @@ pub enum CoinRule {
 
 impl LocalTree {
     /// Composes a random candidate path for `ball` per `rule`
-    /// (Algorithm 1 lines 3–10).
+    /// (Algorithm 1 lines 3–10). Allocation-free: the walk tracks only
+    /// the current node and packs the result.
     ///
     /// # Errors
     ///
@@ -103,14 +239,13 @@ impl LocalTree {
         ball: Label,
         rule: CoinRule,
         rng: &mut R,
-    ) -> Result<CandidatePath, TreeError> {
+    ) -> Result<PackedPath, TreeError> {
         let start = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
         let topo = *self.topology();
         let mut v = start;
-        let mut nodes = Vec::with_capacity((topo.levels() + 1) as usize);
-        nodes.push(v);
+        let mut len = 1u8;
         // Routing capacity = remaining capacity minus leaves blocked
         // for this view's owner. The walk invariant
         // `route(left) + route(right) = route(v) + at(v) >= 1` holds at
@@ -132,9 +267,9 @@ impl LocalTree {
                 CoinRule::Leftmost => true,
             };
             v = if go_left { topo.left(v) } else { topo.right(v) };
-            nodes.push(v);
+            len += 1;
         }
-        Ok(CandidatePath { nodes })
+        Ok(PackedPath { leaf: v, len })
     }
 
     /// Composes the deterministic path used by the early-terminating
@@ -145,17 +280,17 @@ impl LocalTree {
     /// Returns [`TreeError::UnknownBall`] if `ball` is absent,
     /// [`TreeError::BadLeafCount`] if the rank is out of range, or
     /// [`TreeError::NotInSubtree`] if the leaf is not below the ball.
-    pub fn path_toward_rank(
-        &self,
-        ball: Label,
-        leaf_rank: u32,
-    ) -> Result<CandidatePath, TreeError> {
+    pub fn path_toward_rank(&self, ball: Label, leaf_rank: u32) -> Result<PackedPath, TreeError> {
         let start = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
-        let leaf = self.topology().leaf_for_rank(leaf_rank)?;
-        let nodes = self.topology().chain(start, leaf)?;
-        Ok(CandidatePath { nodes })
+        let topo = self.topology();
+        let leaf = topo.leaf_for_rank(leaf_rank)?;
+        if !topo.is_ancestor_or_self(start, leaf) {
+            return Err(TreeError::NotInSubtree { start, leaf });
+        }
+        let len = (topo.depth(leaf) - topo.depth(start) + 1) as u8;
+        Ok(PackedPath { leaf, len })
     }
 
     /// Composes the deterministic slot-indexed path used by the
@@ -173,15 +308,14 @@ impl LocalTree {
     /// # Errors
     ///
     /// Returns [`TreeError::UnknownBall`] if `ball` is not in the view.
-    pub fn rank_slot_path(&self, ball: Label) -> Result<CandidatePath, TreeError> {
+    pub fn rank_slot_path(&self, ball: Label) -> Result<PackedPath, TreeError> {
         let start = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
         let mut slot = self.rank_at_node(ball)? as u32;
         let topo = *self.topology();
         let mut v = start;
-        let mut nodes = Vec::with_capacity((topo.levels() + 1) as usize);
-        nodes.push(v);
+        let mut len = 1u8;
         // No corner case here: `slot < at(node) <= route(l) + route(r)`
         // holds by the routing identity, so the slot walk always finds
         // an unblocked free leaf.
@@ -198,9 +332,9 @@ impl LocalTree {
                 slot -= l;
                 v = topo.right(v);
             }
-            nodes.push(v);
+            len += 1;
         }
-        Ok(CandidatePath { nodes })
+        Ok(PackedPath { leaf: v, len })
     }
 
     /// The move-walk (Algorithm 1 lines 12–18): removes `ball`, walks it
@@ -211,45 +345,49 @@ impl LocalTree {
     /// this is what guarantees the walk's first node is always feasible
     /// and that "there is enough space below to accommodate it" (§4).
     ///
+    /// This is also where network-received paths are re-validated: a
+    /// packed pair is accepted only if its implied chain starts at the
+    /// ball's current node and ends on a real leaf of this topology
+    /// (non-contiguous chains are unrepresentable in packed form). On
+    /// error the tree is unchanged — identically in debug and release
+    /// builds, so hostile wire input is always rejected, never absorbed.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::UnknownBall`] if `ball` is absent, or
     /// [`TreeError::BadPath`] if `path` is empty, does not start at the
-    /// ball's current node, is not a contiguous parent→child chain, or
-    /// does not end on a leaf. On error the tree is unchanged.
-    pub fn place_along(&mut self, ball: Label, path: &CandidatePath) -> Result<NodeId, TreeError> {
+    /// ball's current node, or does not end on a leaf.
+    pub fn place_along(&mut self, ball: Label, path: &PackedPath) -> Result<NodeId, TreeError> {
         let current = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
-        let nodes = path.nodes();
-        if nodes.is_empty() {
+        if path.is_empty() {
             return Err(TreeError::BadPath("empty path"));
         }
-        if nodes[0] != current {
+        if path.first() != Some(current) {
             return Err(TreeError::BadPath("path does not start at current node"));
         }
         let topo = *self.topology();
-        for w in nodes.windows(2) {
-            if !(topo.is_node(w[1]) && (w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1)) {
-                return Err(TreeError::BadPath("path is not a parent-child chain"));
-            }
-        }
-        if !topo.is_leaf(*nodes.last().expect("non-empty")) {
+        let leaf = path.leaf().expect("non-empty path has a final node");
+        // A valid terminal implies every node on the chain is valid: the
+        // chain's nodes are exactly the terminal's ancestors down from
+        // `first`, and ancestors of an in-range node are in range.
+        if !topo.is_node(leaf) || !topo.is_leaf(leaf) {
             return Err(TreeError::BadPath("path does not end at a leaf"));
         }
 
         self.remove(ball).expect("ball present");
         debug_assert!(
-            self.remaining_capacity(nodes[0]) >= 1,
+            self.remaining_capacity(current) >= 1,
             "vacated slot must make the start node feasible"
         );
         let mut idx = 0;
-        while idx + 1 < nodes.len() && self.remaining_capacity(nodes[idx + 1]) >= 1 {
+        while idx + 1 < path.len() && self.remaining_capacity(path.node_at(idx + 1)) >= 1 {
             idx += 1;
         }
-        self.insert(ball, nodes[idx])
-            .expect("ball was just removed");
-        Ok(nodes[idx])
+        let dest = path.node_at(idx);
+        self.insert(ball, dest).expect("ball was just removed");
+        Ok(dest)
     }
 }
 
@@ -268,14 +406,65 @@ mod tests {
         SeedTree::new(42).process_rng(ProcId(0))
     }
 
+    fn packed(nodes: &[NodeId]) -> PackedPath {
+        PackedPath::from_nodes(nodes).unwrap()
+    }
+
+    #[test]
+    fn packed_path_is_small_and_copy() {
+        assert!(std::mem::size_of::<PackedPath>() <= 16);
+        let p = packed(&[1, 3, 6, 13]);
+        let q = p; // Copy, not move
+        assert_eq!(p, q);
+    }
+
     #[test]
     fn candidate_path_accessors() {
-        let p = CandidatePath::from_nodes(vec![1, 3, 6, 13]);
+        let p = packed(&[1, 3, 6, 13]);
         assert_eq!(p.first(), Some(1));
         assert_eq!(p.leaf(), Some(13));
         assert_eq!(p.len(), 4);
         assert!(!p.is_empty());
-        assert_eq!(p.clone().into_nodes(), vec![1, 3, 6, 13]);
+        assert_eq!(p.to_nodes(), vec![1, 3, 6, 13]);
+        assert_eq!(p.node_at(0), 1);
+        assert_eq!(p.node_at(2), 6);
+        let it = p.iter();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.collect::<Vec<_>>(), vec![1, 3, 6, 13]);
+    }
+
+    #[test]
+    fn from_nodes_validates_chains() {
+        assert!(matches!(
+            PackedPath::from_nodes(&[]),
+            Err(TreeError::BadPath("empty path"))
+        ));
+        assert!(matches!(
+            PackedPath::from_nodes(&[1, 3, 4]),
+            Err(TreeError::BadPath("path is not a parent-child chain"))
+        ));
+        assert!(matches!(
+            PackedPath::from_nodes(&[0]),
+            Err(TreeError::BadPath("path contains node id 0"))
+        ));
+        let long: Vec<NodeId> = (0..28).map(|i| 1u32 << i).collect();
+        assert!(PackedPath::from_nodes(&long).is_err());
+        // A maximal legal chain packs fine.
+        let max: Vec<NodeId> = (0..27).map(|i| 1u32 << i).collect();
+        assert_eq!(packed(&max).len(), MAX_PATH_LEN);
+    }
+
+    #[test]
+    fn empty_and_hostile_packings_are_inert() {
+        assert!(PackedPath::EMPTY.is_empty());
+        assert_eq!(PackedPath::EMPTY.first(), None);
+        assert_eq!(PackedPath::EMPTY.leaf(), None);
+        assert_eq!(PackedPath::new(9, 0), PackedPath::EMPTY);
+        // An over-long hostile packing has no first node (the shift
+        // overflows), so placement rejects it as not-starting-at-current.
+        let hostile = PackedPath::new(13, 200);
+        assert_eq!(hostile.first(), None);
+        assert_eq!(hostile.leaf(), Some(13));
     }
 
     #[test]
@@ -300,7 +489,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..32 {
             let p = t.random_path(Label(3), CoinRule::Weighted, &mut r).unwrap();
-            assert_eq!(p.nodes()[1], 3, "must enter the right subtree");
+            assert_eq!(p.node_at(1), 3, "must enter the right subtree");
         }
     }
 
@@ -347,7 +536,7 @@ mod tests {
         let trials = 2000;
         for _ in 0..trials {
             let p = t.random_path(Label(9), CoinRule::Weighted, &mut r).unwrap();
-            if p.nodes()[1] == 3 {
+            if p.node_at(1) == 3 {
                 rights += 1;
             }
         }
@@ -359,9 +548,21 @@ mod tests {
     fn path_toward_rank_builds_straight_chain() {
         let t = LocalTree::with_balls_at_root(topo(8), (0..8).map(Label));
         let p = t.path_toward_rank(Label(2), 5).unwrap();
-        assert_eq!(p.nodes(), &[1, 3, 6, 13]);
+        assert_eq!(p.to_nodes(), vec![1, 3, 6, 13]);
         assert!(t.path_toward_rank(Label(2), 8).is_err());
         assert!(t.path_toward_rank(Label(99), 0).is_err());
+    }
+
+    #[test]
+    fn path_toward_rank_rejects_foreign_subtrees() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(1), 2).unwrap(); // left half: leaves 0..4
+        assert!(matches!(
+            t.path_toward_rank(Label(1), 5),
+            Err(TreeError::NotInSubtree { start: 2, leaf: 13 })
+        ));
+        let p = t.path_toward_rank(Label(1), 1).unwrap();
+        assert_eq!(p.to_nodes(), vec![2, 4, 9]);
     }
 
     #[test]
@@ -393,7 +594,7 @@ mod tests {
     #[test]
     fn place_along_descends_to_leaf_when_free() {
         let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
-        let p = CandidatePath::from_nodes(vec![1, 2, 4]);
+        let p = packed(&[1, 2, 4]);
         let node = t.place_along(Label(1), &p).unwrap();
         assert_eq!(node, 4);
         assert_eq!(t.current_node(Label(1)), Some(4));
@@ -406,7 +607,7 @@ mod tests {
         t.insert(Label(1), 4).unwrap();
         t.insert(Label(2), 5).unwrap(); // left subtree (node 2) now full
         t.insert(Label(3), ROOT).unwrap();
-        let p = CandidatePath::from_nodes(vec![1, 2, 4]);
+        let p = packed(&[1, 2, 4]);
         let node = t.place_along(Label(3), &p).unwrap();
         assert_eq!(node, ROOT, "stops at root: left child is full");
         t.validate().unwrap();
@@ -416,7 +617,7 @@ mod tests {
     fn place_along_ball_at_leaf_stays() {
         let mut t = LocalTree::new(topo(4));
         t.insert(Label(1), 4).unwrap();
-        let p = CandidatePath::from_nodes(vec![4]);
+        let p = PackedPath::single(4);
         assert_eq!(t.place_along(Label(1), &p).unwrap(), 4);
         t.validate().unwrap();
     }
@@ -424,21 +625,32 @@ mod tests {
     #[test]
     fn place_along_rejects_malformed_paths() {
         let mut t = LocalTree::with_balls_at_root(topo(4), [Label(1)]);
-        for (nodes, why) in [
-            (vec![], "empty"),
-            (vec![2, 4], "wrong start"),
-            (vec![1, 3, 4], "not a chain"),
-            (vec![1, 2], "not a leaf"),
+        for (path, why) in [
+            (PackedPath::EMPTY, "empty"),
+            (PackedPath::new(4, 2), "wrong start"),
+            (PackedPath::new(2, 2), "not a leaf"),
+            (PackedPath::new(99, 7), "terminal out of range"),
+            (PackedPath::new(13, 250), "hostile over-long length"),
         ] {
-            let p = CandidatePath::from_nodes(nodes);
-            assert!(t.place_along(Label(1), &p).is_err(), "{why}");
+            assert!(t.place_along(Label(1), &path).is_err(), "{why}");
         }
         // Tree unchanged after rejected placements.
         assert_eq!(t.current_node(Label(1)), Some(ROOT));
         t.validate().unwrap();
-        assert!(t
-            .place_along(Label(9), &CandidatePath::from_nodes(vec![1, 2, 4]))
-            .is_err());
+        assert!(t.place_along(Label(9), &packed(&[1, 2, 4])).is_err());
+    }
+
+    #[test]
+    fn place_along_rejects_padded_phantom_terminals() {
+        // n=3 pads to 4 leaves; slot 7 is a phantom leaf (capacity 0).
+        // A path targeting it is structurally a leaf path, but the walk
+        // stops above it because the phantom subtree has no capacity.
+        let mut t = LocalTree::with_balls_at_root(topo(3), [Label(1)]);
+        let node = t.place_along(Label(1), &packed(&[1, 3, 7])).unwrap();
+        assert_eq!(node, 3, "stops above the phantom leaf");
+        t.validate().unwrap();
+        // A terminal beyond the node range is rejected outright.
+        assert!(t.place_along(Label(1), &PackedPath::new(8, 3)).is_err());
     }
 
     #[test]
@@ -447,7 +659,7 @@ mod tests {
         // (the Figure 2a scenario): priorities resolve the pile-up as
         // computed in DESIGN.md §4.
         let mut t = LocalTree::with_balls_at_root(topo(4), (1..=4).map(Label));
-        let path = CandidatePath::from_nodes(vec![1, 2, 4]);
+        let path = packed(&[1, 2, 4]);
         // <R order at phase start: all at root, so label order.
         assert_eq!(t.place_along(Label(1), &path).unwrap(), 4);
         assert_eq!(t.place_along(Label(2), &path).unwrap(), 2);

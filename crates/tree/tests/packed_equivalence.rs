@@ -1,0 +1,176 @@
+//! `PackedPath` ↔ legacy `Vec<NodeId>` chain equivalence.
+//!
+//! The packed representation replaced a heap-allocated node chain; the
+//! determinism of every executor rests on the packed walk visiting
+//! *exactly* the nodes the chain walk did. These properties pin that
+//! down on arbitrary tree shapes and depths:
+//!
+//! * packing any valid chain and expanding it again is the identity;
+//! * every composed path (all four descent rules) expands to a chain
+//!   that is contiguous, starts at the ball, and ends at its leaf;
+//! * `place_along` over the packed path lands the ball on the same node
+//!   — after the same capacity probes — as a reference reimplementation
+//!   of the legacy `Vec<NodeId>` move-walk.
+
+use bil_runtime::rng::SeedTree;
+use bil_runtime::{Label, ProcId};
+use bil_tree::{CoinRule, LocalTree, NodeId, PackedPath, Topology, TreeError};
+use proptest::prelude::*;
+
+/// The legacy move-walk, verbatim over an explicit node chain (the
+/// pre-packing implementation, rebuilt on the public tree API): remove
+/// the ball, validate the chain, follow it until just before the first
+/// full subtree, re-insert.
+fn place_along_chain(
+    tree: &mut LocalTree,
+    ball: Label,
+    nodes: &[NodeId],
+) -> Result<NodeId, TreeError> {
+    let current = tree
+        .current_node(ball)
+        .ok_or(TreeError::UnknownBall(ball))?;
+    if nodes.is_empty() {
+        return Err(TreeError::BadPath("empty path"));
+    }
+    if nodes[0] != current {
+        return Err(TreeError::BadPath("path does not start at current node"));
+    }
+    let topo = *tree.topology();
+    for w in nodes.windows(2) {
+        if !(topo.is_node(w[1]) && (w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1)) {
+            return Err(TreeError::BadPath("path is not a parent-child chain"));
+        }
+    }
+    if !topo.is_leaf(*nodes.last().expect("non-empty")) {
+        return Err(TreeError::BadPath("path does not end at a leaf"));
+    }
+    tree.remove(ball).expect("ball present");
+    let mut idx = 0;
+    while idx + 1 < nodes.len() && tree.remaining_capacity(nodes[idx + 1]) >= 1 {
+        idx += 1;
+    }
+    tree.insert(ball, nodes[idx])
+        .expect("ball was just removed");
+    Ok(nodes[idx])
+}
+
+proptest! {
+    /// Chain → packed → chain is the identity for every root-to-leaf
+    /// chain of every supported tree shape, and for every suffix of it
+    /// (paths may start below the root).
+    #[test]
+    fn chain_roundtrips_through_packing(n in 1usize..512, rank in any::<u32>()) {
+        let topo = Topology::new(n).unwrap();
+        let rank = rank % n as u32;
+        let leaf = topo.leaf_for_rank(rank).unwrap();
+        let chain = topo.chain(bil_tree::ROOT, leaf).unwrap();
+        for start in 0..chain.len() {
+            let sub = &chain[start..];
+            let packed = PackedPath::from_nodes(sub).unwrap();
+            prop_assert_eq!(packed.len(), sub.len());
+            prop_assert_eq!(packed.first(), Some(sub[0]));
+            prop_assert_eq!(packed.leaf(), Some(leaf));
+            prop_assert_eq!(&packed.to_nodes(), sub);
+            for (i, v) in sub.iter().enumerate() {
+                prop_assert_eq!(packed.node_at(i), *v);
+            }
+        }
+    }
+
+    /// Every composed path expands to a well-formed chain: the packed
+    /// form loses nothing a `Vec<NodeId>` carried.
+    #[test]
+    fn composed_paths_expand_to_contiguous_chains(
+        n in 1usize..64,
+        balls in 1usize..64,
+        seed in any::<u64>(),
+        rule in 0u8..3,
+    ) {
+        let balls = balls.min(n);
+        let topo = Topology::new(n).unwrap();
+        let tree = LocalTree::with_balls_at_root(topo, (0..balls as u64).map(Label));
+        let rule = match rule {
+            0 => CoinRule::Weighted,
+            1 => CoinRule::Uniform,
+            _ => CoinRule::Leftmost,
+        };
+        let mut rng = SeedTree::new(seed).process_rng(ProcId(0));
+        for b in 0..balls as u64 {
+            for path in [
+                tree.random_path(Label(b), rule, &mut rng).unwrap(),
+                tree.rank_slot_path(Label(b)).unwrap(),
+            ] {
+                let nodes = path.to_nodes();
+                prop_assert_eq!(nodes[0], tree.current_node(Label(b)).unwrap());
+                for w in nodes.windows(2) {
+                    prop_assert!(w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1);
+                }
+                prop_assert!(topo.is_leaf(*nodes.last().unwrap()));
+                // And re-packing the expansion gives back the same path.
+                prop_assert_eq!(PackedPath::from_nodes(&nodes).unwrap(), path);
+            }
+        }
+    }
+
+    /// The packed move-walk and the legacy chain move-walk agree — same
+    /// landing node, same resulting tree — across whole multi-phase
+    /// histories on two initially identical trees.
+    #[test]
+    fn place_along_agrees_with_legacy_chain_walk(
+        n in 1usize..48,
+        balls in 1usize..48,
+        moves in prop::collection::vec((any::<u8>(), 0u8..3), 1..96),
+        seed in any::<u64>(),
+    ) {
+        let balls = balls.min(n);
+        let topo = Topology::new(n).unwrap();
+        let mk = || LocalTree::with_balls_at_root(topo, (0..balls as u64).map(Label));
+        let mut packed_tree = mk();
+        let mut chain_tree = mk();
+        let mut rng = SeedTree::new(seed).process_rng(ProcId(1));
+        for (which, rule) in moves {
+            let ball = Label((which as usize % balls) as u64);
+            let rule = match rule {
+                0 => CoinRule::Weighted,
+                1 => CoinRule::Uniform,
+                _ => CoinRule::Leftmost,
+            };
+            // One composition (one RNG draw sequence) drives both walks.
+            let path = packed_tree.random_path(ball, rule, &mut rng).unwrap();
+            let nodes = path.to_nodes();
+            let landed_packed = packed_tree.place_along(ball, &path).unwrap();
+            let landed_chain = place_along_chain(&mut chain_tree, ball, &nodes).unwrap();
+            prop_assert_eq!(landed_packed, landed_chain);
+            prop_assert_eq!(&packed_tree, &chain_tree);
+            packed_tree.validate().unwrap();
+        }
+    }
+
+    /// The two walks also agree on *rejection*: any packed pair whose
+    /// expansion the legacy validator would reject is rejected by the
+    /// packed validator too (and vice versa for expandable pairs), with
+    /// the tree untouched either way.
+    #[test]
+    fn rejection_agrees_with_legacy_chain_walk(
+        n in 1usize..32,
+        leaf in any::<u32>(),
+        len in 0u8..32,
+    ) {
+        let topo = Topology::new(n).unwrap();
+        let mk = || LocalTree::with_balls_at_root(topo, [Label(3)]);
+        let path = PackedPath::new(leaf, len);
+        // Expand by shifting, as the packed walk would visit.
+        let nodes: Vec<NodeId> = (0..len as usize)
+            .map(|i| leaf >> (len as usize - 1 - i))
+            .collect();
+        let mut packed_tree = mk();
+        let mut chain_tree = mk();
+        let packed_result = packed_tree.place_along(Label(3), &path);
+        let chain_result = place_along_chain(&mut chain_tree, Label(3), &nodes);
+        prop_assert_eq!(packed_result.is_ok(), chain_result.is_ok());
+        if let (Ok(a), Ok(b)) = (&packed_result, &chain_result) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(&packed_tree, &chain_tree);
+    }
+}

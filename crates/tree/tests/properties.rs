@@ -8,7 +8,7 @@
 
 use bil_runtime::rng::SeedTree;
 use bil_runtime::{Label, ProcId};
-use bil_tree::{CandidatePath, CoinRule, LocalTree, NodeId, Topology, ROOT};
+use bil_tree::{CoinRule, LocalTree, NodeId, PackedPath, Topology, ROOT};
 use proptest::prelude::*;
 
 /// An arbitrary raw tree operation (may legitimately breach Lemma 1,
@@ -81,7 +81,7 @@ proptest! {
             };
             let path = tree.random_path(ball, rule, &mut rng).unwrap();
             let landed = tree.place_along(ball, &path).unwrap();
-            prop_assert!(path.nodes().contains(&landed));
+            prop_assert!(path.iter().any(|v| v == landed));
             tree.validate().unwrap();
         }
     }
@@ -102,7 +102,7 @@ proptest! {
         let mut rng = SeedTree::new(seed).process_rng(ProcId(1));
         for b in 0..balls as u64 {
             let path = tree.random_path(Label(b), CoinRule::Weighted, &mut rng).unwrap();
-            let nodes = path.nodes();
+            let nodes = path.to_nodes();
             prop_assert_eq!(nodes[0], ROOT);
             for w in nodes.windows(2) {
                 prop_assert!(w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1);
@@ -199,7 +199,7 @@ proptest! {
             let ball = Label((which as usize % balls) as u64);
             let path = tree.random_path(ball, CoinRule::Weighted, &mut rng).unwrap();
             let landed = tree.place_along(ball, &path).unwrap();
-            let nodes = path.nodes();
+            let nodes = path.to_nodes();
             let idx = nodes.iter().position(|v| *v == landed).unwrap();
             // The landing node now holds the ball and still respects
             // Lemma 1 (validated); the next path node must have been full
@@ -247,16 +247,19 @@ proptest! {
         }
     }
 
-    /// Rejected placements leave the tree untouched.
+    /// Rejected placements leave the tree untouched — for arbitrary
+    /// (hostile) packed pairs, which is exactly what the wire can
+    /// deliver.
     #[test]
     fn failed_place_along_is_a_noop(
         n in 2usize..32,
-        garbage in prop::collection::vec(any::<u32>(), 0..6),
+        leaf in any::<u32>(),
+        len in any::<u8>(),
     ) {
         let topo = Topology::new(n).unwrap();
         let mut tree = LocalTree::with_balls_at_root(topo, [Label(7)]);
         let before = tree.clone();
-        let path = CandidatePath::from_nodes(garbage);
+        let path = PackedPath::new(leaf, len);
         if tree.place_along(Label(7), &path).is_err() {
             prop_assert_eq!(&tree, &before);
         }

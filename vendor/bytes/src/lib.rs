@@ -164,6 +164,13 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Clears the buffer, keeping its capacity (matching the upstream
+    /// `bytes` API); lets encoders reuse one buffer without
+    /// reallocating.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
