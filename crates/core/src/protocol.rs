@@ -105,6 +105,12 @@ pub struct Anomalies {
     pub malformed_positions: u64,
     /// Commit messages (direct or echoed) naming a non-leaf; ignored.
     pub malformed_commits: u64,
+    /// Over-full subtrees that held no committed ball to evict. Only a
+    /// corrupt view can reach this state (capacity can only be forced
+    /// past its bound through committed placements), so the over-full
+    /// node is left as-is and counted instead of being debug-asserted
+    /// away.
+    pub orphan_overfull: u64,
 }
 
 impl Anomalies {
@@ -114,6 +120,7 @@ impl Anomalies {
             + self.malformed_paths
             + self.malformed_positions
             + self.malformed_commits
+            + self.orphan_overfull
     }
 }
 
@@ -642,41 +649,54 @@ fn resolve_overfull_subtrees(view: &mut BilView) {
         let Some((_, overfull)) = worst else {
             return;
         };
-        let victim = view
-            .committed
-            .iter()
-            .filter(|(ball, _)| {
-                view.tree
-                    .current_node(**ball)
-                    .is_some_and(|node| view.tree.topology().is_ancestor_or_self(overfull, node))
-            })
-            .max_by_key(|(ball, record)| {
-                (
-                    record.provenance == Provenance::Echoed,
-                    record.round,
-                    **ball,
-                )
-            })
-            .map(|(ball, record)| (*ball, *record));
-        let Some((ball, record)) = victim else {
-            debug_assert!(false, "over-full subtree without a committed ball");
+        if !evict_one_from(view, overfull) {
             return;
-        };
-        #[cfg(feature = "evict-trace")]
-        eprintln!(
-            "EVICT ball={ball:?} leaf={} round={:?} prov={:?} overfull={overfull}",
-            record.leaf, record.round, record.provenance
-        );
-        view.tree.remove(ball);
-        if record.provenance == Provenance::Direct {
-            view.tree
-                .block_leaf(record.leaf)
-                .expect("committed positions are leaves");
         }
-        view.committed.remove(&ball);
-        view.dismissed.insert(ball);
-        view.fresh.retain(|(b, _)| *b != ball);
     }
+}
+
+/// Evicts the preferred committed victim under `overfull` and returns
+/// `true`. If the subtree holds **no** committed ball, the view is
+/// corrupt (capacity can only be forced past its bound through committed
+/// placements): the over-full state is left in place, counted via
+/// [`Anomalies::orphan_overfull`] — identically in debug and release —
+/// and `false` is returned so resolution stops instead of spinning.
+fn evict_one_from(view: &mut BilView, overfull: NodeId) -> bool {
+    let victim = view
+        .committed
+        .iter()
+        .filter(|(ball, _)| {
+            view.tree
+                .current_node(**ball)
+                .is_some_and(|node| view.tree.topology().is_ancestor_or_self(overfull, node))
+        })
+        .max_by_key(|(ball, record)| {
+            (
+                record.provenance == Provenance::Echoed,
+                record.round,
+                **ball,
+            )
+        })
+        .map(|(ball, record)| (*ball, *record));
+    let Some((ball, record)) = victim else {
+        view.anomalies.orphan_overfull += 1;
+        return false;
+    };
+    #[cfg(feature = "evict-trace")]
+    eprintln!(
+        "EVICT ball={ball:?} leaf={} round={:?} prov={:?} overfull={overfull}",
+        record.leaf, record.round, record.provenance
+    );
+    view.tree.remove(ball);
+    if record.provenance == Provenance::Direct {
+        view.tree
+            .block_leaf(record.leaf)
+            .expect("committed positions are leaves");
+    }
+    view.committed.remove(&ball);
+    view.dismissed.insert(ball);
+    view.fresh.retain(|(b, _)| *b != ball);
+    true
 }
 
 #[cfg(test)]
@@ -711,6 +731,39 @@ mod tests {
         )
         .unwrap()
         .run()
+    }
+
+    #[test]
+    fn orphan_overfull_subtree_is_counted_not_absorbed() {
+        // A corrupt view: two balls forced onto one leaf (capacity 1)
+        // with no committed ball anywhere in the subtree. The old code
+        // hit `debug_assert!(false, "over-full subtree without a
+        // committed ball")` here — a panic in debug builds, silent
+        // absorption in release; the explicit rejection path counts the
+        // corruption identically in both profiles and leaves the tree
+        // untouched.
+        let topo = Topology::new(4).unwrap();
+        let leaf = topo.leaf_for_rank(0).unwrap();
+        // Raw inserts bypass `with_balls_at`'s capacity validation —
+        // exactly the kind of state only corruption can produce.
+        let mut tree = LocalTree::new(topo);
+        tree.insert(Label(1), leaf).unwrap();
+        tree.insert(Label(2), leaf).unwrap();
+        let mut view = BilView {
+            tree,
+            committed: BTreeMap::new(),
+            fresh: Vec::new(),
+            dismissed: std::collections::BTreeSet::new(),
+            anomalies: Anomalies::default(),
+        };
+        assert!(view.tree.load(leaf) > view.tree.topology().capacity(leaf));
+        assert!(!evict_one_from(&mut view, leaf));
+        assert_eq!(view.anomalies().orphan_overfull, 1);
+        assert_eq!(view.anomalies().total(), 1);
+        // Nothing was evicted or dismissed: the corruption is reported,
+        // not papered over.
+        assert!(view.tree.contains(Label(1)) && view.tree.contains(Label(2)));
+        assert!(view.dismissed.is_empty());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The `bil-lint` binary: lints the workspace and exits non-zero on any
+//! finding.
+//!
+//! ```text
+//! cargo run -p bil-lint                 # lint the enclosing workspace
+//! cargo run -p bil-lint -- --root DIR   # lint an explicit tree
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("bil-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "bil-lint: workspace invariant checker\n\
+                     \n\
+                     USAGE: bil-lint [--root DIR]\n\
+                     \n\
+                     Walks every .rs file under the workspace root (default:\n\
+                     the enclosing workspace) and enforces the project\n\
+                     invariants: determinism, release-mode honesty, no-panic\n\
+                     transports, unsafe containment, and wire exhaustiveness.\n\
+                     Exits 0 when clean, 1 on findings, 2 on usage errors.\n\
+                     \n\
+                     Suppress one finding with\n\
+                     `// bil-lint: allow(<rule>): <justification>` on or\n\
+                     directly above the offending line."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bil-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bil-lint: cannot resolve current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match bil_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "bil-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match bil_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.findings.is_empty() {
+                println!(
+                    "bil-lint: clean ({} files checked under {})",
+                    report.files_checked,
+                    root.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bil-lint: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bil-lint: i/o failure walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! The project invariants, as deny-by-default lexical rules.
+//!
+//! Each rule pins a bug class a past PR fixed by hand (see the
+//! *Enforced invariants* section of `DESIGN.md`):
+//!
+//! * [`DETERMINISM`] — the bit-identical `RunReport` across executors
+//!   cannot survive iteration-order or wall-clock dependence in protocol
+//!   code.
+//! * [`RELEASE_HONESTY`] — corrupt input must be dropped **and counted**
+//!   identically in debug and release; a `debug_assert!(false, ..)` on a
+//!   message-handling path compiles out in release and silently absorbs
+//!   the corruption (the PR 4 bug class).
+//! * [`NO_PANIC`] — wire-facing executors report `bil-runtime`'s
+//!   structured `RunError` instead of panicking across threads (the PR 3
+//!   bug class).
+//! * [`UNSAFE_CODE`] — `unsafe` stays confined to the allowlisted
+//!   counting allocators, and every crate root forbids it.
+//! * [`WIRE_EXHAUSTIVE`] — every `BilMsg` variant is pinned by a golden
+//!   byte fixture, so encodings cannot drift silently (the PR 5 wire
+//!   version discipline).
+//! * [`CAST_TRUNCATION`] — decode paths never narrow attacker-controlled
+//!   integers with a bare `as` cast; they use `try_from` (or carry an
+//!   explicit pragma) so hostile lengths fail loudly.
+//!
+//! Findings can be suppressed, one line at a time, with
+//! `// bil-lint: allow(<rule>): <justification>` on the offending line
+//! or the line directly above it. A pragma that suppresses nothing is
+//! itself reported ([`UNUSED_ALLOW`]), so stale exemptions cannot
+//! accumulate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lexer::{strip, word_occurrences, Stripped};
+
+/// Determinism hazards in protocol/runtime/service code.
+pub const DETERMINISM: &str = "determinism";
+/// `debug_assert!(false, ..)` / `unreachable!` on message-handling paths.
+pub const RELEASE_HONESTY: &str = "release-honesty";
+/// `unwrap`/`expect`/`panic!` in wire-facing executor code.
+pub const NO_PANIC: &str = "no-panic";
+/// `unsafe` outside the allowlist, or a crate root without `forbid`.
+pub const UNSAFE_CODE: &str = "unsafe-code";
+/// A `BilMsg` variant with no golden wire fixture.
+pub const WIRE_EXHAUSTIVE: &str = "wire-exhaustive";
+/// Bare narrowing `as` cast on a decode path.
+pub const CAST_TRUNCATION: &str = "cast-truncation";
+/// A pragma that suppressed nothing (not itself suppressible).
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Every suppressible rule, for pragma validation.
+pub const ALL_RULES: &[&str] = &[
+    DETERMINISM,
+    RELEASE_HONESTY,
+    NO_PANIC,
+    UNSAFE_CODE,
+    WIRE_EXHAUSTIVE,
+    CAST_TRUNCATION,
+];
+
+/// Crate `src/` trees whose non-test code must be deterministic: these
+/// four crates produce or replay the bit-identical `RunReport`.
+const DETERMINISTIC_SRC: &[&str] = &[
+    "crates/core/src/",
+    "crates/tree/src/",
+    "crates/runtime/src/",
+    "crates/service/src/",
+];
+
+/// Tokens whose presence breaks run-to-run determinism (iteration order
+/// or wall clock or ambient randomness).
+const DETERMINISM_TOKENS: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
+
+/// Files on the message-handling path: everything that composes,
+/// encodes, decodes, or applies protocol messages.
+const MESSAGE_PATH_FILES: &[&str] = &[
+    "crates/core/src/protocol.rs",
+    "crates/core/src/messages.rs",
+    "crates/core/src/epoch.rs",
+    "crates/core/src/renaming.rs",
+    "crates/runtime/src/pipeline.rs",
+    "crates/runtime/src/threaded.rs",
+    "crates/runtime/src/parallel.rs",
+    "crates/runtime/src/socket.rs",
+    "crates/runtime/src/frame.rs",
+    "crates/runtime/src/wire.rs",
+    "crates/service/src/lib.rs",
+];
+
+/// Executor/transport files that must report structured `RunError`s
+/// instead of panicking.
+const TRANSPORT_FILES: &[&str] = &[
+    "crates/runtime/src/engine.rs",
+    "crates/runtime/src/pipeline.rs",
+    "crates/runtime/src/threaded.rs",
+    "crates/runtime/src/parallel.rs",
+    "crates/runtime/src/socket.rs",
+    "crates/runtime/src/frame.rs",
+    "crates/runtime/src/wire.rs",
+];
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    ".unwrap_err(",
+    ".expect_err(",
+    "panic!",
+];
+
+/// The only files allowed to contain `unsafe`: the counting allocators
+/// that assert the message plane is allocation-free.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/core/tests/alloc_free.rs",
+    "crates/bench/benches/message_plane.rs",
+];
+
+/// Wire-decode files checked for bare narrowing casts.
+const DECODE_FILES: &[&str] = &["crates/runtime/src/frame.rs", "crates/runtime/src/wire.rs"];
+
+/// Narrowing cast targets: an `as` to one of these can silently truncate
+/// an attacker-controlled `u64`.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+/// The enum whose variants must all be fixture-pinned, and where.
+const WIRE_ENUM_FILE: &str = "crates/core/src/messages.rs";
+const WIRE_ENUM_NAME: &str = "BilMsg";
+const WIRE_FIXTURE_FILE: &str = "crates/runtime/tests/wire_fixtures.rs";
+
+/// One diagnostic: a rule violation (or unused pragma) at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (one of the `pub const` rule names).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints a set of `(relative path, contents)` sources as one workspace.
+///
+/// Paths must be `/`-separated and relative to the workspace root; rule
+/// scoping is path-based. Returns all findings, sorted by
+/// `(file, line, rule)`, with pragma suppression already applied and
+/// unused pragmas reported.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut stripped: BTreeMap<&str, Stripped> = BTreeMap::new();
+    for (path, content) in files {
+        stripped.insert(path.as_str(), strip(content));
+    }
+
+    let mut findings = Vec::new();
+    for (path, content) in files {
+        let s = &stripped[path.as_str()];
+        check_determinism(path, s, &mut findings);
+        check_release_honesty(path, s, &mut findings);
+        check_no_panic(path, s, &mut findings);
+        check_unsafe(path, content, s, &mut findings);
+        check_cast_truncation(path, s, &mut findings);
+    }
+    check_wire_exhaustive(&stripped, &mut findings);
+
+    let findings = apply_pragmas(&stripped, findings);
+    let mut findings = findings;
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// Whether `path` lies under a test-only directory: integration tests,
+/// benches, and examples never feed the deterministic run itself.
+fn in_test_dir(path: &str) -> bool {
+    path.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+fn push(findings: &mut Vec<Finding>, path: &str, line: usize, rule: &'static str, message: String) {
+    findings.push(Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+fn check_determinism(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if in_test_dir(path) || !DETERMINISTIC_SRC.iter().any(|p| path.starts_with(p)) {
+        return;
+    }
+    for token in DETERMINISM_TOKENS {
+        for off in word_occurrences(&s.code, token) {
+            let line = s.line_of(off);
+            if s.is_test_line(line) {
+                continue;
+            }
+            push(
+                findings,
+                path,
+                line,
+                DETERMINISM,
+                format!("`{token}` in deterministic protocol code (iteration order / wall clock / ambient randomness breaks bit-identical replay)"),
+            );
+        }
+    }
+    // `Instant` alone is inert; only taking a wall-clock reading is a
+    // determinism hazard.
+    for off in word_occurrences(&s.code, "Instant") {
+        let line = s.line_of(off);
+        if s.is_test_line(line) {
+            continue;
+        }
+        let rest = s.code[off + "Instant".len()..].trim_start();
+        if rest.starts_with("::now") {
+            push(
+                findings,
+                path,
+                line,
+                DETERMINISM,
+                "`Instant::now` in deterministic protocol code".to_string(),
+            );
+        }
+    }
+}
+
+fn check_release_honesty(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !MESSAGE_PATH_FILES.contains(&path) {
+        return;
+    }
+    for off in word_occurrences(&s.code, "debug_assert!") {
+        let line = s.line_of(off);
+        if s.is_test_line(line) {
+            continue;
+        }
+        let rest = s.code[off + "debug_assert!".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        if rest.trim_start().starts_with("false") {
+            push(
+                findings,
+                path,
+                line,
+                RELEASE_HONESTY,
+                "`debug_assert!(false, ..)` on a message-handling path compiles out in release and silently absorbs corrupt input; drop and count it via `Anomalies` instead".to_string(),
+            );
+        }
+    }
+    for off in word_occurrences(&s.code, "unreachable!") {
+        let line = s.line_of(off);
+        if s.is_test_line(line) {
+            continue;
+        }
+        push(
+            findings,
+            path,
+            line,
+            RELEASE_HONESTY,
+            "`unreachable!` on a message-handling path panics on corrupt input; drop and count it via `Anomalies` (or return a structured error) instead".to_string(),
+        );
+    }
+}
+
+fn check_no_panic(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !TRANSPORT_FILES.contains(&path) {
+        return;
+    }
+    for token in PANIC_TOKENS {
+        for off in word_occurrences(&s.code, token) {
+            let line = s.line_of(off);
+            if s.is_test_line(line) {
+                continue;
+            }
+            let shown = token.trim_start_matches('.').trim_end_matches('(');
+            push(
+                findings,
+                path,
+                line,
+                NO_PANIC,
+                format!("`{shown}` in transport code: propagate a structured `RunError` instead of panicking across a wire or thread boundary"),
+            );
+        }
+    }
+}
+
+fn check_unsafe(path: &str, raw: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !UNSAFE_ALLOWLIST.contains(&path) {
+        for off in word_occurrences(&s.code, "unsafe") {
+            push(
+                findings,
+                path,
+                s.line_of(off),
+                UNSAFE_CODE,
+                "`unsafe` outside the allowlisted counting-allocator files".to_string(),
+            );
+        }
+    }
+    let is_crate_root = path == "src/lib.rs"
+        || (path.ends_with("/src/lib.rs")
+            && (path.starts_with("crates/") || path.starts_with("vendor/")));
+    if is_crate_root && !raw.contains("#![forbid(unsafe_code)]") {
+        push(
+            findings,
+            path,
+            1,
+            UNSAFE_CODE,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+/// `fn` body spans in stripped text: `(name, body_start, body_end)`.
+fn fn_spans(code: &str) -> Vec<(String, usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    for off in word_occurrences(code, "fn") {
+        let mut j = off + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = code[name_start..j].to_string();
+        // A signature contains no `{`, so the next brace opens the body
+        // (or a trait declaration ends at `;` first — skip those).
+        let mut body_start = None;
+        for (k, &b) in bytes.iter().enumerate().skip(j) {
+            match b {
+                b'{' => {
+                    body_start = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+        }
+        let Some(start) = body_start else {
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut end = code.len();
+        for (k, &b) in bytes.iter().enumerate().skip(start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push((name, start, end));
+    }
+    spans
+}
+
+/// Whether a function, by name, is a wire-decode path: it consumes
+/// attacker-controlled bytes.
+fn is_decode_fn(name: &str) -> bool {
+    name == "decode"
+        || name == "from_bytes"
+        || name == "next_frame"
+        || name == "peek_varint"
+        || name == "read_frame"
+        || name.starts_with("get_")
+}
+
+fn check_cast_truncation(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !DECODE_FILES.contains(&path) {
+        return;
+    }
+    let spans = fn_spans(&s.code);
+    for off in word_occurrences(&s.code, "as") {
+        let line = s.line_of(off);
+        if s.is_test_line(line) {
+            continue;
+        }
+        let rest = s.code[off + 2..].trim_start();
+        let target: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !NARROW_TYPES.contains(&target.as_str()) {
+            continue;
+        }
+        // Innermost enclosing fn decides whether this is a decode path.
+        let enclosing = spans
+            .iter()
+            .filter(|(_, start, end)| (*start..*end).contains(&off))
+            .max_by_key(|(_, start, _)| *start);
+        let Some((name, _, _)) = enclosing else {
+            continue;
+        };
+        if is_decode_fn(name) {
+            push(
+                findings,
+                path,
+                line,
+                CAST_TRUNCATION,
+                format!("bare `as {target}` on decode path `{name}`: a hostile length can truncate silently; use `try_from` and reject with a `WireError`"),
+            );
+        }
+    }
+}
+
+/// Parses the top-level variant names (with lines) of `enum BilMsg`.
+fn bilmsg_variants(s: &Stripped) -> Vec<(String, usize)> {
+    let code = &s.code;
+    let bytes = code.as_bytes();
+    for off in word_occurrences(code, "enum") {
+        let rest = code[off + "enum".len()..].trim_start();
+        let is_target = rest.starts_with(WIRE_ENUM_NAME)
+            && !rest[WIRE_ENUM_NAME.len()..]
+                .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+        if !is_target {
+            continue;
+        }
+        let Some(open_rel) = code[off..].find('{') else {
+            continue;
+        };
+        let mut i = off + open_rel + 1;
+        let mut depth = 1i64;
+        let mut variants = Vec::new();
+        // A variant name is the first identifier after `{` or a
+        // top-level `,` (attributes in between are skipped); everything
+        // until the next top-level comma is that variant's payload.
+        let mut expect_variant = true;
+        while i < bytes.len() && depth > 0 {
+            let b = bytes[i];
+            match b {
+                b'{' | b'(' | b'[' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' | b')' | b']' => {
+                    depth -= 1;
+                    i += 1;
+                }
+                b',' if depth == 1 => {
+                    expect_variant = true;
+                    i += 1;
+                }
+                b'#' if depth == 1 && expect_variant => {
+                    while i < bytes.len() && bytes[i] != b']' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                _ if depth == 1 && expect_variant && (b.is_ascii_alphabetic() || b == b'_') => {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    variants.push((code[start..i].to_string(), s.line_of(start)));
+                    expect_variant = false;
+                }
+                _ => i += 1,
+            }
+        }
+        return variants;
+    }
+    Vec::new()
+}
+
+fn check_wire_exhaustive(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<Finding>) {
+    let Some(msgs) = stripped.get(WIRE_ENUM_FILE) else {
+        return;
+    };
+    let variants = bilmsg_variants(msgs);
+    if variants.is_empty() {
+        return;
+    }
+    let Some(fixtures) = stripped.get(WIRE_FIXTURE_FILE) else {
+        for (variant, line) in &variants {
+            findings.push(Finding {
+                file: WIRE_ENUM_FILE.to_string(),
+                line: *line,
+                rule: WIRE_EXHAUSTIVE,
+                message: format!(
+                    "`{WIRE_ENUM_NAME}::{variant}` cannot be fixture-checked: `{WIRE_FIXTURE_FILE}` is missing"
+                ),
+            });
+        }
+        return;
+    };
+    for (variant, line) in &variants {
+        if word_occurrences(&fixtures.code, variant).is_empty() {
+            findings.push(Finding {
+                file: WIRE_ENUM_FILE.to_string(),
+                line: *line,
+                rule: WIRE_EXHAUSTIVE,
+                message: format!(
+                    "`{WIRE_ENUM_NAME}::{variant}` has no golden byte fixture in `{WIRE_FIXTURE_FILE}`; its encoding can drift without bumping `WIRE_FORMAT_VERSION`"
+                ),
+            });
+        }
+    }
+}
+
+/// Applies `bil-lint: allow(..)` pragmas: a pragma suppresses findings
+/// of its rule on its own line, or — when there are none there — on the
+/// next line. Pragmas that suppress nothing (or name unknown rules)
+/// become [`UNUSED_ALLOW`] findings.
+fn apply_pragmas(stripped: &BTreeMap<&str, Stripped>, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut suppressed = vec![false; findings.len()];
+    let mut extra = Vec::new();
+    for (path, s) in stripped {
+        for pragma in &s.pragmas {
+            if !ALL_RULES.contains(&pragma.rule.as_str()) {
+                extra.push(Finding {
+                    file: path.to_string(),
+                    line: pragma.line,
+                    rule: UNUSED_ALLOW,
+                    message: format!(
+                        "unknown rule `{}` in bil-lint allow pragma (known: {})",
+                        pragma.rule,
+                        ALL_RULES.join(", ")
+                    ),
+                });
+                continue;
+            }
+            let mut hit = false;
+            for target_line in [pragma.line, pragma.line + 1] {
+                for (i, f) in findings.iter().enumerate() {
+                    if f.file == **path && f.line == target_line && f.rule == pragma.rule {
+                        suppressed[i] = true;
+                        hit = true;
+                    }
+                }
+                if hit {
+                    break;
+                }
+            }
+            if !hit {
+                extra.push(Finding {
+                    file: path.to_string(),
+                    line: pragma.line,
+                    rule: UNUSED_ALLOW,
+                    message: format!(
+                        "`allow({})` suppresses nothing; remove the stale pragma",
+                        pragma.rule
+                    ),
+                });
+            }
+        }
+    }
+    let mut out: Vec<Finding> = findings
+        .into_iter()
+        .zip(suppressed)
+        .filter_map(|(f, s)| (!s).then_some(f))
+        .collect();
+    out.extend(extra);
+    out
+}

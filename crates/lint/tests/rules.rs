@@ -1,0 +1,332 @@
+//! Fixture-snippet coverage for every lint rule: a positive hit, a clean
+//! negative, a pragma-suppressed variant, and the unused-pragma report.
+//!
+//! Each fixture is a synthetic `(path, contents)` pair placed at a path
+//! the rule scopes to (rule scoping is path-based), fed through
+//! [`bil_lint::lint_sources`] exactly as the binary would.
+
+use bil_lint::rules::{
+    lint_sources, Finding, CAST_TRUNCATION, DETERMINISM, NO_PANIC, RELEASE_HONESTY, UNSAFE_CODE,
+    UNUSED_ALLOW, WIRE_EXHAUSTIVE,
+};
+
+fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, c)| ((*p).to_string(), (*c).to_string()))
+        .collect();
+    lint_sources(&owned)
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_flags_hashmap_in_protocol_code() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![DETERMINISM; 3]);
+    assert_eq!(findings[0].line, 1);
+    assert_eq!(findings[1].line, 2);
+}
+
+#[test]
+fn determinism_flags_instant_now_but_not_instant_values() {
+    let findings = lint(&[(
+        "crates/runtime/src/scratch.rs",
+        "use std::time::Instant;\nfn f(t: Instant) -> Instant { t }\nfn g() { let _ = Instant::now(); }\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![DETERMINISM]);
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn determinism_ignores_out_of_scope_and_test_code() {
+    // Same hazards outside the deterministic crates, under a tests/
+    // directory, and inside a `mod tests` region: all clean.
+    let findings = lint(&[
+        (
+            "crates/harness/src/scratch.rs",
+            "use std::collections::HashMap;\n",
+        ),
+        (
+            "crates/core/tests/scratch.rs",
+            "use std::collections::HashSet;\n",
+        ),
+        (
+            "crates/tree/src/scratch.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn determinism_pragma_suppresses_and_btreemap_is_clean() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "use std::collections::BTreeMap;\n// bil-lint: allow(determinism): seeded scratch map\nfn f() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------------------ release-honesty
+
+#[test]
+fn release_honesty_flags_debug_assert_false_and_unreachable() {
+    let findings = lint(&[(
+        "crates/core/src/protocol.rs",
+        "fn apply(x: u32) {\n    debug_assert!(false, \"corrupt: {x}\");\n    unreachable!()\n}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![RELEASE_HONESTY, RELEASE_HONESTY]);
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[1].line, 3);
+}
+
+#[test]
+fn release_honesty_allows_real_assertions_and_other_files() {
+    let findings = lint(&[
+        (
+            "crates/core/src/protocol.rs",
+            "fn apply(a: u32, b: u32) { debug_assert!(a <= b, \"monotone\"); }\n",
+        ),
+        (
+            "crates/harness/src/scratch.rs",
+            "fn f() { debug_assert!(false); }\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn release_honesty_pragma_on_same_line_suppresses() {
+    let findings = lint(&[(
+        "crates/core/src/messages.rs",
+        "fn f() { unreachable!() } // bil-lint: allow(release-honesty): const-evaluated arm\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_flags_unwrap_expect_and_panic_in_transport() {
+    let findings = lint(&[(
+        "crates/runtime/src/frame.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"present\");\n    if a != b { panic!(\"mismatch\") }\n    a\n}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![NO_PANIC; 3]);
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+}
+
+#[test]
+fn no_panic_ignores_non_transport_files_and_test_regions() {
+    let findings = lint(&[
+        (
+            "crates/core/src/scratch.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+        (
+            "crates/runtime/src/frame.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn no_panic_pragma_on_previous_line_suppresses() {
+    let findings = lint(&[(
+        "crates/runtime/src/engine.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    // bil-lint: allow(no-panic): validated at construction\n    x.expect(\"validated\")\n}\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ---------------------------------------------------------------- unsafe-code
+
+#[test]
+fn unsafe_flagged_outside_allowlist_allowed_inside() {
+    let snippet = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let findings = lint(&[
+        ("crates/runtime/src/scratch.rs", snippet),
+        ("crates/core/tests/alloc_free.rs", snippet),
+        ("crates/bench/benches/message_plane.rs", snippet),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![UNSAFE_CODE]);
+    assert_eq!(findings[0].file, "crates/runtime/src/scratch.rs");
+}
+
+#[test]
+fn crate_root_must_forbid_unsafe() {
+    let findings = lint(&[
+        ("crates/foo/src/lib.rs", "pub fn f() {}\n"),
+        (
+            "crates/bar/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn g() {}\n",
+        ),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![UNSAFE_CODE]);
+    assert_eq!(findings[0].file, "crates/foo/src/lib.rs");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn unsafe_in_strings_and_comments_is_not_code() {
+    let findings = lint(&[(
+        "crates/runtime/src/scratch.rs",
+        "// unsafe is discussed here but not used\nfn f() -> &'static str { \"unsafe\" }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn unsafe_pragma_suppresses() {
+    let findings = lint(&[(
+        "crates/runtime/src/scratch.rs",
+        "// bil-lint: allow(unsafe-code): audited volatile read\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------------------ wire-exhaustive
+
+const MSGS_TWO_VARIANTS: &str = "pub enum BilMsg {\n    Init(u32),\n    Path { len: u8 },\n}\n";
+
+#[test]
+fn wire_exhaustive_flags_unpinned_variant() {
+    let findings = lint(&[
+        ("crates/core/src/messages.rs", MSGS_TWO_VARIANTS),
+        (
+            "crates/runtime/tests/wire_fixtures.rs",
+            "fn pins() { let _ = \"x\"; check(Init); }\n",
+        ),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![WIRE_EXHAUSTIVE]);
+    assert_eq!(findings[0].file, "crates/core/src/messages.rs");
+    assert_eq!(findings[0].line, 3);
+    assert!(findings[0].message.contains("BilMsg::Path"));
+}
+
+#[test]
+fn wire_exhaustive_clean_when_every_variant_is_pinned() {
+    let findings = lint(&[
+        ("crates/core/src/messages.rs", MSGS_TWO_VARIANTS),
+        (
+            "crates/runtime/tests/wire_fixtures.rs",
+            "fn pins() { check(Init); check(Path); }\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn wire_exhaustive_flags_every_variant_when_fixture_file_is_missing() {
+    let findings = lint(&[("crates/core/src/messages.rs", MSGS_TWO_VARIANTS)]);
+    assert_eq!(rules_hit(&findings), vec![WIRE_EXHAUSTIVE, WIRE_EXHAUSTIVE]);
+    assert!(findings[0].message.contains("missing"));
+}
+
+// ------------------------------------------------------------ cast-truncation
+
+#[test]
+fn cast_truncation_flags_narrowing_cast_in_decode_fn() {
+    let findings = lint(&[(
+        "crates/runtime/src/frame.rs",
+        "fn decode(len: u64) -> usize {\n    len as usize\n}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![CAST_TRUNCATION]);
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].message.contains("as usize"));
+}
+
+#[test]
+fn cast_truncation_ignores_encode_fns_widening_casts_and_other_files() {
+    let findings = lint(&[
+        (
+            "crates/runtime/src/wire.rs",
+            "fn encode(len: usize) -> u8 { (len & 0x7f) as u8 }\nfn decode(len: u32) -> u64 { u64::from(len) as u64 }\n",
+        ),
+        (
+            "crates/core/src/scratch.rs",
+            "fn decode(len: u64) -> usize { len as usize }\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn cast_truncation_covers_get_prefixed_fns_and_pragma_suppresses() {
+    let hit = lint(&[(
+        "crates/runtime/src/frame.rs",
+        "fn get_blob(len: u64) -> usize { len as usize }\n",
+    )]);
+    assert_eq!(rules_hit(&hit), vec![CAST_TRUNCATION]);
+
+    let suppressed = lint(&[(
+        "crates/runtime/src/frame.rs",
+        "fn get_blob(len: u64) -> usize {\n    // bil-lint: allow(cast-truncation): bounded by MAX_FRAME_LEN above\n    len as usize\n}\n",
+    )]);
+    assert!(suppressed.is_empty(), "unexpected: {suppressed:?}");
+}
+
+// --------------------------------------------------------------- unused-allow
+
+#[test]
+fn unknown_rule_in_pragma_is_reported() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "// bil-lint: allow(no-such-rule): oops\nfn f() {}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW]);
+    assert!(findings[0].message.contains("unknown rule `no-such-rule`"));
+}
+
+#[test]
+fn stale_pragma_is_reported() {
+    let findings = lint(&[(
+        "crates/runtime/src/frame.rs",
+        "// bil-lint: allow(no-panic): nothing here panics any more\nfn f() -> u32 { 7 }\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW]);
+    assert_eq!(findings[0].line, 1);
+    assert!(findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn doc_comments_mentioning_pragmas_are_not_pragmas() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "/// Suppress with `bil-lint: allow(determinism)` if needed.\nfn f() {}\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------------------------- ordering
+
+#[test]
+fn findings_are_sorted_by_file_line_rule() {
+    let findings = lint(&[
+        (
+            "crates/runtime/src/frame.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+        (
+            "crates/core/src/scratch.rs",
+            "use std::collections::HashMap;\n",
+        ),
+    ]);
+    let keys: Vec<(&str, usize)> = findings.iter().map(|f| (f.file.as_str(), f.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+    assert_eq!(findings.len(), 2);
+}

@@ -1,0 +1,31 @@
+//! The shipped workspace must be lint-clean: every invariant the checker
+//! enforces holds on the tree as committed, so a regression anywhere in
+//! the workspace fails this test (and CI) with a `file:line` diagnostic.
+
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let root = root
+        .canonicalize()
+        .expect("workspace root resolves from the lint crate");
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("crates").is_dir(),
+        "expected the workspace root two levels above crates/lint, got {}",
+        root.display()
+    );
+
+    let report = bil_lint::lint_workspace(&root).expect("workspace tree is readable");
+    assert!(
+        report.files_checked > 50,
+        "walk looks truncated: only {} files checked",
+        report.files_checked
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "the shipped tree has lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -168,6 +168,7 @@ where
         let round_limit = self.options.round_limit(self.labels.len());
         let pipeline =
             RoundPipeline::new(self.labels.clone(), self.adversary, self.seeds, round_limit)
+                // bil-lint: allow(no-panic): labels were validated by the engine constructor; no wire input involved
                 .expect("labels validated at engine construction");
         let result = match self.options.mode {
             EngineMode::Clustered => {
@@ -186,6 +187,7 @@ where
                 pipeline.run(&mut transport, observer)
             }
         };
+        // bil-lint: allow(no-panic): in-memory transports are infallible past construction; `run` keeps its infallible API
         result.expect("in-memory transports are infallible")
     }
 }

@@ -107,7 +107,8 @@ impl FrameDecoder {
         if len > MAX_FRAME_LEN {
             return Err(WireError::LengthOverflow(len));
         }
-        let total = header + len as usize;
+        let len = usize::try_from(len).map_err(|_| WireError::LengthOverflow(len))?;
+        let total = header + len;
         if self.buf.len() < total {
             return Ok(None);
         }
@@ -164,7 +165,7 @@ pub fn get_blob(buf: &mut Bytes) -> Result<Bytes, WireError> {
     if len > MAX_FRAME_LEN {
         return Err(WireError::LengthOverflow(len));
     }
-    let len = len as usize;
+    let len = usize::try_from(len).map_err(|_| WireError::LengthOverflow(len))?;
     if buf.remaining() < len {
         return Err(WireError::UnexpectedEnd);
     }

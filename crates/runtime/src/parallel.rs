@@ -115,6 +115,7 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
         let protocol: &P = protocol;
         let labels: &[Label] = labels;
         let mut out: Vec<(ProcId, Label, P::Msg)> = Vec::with_capacity(items.len());
+        let mut poisoned = false;
         cb_thread::scope(|s| {
             let mut handles = Vec::new();
             // Hand each shard the exact sub-slice of RNGs covering its
@@ -123,8 +124,12 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
             let mut rng_tail: &mut [SmallRng] = rngs.as_mut_slice();
             let mut consumed = 0usize;
             for shard in items.chunks(shard_len) {
-                let lo = shard[0].0.index();
-                let hi = shard.last().expect("non-empty shard").0.index();
+                let (Some((first, _)), Some((last, _))) = (shard.first(), shard.last()) else {
+                    // `chunks` never yields an empty slice.
+                    continue;
+                };
+                let lo = first.index();
+                let hi = last.index();
                 let tail = std::mem::take(&mut rng_tail);
                 let (_, tail) = tail.split_at_mut(lo - consumed);
                 let (mine, rest) = tail.split_at_mut(hi - lo + 1);
@@ -145,9 +150,18 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
             // Join in shard order: the concatenation is slot-ordered
             // regardless of thread scheduling.
             for h in handles {
-                out.extend(h.join().expect("compose shard panicked"));
+                match h.join() {
+                    Ok(part) => out.extend(part),
+                    Err(_) => poisoned = true,
+                }
             }
         });
+        if poisoned {
+            return Err(RunError::Protocol {
+                context: "composing a round in parallel",
+                detail: "a compose shard panicked".to_string(),
+            });
+        }
         Ok(out)
     }
 

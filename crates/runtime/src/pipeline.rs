@@ -238,6 +238,7 @@ impl<M: Clone> RoundMessages<M> {
     ///
     /// Panics if `dst` was not covered by [`RoundMessages::prepare`].
     pub fn sig_id(&self, dst: ProcId) -> SigId {
+        // bil-lint: allow(no-panic): documented panic — `prepare` always precedes delivery; wire input cannot reach it
         self.sig_of[dst.index()].expect("destination prepared before delivery")
     }
 
@@ -624,15 +625,17 @@ impl<P: ViewProtocol> LocalTransport<P> {
             for m in live {
                 groups.entry(msgs.sig_id(m)).or_default().push(m);
             }
-            let single = groups.len() == 1;
-            let mut view_src = Some(view);
-            for (sig, group_members) in groups {
-                let v = if single {
-                    view_src.take().expect("single group consumes view once")
-                } else {
-                    view_src.as_ref().expect("view available").clone()
-                };
-                items.push((sig, group_members, v));
+            if groups.len() == 1 {
+                // The common, failure-free case: every live member hears
+                // the same broadcasts, so the cluster's view moves
+                // without a clone.
+                if let Some((sig, group_members)) = groups.pop_first() {
+                    items.push((sig, group_members, view));
+                }
+            } else {
+                for (sig, group_members) in groups {
+                    items.push((sig, group_members, view.clone()));
+                }
             }
         }
         items

@@ -454,6 +454,7 @@ where
         listener
             .set_nonblocking(true)
             .map_err(|e| RunError::io("configuring the listener", &e))?;
+        // bil-lint: allow(determinism): accept-loop IO deadline only — wall time never feeds protocol state
         let deadline = options.io_timeout.map(|t| Instant::now() + t);
         let mut streams: Vec<Option<(TcpStream, FrameDecoder)>> =
             (0..workers).map(|_| None).collect();
@@ -509,6 +510,7 @@ where
                     accepted += 1;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // bil-lint: allow(determinism): accept-loop IO deadline only — wall time never feeds protocol state
                     if deadline.is_some_and(|d| Instant::now() > d) {
                         return Err(RunError::Io {
                             context: "accepting workers",
@@ -520,14 +522,22 @@ where
                 Err(e) => return Err(RunError::io("accepting workers", &e)),
             }
         }
-        let (streams, decoders) = streams
-            .into_iter()
-            .map(|s| s.expect("all workers accepted"))
-            .unzip();
+        let mut conns = Vec::with_capacity(streams.len());
+        let mut frame_decoders = Vec::with_capacity(streams.len());
+        for (index, slot) in streams.into_iter().enumerate() {
+            let Some((stream, decoder)) = slot else {
+                return Err(RunError::Protocol {
+                    context: "accepting workers",
+                    detail: format!("worker {index} never completed its handshake"),
+                });
+            };
+            conns.push(stream);
+            frame_decoders.push(decoder);
+        }
         Ok(SocketTransport {
             labels: labels.to_vec(),
-            streams,
-            decoders,
+            streams: conns,
+            decoders: frame_decoders,
             worker_of,
             handles,
             bytes_by_label: BTreeMap::new(),
@@ -697,10 +707,13 @@ where
                 put_varint(&mut cmd, inbox.len() as u64);
                 for label in inbox.labels() {
                     put_varint(&mut cmd, label.0);
-                    let bytes = self
-                        .bytes_by_label
-                        .get(label)
-                        .expect("sender composed this round");
+                    let bytes =
+                        self.bytes_by_label
+                            .get(label)
+                            .ok_or_else(|| RunError::Protocol {
+                                context: "delivering inboxes",
+                                detail: format!("no composed bytes for sender {label}"),
+                            })?;
                     put_blob(&mut cmd, bytes);
                 }
             }

@@ -237,20 +237,19 @@ where
         // shared inbox for its delivery signature, re-encoded from the
         // bytes the senders actually produced.
         for &dst in survivors {
-            let inbox: Vec<(Label, Bytes)> = msgs
-                .inbox(dst)
-                .labels()
-                .iter()
-                .map(|label| {
-                    (
-                        *label,
-                        self.bytes_by_label
-                            .get(label)
-                            .expect("sender composed this round")
-                            .clone(),
-                    )
-                })
-                .collect();
+            let shared = msgs.inbox(dst);
+            let labels = shared.labels();
+            let mut inbox: Vec<(Label, Bytes)> = Vec::with_capacity(labels.len());
+            for label in labels {
+                let bytes = self
+                    .bytes_by_label
+                    .get(label)
+                    .ok_or_else(|| RunError::Protocol {
+                        context: "delivering an inbox",
+                        detail: format!("no composed bytes for sender {label}"),
+                    })?;
+                inbox.push((*label, bytes.clone()));
+            }
             self.send(dst, ToProc::Deliver { round, inbox }, "delivering an inbox")?;
         }
         // Collect statuses in slot order; sweep hands them to the
@@ -287,7 +286,10 @@ where
         }
         self.to_procs.clear();
         for h in self.handles.drain(..) {
-            h.join().expect("process thread panicked");
+            // A worker that panicked mid-run already surfaced as a
+            // Disconnected/Protocol error to the driver; teardown only
+            // reaps the thread, so a join error carries no new signal.
+            let _ = h.join();
         }
     }
 }

@@ -204,7 +204,8 @@ impl<T: Wire> Wire for Vec<T> {
         if len > MAX_SEQ_LEN {
             return Err(WireError::LengthOverflow(len));
         }
-        let mut out = Vec::with_capacity(len as usize);
+        let len = usize::try_from(len).map_err(|_| WireError::LengthOverflow(len))?;
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::decode(buf)?);
         }
