@@ -1,0 +1,111 @@
+//! The round-kernel micro: per-round throughput of the failure-free
+//! Balls-into-Leaves round across executors and sizes, written to
+//! `BENCH_round_kernel.json` (schema: `bil_bench::report`).
+//!
+//! Unlike the criterion benches — whose shim prints medians but keeps
+//! no history — this binary measures with plain `Instant` timing and
+//! records machine-readable rows, so the perf trajectory is tracked
+//! across PRs. Each cell runs the base protocol with a fixed round cap
+//! (the run is dominated by steady-state rounds; setup is amortized
+//! over them identically before and after any optimization, so ratios
+//! between checked-in snapshots are meaningful).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p bil-bench --bin round_kernel            # full grid
+//! cargo run --release -p bil-bench --bin round_kernel -- --smoke # CI guard
+//! cargo run --release -p bil-bench --bin round_kernel -- --out target/x.json
+//! ```
+//!
+//! `--smoke` runs only the n = 2^16 clustered kernel, prints its
+//! figures, and exits non-zero if the run misbehaves — CI wraps it in a
+//! `timeout` so an accidental O(n log n) regression in the hot path
+//! turns the perf-smoke step red instead of silently landing.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bil_bench::report::{self, Report};
+use bil_harness::Executor;
+
+/// Rounds each measured run drives (matches `executor_scaling`).
+const ROUNDS: u64 = 4;
+
+/// Smoke-mode kernel size: the ≥2× acceptance point of the SoA refactor.
+const SMOKE_N: usize = 1 << 16;
+
+fn main() -> ExitCode {
+    let mut out = report::default_path();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if smoke {
+        let row = report::measure("round_kernel", SMOKE_N, Executor::Clustered, ROUNDS);
+        println!(
+            "round_kernel smoke: n={} {}: {:.1} rounds/sec, {:.1} ns/ball-round",
+            row.n, row.executor, row.rounds_per_sec, row.ns_per_ball_round
+        );
+        // A real regression shows up as the surrounding CI `timeout`
+        // expiring; a zero/NaN figure means the measurement itself broke.
+        if !row.rounds_per_sec.is_finite() || row.rounds_per_sec <= 0.0 {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The grid: the unbounded executors scale to n = 2^20; the bounded
+    // ones are measured at their feasible sizes (socket's cap is the
+    // refactor's headline lift). Per-process and threaded pay O(n)
+    // distinct views resp. threads per round, so their larger sizes are
+    // left to `executor_scaling` rather than re-timed here.
+    let grid: &[(Executor, &[usize])] = &[
+        (Executor::Clustered, &[1 << 12, 1 << 16, 1 << 20]),
+        (Executor::Parallel, &[1 << 12, 1 << 16, 1 << 20]),
+        (Executor::PerProcess, &[1 << 12]),
+        (Executor::Threaded, &[1 << 12]),
+        (Executor::Socket, &[1 << 12, 1 << 14, 1 << 16]),
+    ];
+
+    let mut report = Report::load(&out);
+    for (executor, sizes) in grid {
+        for &n in *sizes {
+            if executor.max_n().is_some_and(|cap| n > cap) {
+                println!("skip {executor} at n={n}: exceeds its cap");
+                continue;
+            }
+            let row = report::measure("round_kernel", n, *executor, ROUNDS);
+            println!(
+                "n={:>7} {:>11}: {:>8.1} rounds/sec, {:>8.1} ns/ball-round",
+                row.n, row.executor, row.rounds_per_sec, row.ns_per_ball_round
+            );
+            report.upsert(row);
+        }
+    }
+    match report.save(&out) {
+        Ok(()) => {
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use bil_harness::{AdversarySpec, Algorithm, Scenario};
 
 /// Builds the scenario used by the experiment benches.

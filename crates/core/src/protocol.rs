@@ -59,7 +59,9 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 
 use bil_runtime::{Label, Name, Round, RoundInbox, Status, ViewProtocol};
-use bil_tree::{LocalTree, NodeId, PackedPath, Topology, ROOT};
+#[cfg(test)]
+use bil_tree::PackedPath;
+use bil_tree::{LocalTree, NodeId, OrderedBall, Topology, ROOT};
 
 use crate::config::{BilConfig, PathRule};
 use crate::messages::BilMsg;
@@ -124,12 +126,36 @@ impl Anomalies {
     }
 }
 
+/// Reusable per-round working memory: the priority-order snapshot and
+/// the slot→message join column. Purely transient — logically empty
+/// between rounds (only the warmed capacity persists), excluded from
+/// view equality, and cloning a view resets it, so cluster splits never
+/// copy scratch.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// The `<R` snapshot the apply sweep walks.
+    order: Vec<OrderedBall>,
+    /// Label-column slot → inbox index (`NO_MSG` for silent slots).
+    msg_at: Vec<u32>,
+}
+
+impl Clone for RoundScratch {
+    fn clone(&self) -> Self {
+        RoundScratch::default()
+    }
+}
+
+/// `msg_at` marker for a slot whose ball sent nothing this round.
+const NO_MSG: u32 = u32::MAX;
+
 /// A ball's local view: the local tree, plus (decide-at-leaf variant
 /// only) the commit bookkeeping.
 #[derive(Debug, Clone)]
 pub struct BilView {
     tree: LocalTree,
-    /// Ball → commit record. Empty in the base algorithm.
+    /// Ball → commit record. Empty in the base algorithm. Boundary
+    /// state, not hot-path state: mutated only when commits are learned
+    /// or evicted, never rebuilt per round.
     committed: BTreeMap<Label, CommitRecord>,
     /// Commits learned in the last applied round, echoed in the next
     /// `Pos` broadcast (and re-echoed along partial-delivery chains).
@@ -140,6 +166,8 @@ pub struct BilView {
     dismissed: std::collections::BTreeSet<Label>,
     /// Rejected-input accounting; see [`Anomalies`].
     anomalies: Anomalies,
+    /// Per-round working memory; see [`RoundScratch`].
+    scratch: RoundScratch,
 }
 
 impl PartialEq for BilView {
@@ -147,7 +175,9 @@ impl PartialEq for BilView {
         // `anomalies` is deliberately excluded: it is diagnostic-only
         // and never feeds back into compose/apply/status, so two views
         // that differ only in what garbage they witnessed are still
-        // behaviourally identical (and may share a cluster).
+        // behaviourally identical (and may share a cluster). `scratch`
+        // is excluded too: it is logically empty between rounds, and
+        // its warmed capacity is an allocation detail, not state.
         self.tree == other.tree
             && self.committed == other.committed
             && self.fresh == other.fresh
@@ -213,6 +243,7 @@ impl BilView {
             fresh: Vec::new(),
             dismissed: std::collections::BTreeSet::new(),
             anomalies: Anomalies::default(),
+            scratch: RoundScratch::default(),
         })
     }
 
@@ -346,6 +377,7 @@ impl ViewProtocol for BallsIntoLeaves {
             fresh: Vec::new(),
             dismissed: std::collections::BTreeSet::new(),
             anomalies: Anomalies::default(),
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -455,65 +487,94 @@ impl ViewProtocol for BallsIntoLeaves {
         if round.is_path_round() {
             // Priority order snapshotted at phase start (Definition 1 is
             // evaluated on start-of-phase positions, which Proposition 1
-            // makes identical across correct views).
-            let order = view.tree.ordered_balls();
-            // Packed paths are `Copy`: the per-ball map holds them by
-            // value, so the walk below never chases a reference into the
-            // shared inbox buffer.
-            let paths: BTreeMap<Label, PackedPath> = inbox
-                .iter()
-                .filter_map(|(l, m)| match m {
-                    BilMsg::Path(p) => Some((l, *p)),
-                    _ => None,
-                })
-                .collect();
-            let commits: BTreeMap<Label, NodeId> = inbox
-                .iter()
-                .filter_map(|(l, m)| match m {
-                    BilMsg::Commit(node) => Some((l, *node)),
-                    _ => None,
-                })
-                .collect();
-            // Cornered balls pass the phase with a Pos broadcast: they
-            // stay in place (and their echoes are still processed).
-            let mut passes: std::collections::BTreeSet<Label> = Default::default();
-            for (l, m) in inbox.iter() {
-                if let BilMsg::Pos { echo, .. } = m {
-                    passes.insert(l);
+            // makes identical across correct views). Taken into scratch
+            // so the steady-state round allocates nothing.
+            let mut scratch = std::mem::take(&mut view.scratch);
+            view.tree.priority_order_into(&mut scratch.order);
+            // Echoes first (they ride on `Pos` passes): a commit learned
+            // second-hand may re-add its ball, which can renumber label
+            // slots — hence the generation check below.
+            let gen = view.tree.shift_generation();
+            for msg in inbox.msgs() {
+                if let BilMsg::Pos { echo, .. } = msg {
                     for (ball, leaf) in echo {
                         view.learn_commit(*ball, *leaf, round, Provenance::Echoed);
                     }
                 }
             }
+            if view.tree.shift_generation() != gen {
+                // Rare (crash-echo re-admission of a never-seen label):
+                // re-resolve the snapshot's slots against the renumbered
+                // column. Labels are never deleted from the column, so
+                // every snapshot ball still resolves.
+                for e in scratch.order.iter_mut() {
+                    e.slot = view
+                        .tree
+                        .label_column()
+                        .binary_search(&e.ball)
+                        .expect("snapshot labels stay in the column")
+                        as u32;
+                }
+            }
+            index_messages(&view.tree, &inbox, &mut scratch.msg_at);
+            #[cfg(debug_assertions)]
+            let gen_sweep = view.tree.shift_generation();
             // NOTE: `fresh` is NOT cleared here — commits learned last
             // sync round still await their echo in the next Pos
             // broadcast; this round's direct commits join them.
-            for ball in order {
-                if let Some(leaf) = commits.get(&ball) {
-                    // Commit: a correct sender's position was synchronized
-                    // last round, so every view already has it at `leaf`;
-                    // `learn_commit` validates that and rejects (counts)
-                    // corrupt commits.
-                    view.learn_commit(ball, *leaf, round, Provenance::Direct);
-                } else if let Some(path) = paths.get(&ball) {
-                    // Lines 13–18: follow the path until the first full
-                    // subtree. A path that fails the move-walk's
-                    // re-validation is corrupt (unreachable for correct
-                    // senders — hostile wire input can produce any
-                    // packed pair): reject it by removing the sender as
-                    // crashed and counting the drop — the same explicit
-                    // path in debug and release builds.
-                    if view.tree.place_along(ball, path).is_err() {
-                        view.anomalies.malformed_paths += 1;
-                        view.tree.remove(ball);
+            //
+            // The sweep mutates positions but never renumbers slots
+            // (moves and removals are in-place in the columns), so the
+            // `msg_at` join stays valid throughout.
+            for i in 0..scratch.order.len() {
+                let OrderedBall { ball, slot, .. } = scratch.order[i];
+                let msg = match scratch.msg_at[slot as usize] {
+                    NO_MSG => None,
+                    m => Some(&inbox.msgs()[m as usize]),
+                };
+                match msg {
+                    Some(BilMsg::Commit(leaf)) => {
+                        // Commit: a correct sender's position was
+                        // synchronized last round, so every view already
+                        // has it at `leaf`; `learn_commit` validates that
+                        // and rejects (counts) corrupt commits.
+                        view.learn_commit(ball, *leaf, round, Provenance::Direct);
                     }
-                } else if !view.committed.contains_key(&ball) && !passes.contains(&ball) {
-                    // Lines 19–20: silence from an uncommitted ball means
-                    // it crashed (committed balls decided; they stay;
-                    // cornered balls passed in place).
-                    view.tree.remove(ball);
+                    Some(BilMsg::Path(path)) => {
+                        // Lines 13–18: follow the path until the first
+                        // full subtree. A path that fails the move-walk's
+                        // re-validation is corrupt (unreachable for
+                        // correct senders — hostile wire input can
+                        // produce any packed pair): reject it by removing
+                        // the sender as crashed and counting the drop —
+                        // the same explicit path in debug and release
+                        // builds.
+                        if view.tree.place_along(ball, path).is_err() {
+                            view.anomalies.malformed_paths += 1;
+                            view.tree.remove(ball);
+                        }
+                    }
+                    Some(BilMsg::Pos { .. }) => {
+                        // A cornered ball passes the phase in place; its
+                        // echoes were processed above.
+                    }
+                    Some(BilMsg::Init) | None => {
+                        // Lines 19–20: silence (or the silence-equivalent
+                        // repeated `Init`) from an uncommitted ball means
+                        // it crashed (committed balls decided; they stay).
+                        if !view.committed.contains_key(&ball) {
+                            view.tree.remove(ball);
+                        }
+                    }
                 }
             }
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                view.tree.shift_generation(),
+                gen_sweep,
+                "the sweep itself never renumbers slots"
+            );
+            view.scratch = scratch;
         } else {
             // Round 2 (lines 22–28): adopt announced positions, drop the
             // silent (committed balls are silent by design and stay).
@@ -531,17 +592,21 @@ impl ViewProtocol for BallsIntoLeaves {
                     }
                 }
             }
-            let order = view.tree.ordered_balls();
-            let positions: BTreeMap<Label, NodeId> = inbox
-                .iter()
-                .filter_map(|(l, m)| match m {
-                    BilMsg::Pos { node, .. } => Some((l, *node)),
-                    _ => None,
-                })
-                .collect();
-            for ball in order {
-                match positions.get(&ball) {
-                    Some(node) => {
+            // The snapshot is taken *after* the echoes (matching the
+            // echo-first rule above), so slots cannot shift between the
+            // snapshot and the sweep: forced position updates move live
+            // balls in place, and removals only vacate slots.
+            let mut scratch = std::mem::take(&mut view.scratch);
+            view.tree.priority_order_into(&mut scratch.order);
+            index_messages(&view.tree, &inbox, &mut scratch.msg_at);
+            for i in 0..scratch.order.len() {
+                let OrderedBall { ball, slot, .. } = scratch.order[i];
+                let msg = match scratch.msg_at[slot as usize] {
+                    NO_MSG => None,
+                    m => Some(&inbox.msgs()[m as usize]),
+                };
+                match msg {
+                    Some(BilMsg::Pos { node, .. }) => {
                         // An out-of-range node is corrupt input (the
                         // wire codec bounds it to u32, not to this
                         // tree): reject by removing the sender as
@@ -551,13 +616,14 @@ impl ViewProtocol for BallsIntoLeaves {
                             view.tree.remove(ball);
                         }
                     }
-                    None => {
+                    _ => {
                         if !view.committed.contains_key(&ball) {
                             view.tree.remove(ball);
                         }
                     }
                 }
             }
+            view.scratch = scratch;
             // Conflict resolution (decide-at-leaf only; see module docs):
             // a partial commit can leave this view holding a ghost whose
             // leaf other views reassigned, and the forced updates above
@@ -603,6 +669,32 @@ impl ViewProtocol for BallsIntoLeaves {
             Status::Decided(Name(tree.topology().leaf_rank(node)))
         } else {
             Status::Running
+        }
+    }
+}
+
+/// Merge-joins the inbox against the view's label column: after the
+/// call, `msg_at[slot]` is the inbox index of the message sent by
+/// `label_column()[slot]`'s ball, or [`NO_MSG`] if it was silent. Both
+/// sides are sorted by label (the inbox is delivered as sorted SoA
+/// slices; the label column is sorted by construction), so the join is
+/// one linear sweep — no per-round map, no binary searches.
+///
+/// Messages from senders outside the label column are skipped here:
+/// the apply sweeps only act on balls in the view (round 0 is where
+/// admission happens), exactly as the map-based lookups did.
+fn index_messages(tree: &LocalTree, inbox: &RoundInbox<'_, BilMsg>, msg_at: &mut Vec<u32>) {
+    let labels = tree.label_column();
+    msg_at.clear();
+    msg_at.resize(labels.len(), NO_MSG);
+    let mut slot = 0usize;
+    for (i, l) in inbox.labels().iter().enumerate() {
+        debug_assert!(i == 0 || inbox.labels()[i - 1] < *l, "inbox sorted, unique");
+        while slot < labels.len() && labels[slot] < *l {
+            slot += 1;
+        }
+        if slot < labels.len() && labels[slot] == *l {
+            msg_at[slot] = i as u32;
         }
     }
 }
@@ -688,10 +780,14 @@ fn evict_one_from(view: &mut BilView, overfull: NodeId) -> bool {
         record.leaf, record.round, record.provenance
     );
     view.tree.remove(ball);
-    if record.provenance == Provenance::Direct {
-        view.tree
-            .block_leaf(record.leaf)
-            .expect("committed positions are leaves");
+    if record.provenance == Provenance::Direct && view.tree.block_leaf(record.leaf).is_err() {
+        // A commit record can only name a leaf (`learn_commit` validates
+        // every admission path), so a non-leaf here means the record
+        // itself is corrupt. The eviction still proceeds — the overfull
+        // subtree must drain either way — but there is no valid leaf to
+        // poison: count the corruption instead of panicking the round
+        // loop, identically in debug and release builds.
+        view.anomalies.malformed_commits += 1;
     }
     view.committed.remove(&ball);
     view.dismissed.insert(ball);
@@ -755,6 +851,7 @@ mod tests {
             fresh: Vec::new(),
             dismissed: std::collections::BTreeSet::new(),
             anomalies: Anomalies::default(),
+            scratch: RoundScratch::default(),
         };
         assert!(view.tree.load(leaf) > view.tree.topology().capacity(leaf));
         assert!(!evict_one_from(&mut view, leaf));
@@ -764,6 +861,48 @@ mod tests {
         // not papered over.
         assert!(view.tree.contains(Label(1)) && view.tree.contains(Label(2)));
         assert!(view.dismissed.is_empty());
+    }
+
+    #[test]
+    fn corrupt_commit_record_eviction_counts_instead_of_panicking() {
+        // A commit record naming an internal node can only arise from
+        // corruption (`learn_commit` validates every admission path).
+        // Eviction used to `.expect("committed positions are leaves")`
+        // on it — panicking the whole round loop; the explicit path
+        // drains the overfull subtree anyway and counts the corruption.
+        let topo = Topology::new(4).unwrap();
+        let leaf = topo.leaf_for_rank(0).unwrap();
+        let mut tree = LocalTree::new(topo);
+        tree.insert(Label(1), leaf).unwrap();
+        tree.insert(Label(2), leaf).unwrap();
+        let mut committed = BTreeMap::new();
+        committed.insert(
+            Label(1),
+            CommitRecord {
+                leaf: ROOT, // corrupt: not a leaf
+                round: Round(3),
+                provenance: Provenance::Direct,
+            },
+        );
+        let mut view = BilView {
+            tree,
+            committed,
+            fresh: vec![(Label(1), ROOT)],
+            dismissed: std::collections::BTreeSet::new(),
+            anomalies: Anomalies::default(),
+            scratch: RoundScratch::default(),
+        };
+        assert!(evict_one_from(&mut view, leaf));
+        assert!(!view.tree.contains(Label(1)), "victim still evicted");
+        assert!(view.dismissed.contains(&Label(1)));
+        assert!(view.committed.is_empty());
+        assert!(view.fresh.is_empty(), "pending echo retired with it");
+        assert_eq!(view.anomalies().malformed_commits, 1);
+        assert_eq!(
+            view.tree.blocked_leaves().count(),
+            0,
+            "no valid leaf to poison"
+        );
     }
 
     #[test]

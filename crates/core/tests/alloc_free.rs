@@ -152,6 +152,103 @@ fn failure_free_delivery_allocates_a_constant_independent_of_n() {
     );
 }
 
+/// One full failure-free round against `s`: compose every ball's
+/// broadcast, build the shared delivery, apply to every view.
+fn full_round(s: &mut Stage, round: Round) {
+    let n = s.labels.len();
+    let outgoing: Vec<(ProcId, Label, BilMsg)> = (0..n)
+        .map(|i| {
+            let msg = s
+                .protocol
+                .compose(&s.views[i], s.labels[i], round, &mut s.rngs[i]);
+            (ProcId(i as u32), s.labels[i], msg)
+        })
+        .collect();
+    let alive = vec![true; n];
+    let survivors: Vec<ProcId> = (0..n as u32).map(ProcId).collect();
+    let mut msgs = RoundMessages::new(outgoing, &alive, &[]);
+    msgs.prepare(&survivors);
+    for i in 0..n {
+        s.protocol
+            .apply(&mut s.views[i], round, msgs.inbox(ProcId(i as u32)));
+    }
+}
+
+#[test]
+fn applying_a_warm_failure_free_round_allocates_nothing() {
+    // The SoA round kernel's acceptance bar: once a view's round scratch
+    // is warm (one path + one sync round), the *apply* stage of a
+    // failure-free round touches the heap zero times — the priority
+    // snapshot reuses the scratch column, the inbox joins against the
+    // label column by linear merge, and every placement mutates columns
+    // in place. `BTreeMap` churn is allowed only at commit/epoch
+    // boundaries, which a failure-free base-protocol round never crosses.
+    let n = 256;
+    let mut s = stage(n);
+    // Warm-up: one full phase (path + sync) sizes every view's scratch.
+    full_round(&mut s, Round(1));
+    full_round(&mut s, Round(2));
+    // Measure rounds 3..=6 (two path rounds, two sync rounds)
+    // independently. The assertion takes the *minimum* over same-kind
+    // rounds: the counting allocator is process-global, so a concurrent
+    // test can pollute one window, but a zero minimum still proves the
+    // stage has an allocation-free steady state.
+    let mut path_allocs = Vec::new();
+    let mut sync_allocs = Vec::new();
+    for r in 3..=6u64 {
+        let round = Round(r);
+        let outgoing: Vec<(ProcId, Label, BilMsg)> = (0..n)
+            .map(|i| {
+                let msg = s
+                    .protocol
+                    .compose(&s.views[i], s.labels[i], round, &mut s.rngs[i]);
+                (ProcId(i as u32), s.labels[i], msg)
+            })
+            .collect();
+        let alive = vec![true; n];
+        let survivors: Vec<ProcId> = (0..n as u32).map(ProcId).collect();
+        let mut msgs = RoundMessages::new(outgoing, &alive, &[]);
+        msgs.prepare(&survivors);
+        let (allocs, ()) = allocations_during(|| {
+            for i in 0..n {
+                s.protocol
+                    .apply(&mut s.views[i], round, msgs.inbox(ProcId(i as u32)));
+            }
+        });
+        if round.is_path_round() {
+            path_allocs.push(allocs);
+        } else {
+            sync_allocs.push(allocs);
+        }
+    }
+    // Debug builds validate Lemma 1 inside `apply` (which recomputes
+    // occupancy vectors, i.e. allocates); the hard zero is a release
+    // property — exactly the profile the benchmarks run under.
+    #[cfg(not(debug_assertions))]
+    {
+        assert_eq!(
+            path_allocs.iter().min(),
+            Some(&0),
+            "warm path-round apply must not allocate: {path_allocs:?}"
+        );
+        assert_eq!(
+            sync_allocs.iter().min(),
+            Some(&0),
+            "warm sync-round apply must not allocate: {sync_allocs:?}"
+        );
+    }
+    #[cfg(debug_assertions)]
+    {
+        let _ = (&path_allocs, &sync_allocs);
+    }
+    // In either profile the rounds must have actually run: every ball is
+    // still resident (failure-free) in every view.
+    assert!(s
+        .views
+        .iter()
+        .all(|v| s.labels.iter().all(|l| v.tree().current_node(*l).is_some())));
+}
+
 #[test]
 fn applying_a_shared_inbox_never_clones_the_messages() {
     // Apply does allocate (tree maps change shape), but the inbox side

@@ -11,13 +11,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilView, PathRule};
+use bil_core::{check_tight_renaming, BallsIntoLeaves, BilConfig, BilMsg, BilView, PathRule};
 use bil_runtime::adversary::{Scripted, ScriptedCrash};
 use bil_runtime::engine::{EngineMode, EngineOptions, SyncEngine};
 use bil_runtime::threaded::run_threaded;
 use bil_runtime::view::{Cluster, FnObserver, ObserverCtx};
-use bil_runtime::{Label, Round, SeedTree};
-use bil_tree::CoinRule;
+use bil_runtime::{InboxBuf, Label, ProcId, Round, SeedTree, ViewProtocol};
+use bil_tree::{CoinRule, LocalTree, OrderedBall};
 use proptest::prelude::*;
 
 /// Arbitrary crash schedules: up to 8 crashes in rounds 0..14 with
@@ -49,6 +49,44 @@ fn configs() -> Vec<BilConfig> {
 /// Shuffle-ish unique labels so algorithms cannot rely on label = slot.
 fn labels(n: usize) -> Vec<Label> {
     (0..n as u64).map(|i| Label((i * 53 + 19) % 1021)).collect()
+}
+
+/// The legacy (pre-SoA) apply semantics for the base protocol, spelled
+/// out over public [`LocalTree`] ops: per-round `BTreeMap` from the
+/// inbox, priority-order snapshot, map lookup per ball. The base config
+/// never commits mid-round, so the committed-ball guards of the real
+/// sweep are vacuous here.
+fn reference_apply(tree: &mut LocalTree, round: Round, pairs: &[(Label, BilMsg)]) {
+    let map: BTreeMap<Label, BilMsg> = pairs.iter().cloned().collect();
+    let mut snapshot: Vec<OrderedBall> = Vec::new();
+    tree.priority_order_into(&mut snapshot);
+    for e in snapshot {
+        let ball = e.ball;
+        if round.is_path_round() {
+            match map.get(&ball) {
+                Some(BilMsg::Path(path)) => {
+                    if tree.place_along(ball, path).is_err() {
+                        tree.remove(ball);
+                    }
+                }
+                Some(BilMsg::Pos { .. }) => {}
+                _ => {
+                    tree.remove(ball);
+                }
+            }
+        } else {
+            match map.get(&ball) {
+                Some(BilMsg::Pos { node, .. }) => {
+                    if tree.update_node(ball, *node).is_err() {
+                        tree.remove(ball);
+                    }
+                }
+                _ => {
+                    tree.remove(ball);
+                }
+            }
+        }
+    }
 }
 
 proptest! {
@@ -216,6 +254,76 @@ proptest! {
         prop_assert!(sorted.iter().all(|x| (*x as usize) < n), "name out of range");
         // At least n − f processes decide.
         prop_assert!(names.len() + report.failures() >= n);
+    }
+
+    /// The columnar apply sweep (sorted-slice merge-join + in-place
+    /// column mutation) is bit-identical to the legacy per-round map
+    /// path under arbitrary crash/silence patterns and junk senders.
+    ///
+    /// `reference_apply` below is the pre-SoA semantics spelled out
+    /// directly: build a `BTreeMap<Label, BilMsg>` from the inbox,
+    /// snapshot the priority order, and look each ball up in the map —
+    /// exactly what `BallsIntoLeaves::apply` used to do one view at a
+    /// time. The production path must land every run on the same tree.
+    #[test]
+    fn columnar_apply_matches_map_reference_under_crashes(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        crashes in prop::collection::vec((1u64..9, 0usize..24), 0..8),
+        junk in prop::collection::vec(0u64..4, 0..3),
+    ) {
+        let protocol = BallsIntoLeaves::base();
+        let labels = labels(n);
+        let mut view = protocol.init_view(n);
+        let init: InboxBuf<BilMsg> =
+            labels.iter().map(|l| (*l, BilMsg::Init)).collect();
+        protocol.apply(&mut view, Round(0), init.as_inbox());
+        let mut reference = view.tree().clone();
+        let seeds = SeedTree::new(seed);
+        let mut rngs: Vec<_> = (0..n)
+            .map(|p| seeds.process_rng(ProcId(p as u32)))
+            .collect();
+        let mut crashed: BTreeSet<Label> = BTreeSet::new();
+        for r in 1..=8u64 {
+            let round = Round(r);
+            for (cr, victim) in &crashes {
+                if *cr == r {
+                    crashed.insert(labels[*victim % n]);
+                }
+            }
+            // Crashed balls fall silent; surviving balls broadcast what
+            // the shared view composes (failure-free views agree, and the
+            // sweep equivalence only needs *some* valid message stream).
+            let mut pairs: Vec<(Label, BilMsg)> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    !crashed.contains(l) && view.tree().current_node(**l).is_some()
+                })
+                .map(|(i, l)| (*l, protocol.compose(&view, *l, round, &mut rngs[i])))
+                .collect();
+            // Junk senders outside the label column: both paths must
+            // skip them (admission happens only in round 0).
+            for (j, kind) in junk.iter().enumerate() {
+                let stray = Label(10_000 + j as u64);
+                let msg = match kind {
+                    0 => BilMsg::Init,
+                    _ => BilMsg::Pos { node: 1, echo: Vec::new() },
+                };
+                pairs.push((stray, msg));
+            }
+            let inbox: InboxBuf<BilMsg> = pairs.iter().cloned().collect();
+            reference_apply(&mut reference, round, &pairs);
+            protocol.apply(&mut view, round, inbox.as_inbox());
+            prop_assert_eq!(
+                view.tree(),
+                &reference,
+                "round {} diverged (n={}, seed={})",
+                r,
+                n,
+                seed
+            );
+        }
     }
 
     /// Deterministic replay: identical inputs give identical reports for

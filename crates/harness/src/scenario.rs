@@ -143,16 +143,19 @@ impl Executor {
     ///
     /// Per-process holds `n` distinct `O(n)` views (≈ GBs at `2^14`,
     /// tens of GB beyond); threaded spawns one OS thread per process
-    /// (thread creation fails well below `2^16`); socket holds the same
-    /// per-process views as per-process mode (sharded over a few
-    /// workers) and additionally ships every round's inboxes over
-    /// loopback, so it shares the `2^14` memory cap. Scenario dispatch
-    /// refuses larger systems loudly instead of crashing or OOMing
-    /// mid-sweep; the clustered and parallel executors are unbounded.
+    /// (thread creation fails well below `2^16`). The socket executor's
+    /// workers share views by delivery history (one view per worker when
+    /// failure-free), so its bound is no longer the per-slot view memory
+    /// but the per-round wire traffic — every round still ships `O(n)`
+    /// encoded broadcasts per worker over loopback — capped at `2^16`.
+    /// Scenario dispatch refuses larger systems loudly instead of
+    /// crashing or OOMing mid-sweep; the clustered and parallel
+    /// executors are unbounded.
     pub fn max_n(&self) -> Option<usize> {
         match self {
             Executor::Clustered | Executor::Parallel => None,
-            Executor::PerProcess | Executor::Socket => Some(1 << 14),
+            Executor::PerProcess => Some(1 << 14),
+            Executor::Socket => Some(1 << 16),
             Executor::Threaded => Some(1 << 12),
         }
     }
@@ -696,9 +699,10 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("threaded"));
-        // The socket executor caps at per-process sizes (it holds the
-        // same n distinct views, sharded over a few workers).
-        let too_big = (1 << 14) + 1;
+        // The socket executor clusters views by delivery history, so it
+        // outgrows the per-process cap; the wire-traffic cap at 2^16
+        // still rejects larger systems.
+        let too_big = (1 << 16) + 1;
         let err = Scenario::failure_free(Algorithm::BilBase, too_big)
             .on_executor(Executor::Socket)
             .run(0)
@@ -730,15 +734,16 @@ mod tests {
         for suggested in ["clustered", "per-process", "parallel", "socket"] {
             assert!(err.contains(suggested), "missing {suggested}: {err}");
         }
-        // Socket at 2^14 + 1: every capped executor is out; only the
+        // Socket at 2^16 + 1: every capped executor is out; only the
         // unbounded two may be suggested.
         let err = ScenarioError::ExecutorInfeasible {
             executor: Executor::Socket,
-            n: (1 << 14) + 1,
-            max_n: 1 << 14,
+            n: (1 << 16) + 1,
+            max_n: 1 << 16,
         }
         .to_string();
         assert!(err.contains("the socket executor"), "{err}");
+        assert!(err.contains("its cap is 65536"), "{err}");
         assert!(err.contains("clustered"), "{err}");
         assert!(err.contains("parallel"), "{err}");
         assert!(!err.contains("per-process"), "{err}");

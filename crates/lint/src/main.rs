@@ -32,7 +32,8 @@ fn main() -> ExitCode {
                      Walks every .rs file under the workspace root (default:\n\
                      the enclosing workspace) and enforces the project\n\
                      invariants: determinism, release-mode honesty, no-panic\n\
-                     transports, unsafe containment, and wire exhaustiveness.\n\
+                     transports, unsafe containment, wire exhaustiveness, and\n\
+                     map-free compose/apply hot paths.\n\
                      Exits 0 when clean, 1 on findings, 2 on usage errors.\n\
                      \n\
                      Suppress one finding with\n\

@@ -21,6 +21,12 @@
 //! * [`CAST_TRUNCATION`] — decode paths never narrow attacker-controlled
 //!   integers with a bare `as` cast; they use `try_from` (or carry an
 //!   explicit pragma) so hostile lengths fail loudly.
+//! * [`HOT_PATH_MAPS`] — the per-round hot path (`compose`/`apply` and
+//!   their per-ball helpers in `bil-core`) works over the SoA columns;
+//!   constructing a `BTreeMap`/`HashMap` there reintroduces the
+//!   O(n log n)-per-round regime the columnar kernel removed. Boundary
+//!   code (init, epoch seeding, commit bookkeeping) lives in other
+//!   functions or carries a pragma.
 //!
 //! Findings can be suppressed, one line at a time, with
 //! `// bil-lint: allow(<rule>): <justification>` on the offending line
@@ -45,6 +51,8 @@ pub const UNSAFE_CODE: &str = "unsafe-code";
 pub const WIRE_EXHAUSTIVE: &str = "wire-exhaustive";
 /// Bare narrowing `as` cast on a decode path.
 pub const CAST_TRUNCATION: &str = "cast-truncation";
+/// Map/set construction inside the per-round compose/apply hot path.
+pub const HOT_PATH_MAPS: &str = "hot-path-maps";
 /// A pragma that suppressed nothing (not itself suppressible).
 pub const UNUSED_ALLOW: &str = "unused-allow";
 
@@ -56,6 +64,7 @@ pub const ALL_RULES: &[&str] = &[
     UNSAFE_CODE,
     WIRE_EXHAUSTIVE,
     CAST_TRUNCATION,
+    HOT_PATH_MAPS,
 ];
 
 /// Crate `src/` trees whose non-test code must be deterministic: these
@@ -121,6 +130,19 @@ const DECODE_FILES: &[&str] = &["crates/runtime/src/frame.rs", "crates/runtime/s
 /// an attacker-controlled `u64`.
 const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
 
+/// Files containing the per-round protocol hot path.
+const HOT_PATH_FILES: &[&str] = &["crates/core/src/protocol.rs", "crates/core/src/epoch.rs"];
+
+/// Functions that run once per ball per round: the SoA round kernel.
+/// `compose`/`apply` are the `ViewProtocol` entry points;
+/// `index_messages` is the per-round inbox join.
+const HOT_PATH_FNS: &[&str] = &["compose", "apply", "index_messages"];
+
+/// Ordered-map/set (and hash-map/set) type names whose *appearance*
+/// inside a hot function marks per-round construction or lookups that
+/// the columnar kernel exists to avoid.
+const MAP_TOKENS: &[&str] = &["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
+
 /// The enum whose variants must all be fixture-pinned, and where.
 const WIRE_ENUM_FILE: &str = "crates/core/src/messages.rs";
 const WIRE_ENUM_NAME: &str = "BilMsg";
@@ -169,6 +191,7 @@ pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
         check_no_panic(path, s, &mut findings);
         check_unsafe(path, content, s, &mut findings);
         check_cast_truncation(path, s, &mut findings);
+        check_hot_path_maps(path, s, &mut findings);
     }
     check_wire_exhaustive(&stripped, &mut findings);
 
@@ -418,6 +441,40 @@ fn check_cast_truncation(path: &str, s: &Stripped, findings: &mut Vec<Finding>) 
                 CAST_TRUNCATION,
                 format!("bare `as {target}` on decode path `{name}`: a hostile length can truncate silently; use `try_from` and reject with a `WireError`"),
             );
+        }
+    }
+}
+
+fn check_hot_path_maps(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&path) {
+        return;
+    }
+    let spans = fn_spans(&s.code);
+    for token in MAP_TOKENS {
+        for off in word_occurrences(&s.code, token) {
+            let line = s.line_of(off);
+            if s.is_test_line(line) {
+                continue;
+            }
+            // Innermost enclosing fn decides whether this is hot-path
+            // code; maps in boundary functions (init, epoch seeding,
+            // commit bookkeeping) are fine.
+            let enclosing = spans
+                .iter()
+                .filter(|(_, start, end)| (*start..*end).contains(&off))
+                .max_by_key(|(_, start, _)| *start);
+            let Some((name, _, _)) = enclosing else {
+                continue;
+            };
+            if HOT_PATH_FNS.contains(&name.as_str()) {
+                push(
+                    findings,
+                    path,
+                    line,
+                    HOT_PATH_MAPS,
+                    format!("`{token}` inside hot function `{name}`: the per-round path must stay a columnar sweep (SoA columns + sorted-slice merge-join); keep map construction at init/epoch/commit boundaries or justify with a pragma"),
+                );
+            }
         }
     }
 }

@@ -6,8 +6,8 @@
 //! [`bil_lint::lint_sources`] exactly as the binary would.
 
 use bil_lint::rules::{
-    lint_sources, Finding, CAST_TRUNCATION, DETERMINISM, NO_PANIC, RELEASE_HONESTY, UNSAFE_CODE,
-    UNUSED_ALLOW, WIRE_EXHAUSTIVE,
+    lint_sources, Finding, CAST_TRUNCATION, DETERMINISM, HOT_PATH_MAPS, NO_PANIC, RELEASE_HONESTY,
+    UNSAFE_CODE, UNUSED_ALLOW, WIRE_EXHAUSTIVE,
 };
 
 fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
@@ -276,6 +276,60 @@ fn cast_truncation_covers_get_prefixed_fns_and_pragma_suppresses() {
         "fn get_blob(len: u64) -> usize {\n    // bil-lint: allow(cast-truncation): bounded by MAX_FRAME_LEN above\n    len as usize\n}\n",
     )]);
     assert!(suppressed.is_empty(), "unexpected: {suppressed:?}");
+}
+
+// -------------------------------------------------------------- hot-path-maps
+
+#[test]
+fn hot_path_maps_flags_map_construction_in_apply() {
+    // `BTreeMap` in `apply` is per-round map construction; the same map
+    // in `init_view` is boundary code and stays clean.
+    let findings = lint(&[(
+        "crates/core/src/protocol.rs",
+        "use std::collections::BTreeMap;\n\
+         fn init_view() { let _m: BTreeMap<u64, u64> = BTreeMap::new(); }\n\
+         fn apply(n: usize) {\n    let _m: BTreeMap<u64, u64> = BTreeMap::new();\n}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![HOT_PATH_MAPS, HOT_PATH_MAPS]);
+    assert_eq!(findings[0].line, 4);
+    assert!(findings[0].message.contains("hot function `apply`"));
+}
+
+#[test]
+fn hot_path_maps_ignores_other_files_fns_and_test_code() {
+    let findings = lint(&[
+        // Same construction outside the hot files: clean.
+        (
+            "crates/runtime/src/scratch.rs",
+            "use std::collections::BTreeMap;\nfn apply() { let _m: BTreeMap<u8, u8> = BTreeMap::new(); }\n",
+        ),
+        // Non-hot functions in a hot file: clean.
+        (
+            "crates/core/src/epoch.rs",
+            "use std::collections::BTreeSet;\nfn seed_epoch() { let _s: BTreeSet<u8> = BTreeSet::new(); }\n",
+        ),
+        // Test regions in a hot file: clean.
+        (
+            "crates/core/src/protocol.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::BTreeMap;\n    fn apply() { let _m: BTreeMap<u8, u8> = BTreeMap::new(); }\n}\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn hot_path_maps_pragma_suppresses_at_a_boundary() {
+    let findings = lint(&[(
+        "crates/core/src/epoch.rs",
+        "use std::collections::BTreeMap;\n\
+         fn apply(epoch_boundary: bool) {\n\
+             if epoch_boundary {\n\
+                 // bil-lint: allow(hot-path-maps): epoch seeding runs once per epoch, not per round\n\
+                 let _m: BTreeMap<u64, u64> = BTreeMap::new();\n\
+             }\n\
+         }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
 }
 
 // --------------------------------------------------------------- unused-allow

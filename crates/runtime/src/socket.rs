@@ -10,6 +10,14 @@
 //! "thread per process" to "a few workers, each simulating a cluster of
 //! processes", the same shape a multi-host deployment would have.
 //!
+//! Within a worker, slots **share views by delivery history** (the same
+//! signature-refined partition the clustered engine uses): all slots
+//! start from one `init_view` cluster and split off only when a partial
+//! delivery hands them a different inbox than the rest of their cluster.
+//! A failure-free run therefore materializes exactly one view per worker
+//! regardless of `n`, which is what lets this executor run at n = 2^16
+//! and beyond instead of the former per-slot-view 2^14 ceiling.
+//!
 //! The shared [`RoundPipeline`] remains the single round loop: it plays
 //! the strong adaptive adversary, plans deliveries (including the partial
 //! deliveries of dying broadcasts), and does all accounting, while
@@ -181,11 +189,73 @@ impl From<WireError> for WorkerFault {
     }
 }
 
-/// Per-slot worker state: label, private view, private RNG stream.
-struct Proc<P: ViewProtocol> {
+/// One shared view inside a worker: all member slots have witnessed the
+/// same delivery history, and views are pure functions of that history,
+/// so one materialized view stands for every member. Failure-free runs
+/// keep a single cluster per worker for the whole run — O(1) views per
+/// worker instead of one per slot, which is what makes n = 2^16 and
+/// beyond feasible on this executor.
+struct ViewCluster<V> {
+    view: V,
+    members: usize,
+}
+
+/// Per-slot worker state: label, private RNG stream, and the slot's
+/// current view cluster. The view itself lives in [`WorkerState::clusters`].
+struct Proc {
     label: Label,
-    view: P::View,
     rng: rand::rngs::SmallRng,
+    cluster: usize,
+}
+
+/// A worker's slots plus the view clusters they share. Mirrors the
+/// clustered engine's signature-refined partition: slots start in one
+/// cluster and split off only when a round delivers them a different
+/// inbox signature than the rest of their cluster (partial deliveries of
+/// dying broadcasts).
+struct WorkerState<P: ViewProtocol> {
+    procs: BTreeMap<u64, Proc>,
+    /// Cluster slab; `None` entries are free slots kept for reuse.
+    clusters: Vec<Option<ViewCluster<P::View>>>,
+    free: Vec<usize>,
+}
+
+impl<P: ViewProtocol> WorkerState<P> {
+    fn cluster(&self, index: usize) -> &ViewCluster<P::View> {
+        // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
+        self.clusters[index].as_ref().expect("live cluster")
+    }
+
+    fn cluster_mut(&mut self, index: usize) -> &mut ViewCluster<P::View> {
+        // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
+        self.clusters[index].as_mut().expect("live cluster")
+    }
+
+    fn alloc(&mut self, view: P::View, members: usize) -> usize {
+        let entry = Some(ViewCluster { view, members });
+        match self.free.pop() {
+            Some(i) => {
+                self.clusters[i] = entry;
+                i
+            }
+            None => {
+                self.clusters.push(entry);
+                self.clusters.len() - 1
+            }
+        }
+    }
+
+    fn leave(&mut self, index: usize, count: usize) {
+        let c = self.cluster_mut(index);
+        debug_assert!(c.members >= count);
+        c.members -= count;
+        if c.members == 0 {
+            // Drop the view eagerly: a fragmented run's dead clusters
+            // must release their trees, not linger until exit.
+            self.clusters[index] = None;
+            self.free.push(index);
+        }
+    }
 }
 
 /// The body of one worker thread: connect back to the coordinator,
@@ -208,19 +278,30 @@ fn worker_main<P>(
     let _ = stream.set_read_timeout(io_timeout);
     let _ = stream.set_write_timeout(io_timeout);
 
-    let mut procs: BTreeMap<u64, Proc<P>> = slots
+    // Every slot starts from the same `init_view(n)` with an empty
+    // delivery history: one shared cluster for the whole worker.
+    let members = slots.len();
+    let procs: BTreeMap<u64, Proc> = slots
         .into_iter()
         .map(|(slot, label)| {
             (
                 slot as u64,
                 Proc {
                     label,
-                    view: proto.init_view(n),
                     rng: seeds.process_rng(ProcId(slot)),
+                    cluster: 0,
                 },
             )
         })
         .collect();
+    let mut state = WorkerState::<P> {
+        procs,
+        clusters: vec![Some(ViewCluster {
+            view: proto.init_view(n),
+            members,
+        })],
+        free: Vec::new(),
+    };
 
     let mut hello = BytesMut::new();
     put_varint(&mut hello, tag::HELLO);
@@ -239,7 +320,7 @@ fn worker_main<P>(
         else {
             return;
         };
-        match serve_command::<P>(&proto, &mut procs, frame) {
+        match serve_command::<P>(&proto, &mut state, frame) {
             Ok(Some(response)) => {
                 if write_frame(&mut stream, &response).is_err() {
                     return;
@@ -272,7 +353,7 @@ fn worker_main<P>(
 #[allow(clippy::type_complexity)]
 fn serve_command<P>(
     proto: &P,
-    procs: &mut BTreeMap<u64, Proc<P>>,
+    state: &mut WorkerState<P>,
     frame: Bytes,
 ) -> Result<Option<BytesMut>, Option<WorkerFault>>
 where
@@ -286,7 +367,7 @@ where
         tag::COMPOSE => {
             let round = Round(get_varint(&mut buf).map_err(wire)?);
             let count = get_varint(&mut buf).map_err(wire)?;
-            if count > procs.len() as u64 {
+            if count > state.procs.len() as u64 {
                 return Err(wire(WireError::LengthOverflow(count)));
             }
             let mut rsp = BytesMut::new();
@@ -294,10 +375,15 @@ where
             put_varint(&mut rsp, count);
             for _ in 0..count {
                 let slot = get_varint(&mut buf).map_err(wire)?;
-                let Some(proc) = procs.get_mut(&slot) else {
+                let Some(proc) = state.procs.get_mut(&slot) else {
                     return Err(fault(WorkerFault::BadSlot(slot)));
                 };
-                let msg = proto.compose(&proc.view, proc.label, round, &mut proc.rng);
+                let view = &state.clusters[proc.cluster]
+                    .as_ref()
+                    // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
+                    .expect("slots always point at live clusters")
+                    .view;
+                let msg = proto.compose(view, proc.label, round, &mut proc.rng);
                 put_varint(&mut rsp, slot);
                 put_blob(&mut rsp, &msg.to_bytes());
             }
@@ -306,13 +392,13 @@ where
         tag::DELIVER => {
             let round = Round(get_varint(&mut buf).map_err(wire)?);
             let groups = get_varint(&mut buf).map_err(wire)?;
-            if groups > procs.len() as u64 {
+            if groups > state.procs.len() as u64 {
                 return Err(wire(WireError::LengthOverflow(groups)));
             }
             let mut statuses: Vec<(u64, Status)> = Vec::new();
             for _ in 0..groups {
                 let dst_count = get_varint(&mut buf).map_err(wire)?;
-                if dst_count > procs.len() as u64 {
+                if dst_count > state.procs.len() as u64 {
                     return Err(wire(WireError::LengthOverflow(dst_count)));
                 }
                 let mut dsts = Vec::with_capacity(dst_count as usize);
@@ -329,14 +415,44 @@ where
                     inbox.push((label, msg));
                 }
                 let inbox = InboxBuf::from_pairs(inbox);
-                // One decoded inbox shared by every recipient with this
-                // delivery signature.
+                // All recipients of this group share one delivery
+                // signature. Partition them by current cluster: a cluster
+                // fully contained in the group applies the inbox once, in
+                // place; a partially-covered cluster splits — the covered
+                // slots move to a fresh cluster (cloned view) that then
+                // applies once. Views are pure functions of delivery
+                // history, so the shared result is exactly what per-slot
+                // application would have produced.
+                let mut by_cluster: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
                 for slot in dsts {
-                    let Some(proc) = procs.get_mut(&slot) else {
+                    let Some(proc) = state.procs.get(&slot) else {
                         return Err(fault(WorkerFault::BadSlot(slot)));
                     };
-                    proto.apply(&mut proc.view, round, inbox.as_inbox());
-                    statuses.push((slot, proto.status(&proc.view, proc.label, round)));
+                    by_cluster.entry(proc.cluster).or_default().push(slot);
+                }
+                for (ci, members) in by_cluster {
+                    let target = if members.len() == state.cluster(ci).members {
+                        ci
+                    } else {
+                        let view = state.cluster(ci).view.clone();
+                        state.leave(ci, members.len());
+                        let nci = state.alloc(view, members.len());
+                        for slot in &members {
+                            // bil-lint: allow(no-panic): `members` was just drawn from `state.procs`; no wire input involved
+                            state
+                                .procs
+                                .get_mut(slot)
+                                .expect("partitioned above")
+                                .cluster = nci;
+                        }
+                        nci
+                    };
+                    proto.apply(&mut state.cluster_mut(target).view, round, inbox.as_inbox());
+                    let view = &state.cluster(target).view;
+                    for slot in members {
+                        let label = state.procs[&slot].label;
+                        statuses.push((slot, proto.status(view, label, round)));
+                    }
                 }
             }
             statuses.sort_by_key(|(s, _)| *s);
@@ -357,7 +473,9 @@ where
         }
         tag::RETIRE => {
             let slot = get_varint(&mut buf).map_err(wire)?;
-            procs.remove(&slot);
+            if let Some(proc) = state.procs.remove(&slot) {
+                state.leave(proc.cluster, 1);
+            }
             None
         }
         tag::EXIT => return Err(None),

@@ -48,6 +48,6 @@ mod local;
 mod path;
 mod topology;
 
-pub use local::{InvariantViolation, LocalTree};
+pub use local::{InvariantViolation, LocalTree, OrderedBall};
 pub use path::{CoinRule, PackedPath, PathNodes, MAX_PATH_LEN};
 pub use topology::{AncestorsInclusive, NodeId, Topology, TreeError, MAX_LEAVES, ROOT};

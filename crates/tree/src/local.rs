@@ -5,14 +5,24 @@
 //! current position of each ball, including itself"*, with operations
 //! `Remove`, `CurrentNode`, `UpdateNode`, `OrderedBalls` (the priority
 //! order `<R`), and `RemainingCapacity`. [`LocalTree`] implements exactly
-//! those, maintaining three mutually-consistent indexes:
+//! those — in structure-of-arrays form, so the per-round operations are
+//! array reads and writes instead of tree-map traversals:
 //!
-//! * `pos` — ball → node (the source of truth; equality of views is
-//!   equality of `pos`),
+//! * the **label column** — all labels this view has ever admitted,
+//!   sorted ascending ([`LocalTree::label_column`]) — paired with the
+//!   **node column** ([`LocalTree::node_column`]): `node_column[s]` is
+//!   the current node of `label_column[s]`, or `0` for a *vacant* slot
+//!   (a removed ball). Slots are stable: removal marks the slot vacant
+//!   in place, and re-admission (crash-echo paths) revives it, so the
+//!   only operation that ever renumbers slots is the insertion of a
+//!   brand-new label out of order ([`LocalTree::shift_generation`]);
 //! * `balls_in` — node → number of balls in its *subtree* (for `O(1)`
-//!   remaining-capacity queries),
-//! * `at` — node → sorted list of balls exactly *at* it (for rank queries
-//!   and `OrderedBalls`).
+//!   remaining-capacity queries), as a dense per-node column;
+//! * the **at-lists** — for rank queries, an intrusive doubly-linked
+//!   list per node threading the slots positioned exactly there
+//!   (`at_head`/`at_next`/`at_prev`), plus a dense `at_count` column.
+//!   List order is arbitrary and never observable: every consumer
+//!   counts, sorts, or tests membership.
 //!
 //! The central safety invariant (the paper's Lemma 1) — **no subtree ever
 //! holds more balls than it has leaves** — is enforced by
@@ -26,6 +36,12 @@ use std::fmt;
 use bil_runtime::Label;
 
 use crate::topology::{NodeId, Topology, TreeError, ROOT};
+
+/// Intrusive-list terminator / absent-slot marker.
+const NIL: u32 = u32::MAX;
+
+/// The node column's vacant-slot marker (`0` is never a valid node).
+const VACANT: NodeId = 0;
 
 /// A detected breach of the tree's internal invariants. Seeing one of
 /// these means a bug in the algorithm or the engine, never a recoverable
@@ -50,6 +66,20 @@ impl fmt::Display for InvariantViolation {
 
 impl Error for InvariantViolation {}
 
+/// One entry of the priority order `<R`, as produced by
+/// [`LocalTree::priority_order_into`]: the ball, its label-column slot
+/// at snapshot time, and its depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderedBall {
+    /// Depth of the ball's node at snapshot time (root = 0).
+    pub depth: u32,
+    /// The ball's slot in the label column at snapshot time. Stale if
+    /// [`LocalTree::shift_generation`] has advanced since.
+    pub slot: u32,
+    /// The ball's label.
+    pub ball: Label,
+}
+
 /// A ball's local view of the capacity tree.
 ///
 /// # Examples
@@ -69,12 +99,26 @@ pub struct LocalTree {
     topo: Topology,
     /// Balls in the subtree rooted at each node (index = `NodeId`).
     balls_in: Vec<u32>,
-    /// Ball → current node.
-    pos: BTreeMap<Label, NodeId>,
-    /// Node → balls exactly at it, sorted by label.
-    at: BTreeMap<NodeId, Vec<Label>>,
+    /// Every label ever admitted, sorted ascending (slot = index).
+    labels: Vec<Label>,
+    /// Slot → current node, or [`VACANT`] for a removed ball.
+    node_of: Vec<NodeId>,
+    /// Number of live (non-vacant) slots.
+    live: usize,
+    /// Balls exactly at each node (index = `NodeId`).
+    at_count: Vec<u32>,
+    /// Head slot of each node's intrusive at-list (index = `NodeId`).
+    at_head: Vec<u32>,
+    /// Per-slot at-list forward links.
+    at_next: Vec<u32>,
+    /// Per-slot at-list backward links.
+    at_prev: Vec<u32>,
     /// Number of balls currently at internal (non-leaf) nodes.
     at_internal: u32,
+    /// Bumped whenever existing slots are renumbered (out-of-order
+    /// insertion of a brand-new label). See
+    /// [`LocalTree::shift_generation`].
+    shift_gen: u64,
     /// Leaves this view's owner must never route toward (see
     /// [`LocalTree::block_leaf`]). Usually empty.
     blocked: BTreeSet<NodeId>,
@@ -82,8 +126,15 @@ pub struct LocalTree {
 
 impl PartialEq for LocalTree {
     fn eq(&self, other: &Self) -> bool {
-        // `balls_in`, `at`, and `at_internal` are derived from `pos`.
-        self.topo == other.topo && self.pos == other.pos && self.blocked == other.blocked
+        // Equality is positional: same shape, same live (ball, node)
+        // pairs, same blocked set. Vacant slots and `shift_gen` are
+        // history, not state — two views that witnessed different
+        // removals but hold the same balls still compare equal (and may
+        // share a cluster). All other columns are derived.
+        self.topo == other.topo
+            && self.blocked == other.blocked
+            && self.live == other.live
+            && self.balls().eq(other.balls())
     }
 }
 
@@ -95,9 +146,15 @@ impl LocalTree {
         LocalTree {
             topo,
             balls_in: vec![0; topo.node_slots()],
-            pos: BTreeMap::new(),
-            at: BTreeMap::new(),
+            labels: Vec::new(),
+            node_of: Vec::new(),
+            live: 0,
+            at_count: vec![0; topo.node_slots()],
+            at_head: vec![NIL; topo.node_slots()],
+            at_next: Vec::new(),
+            at_prev: Vec::new(),
             at_internal: 0,
+            shift_gen: 0,
             blocked: BTreeSet::new(),
         }
     }
@@ -173,27 +230,138 @@ impl LocalTree {
 
     /// Number of balls in the view.
     pub fn len(&self) -> usize {
-        self.pos.len()
+        self.live
     }
 
     /// `true` if the view holds no balls.
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.live == 0
     }
 
     /// `true` if the view contains `ball`.
     pub fn contains(&self, ball: Label) -> bool {
-        self.pos.contains_key(&ball)
+        self.slot_of(ball).is_some()
     }
 
     /// Current node of `ball` (`CurrentNode` in the paper).
     pub fn current_node(&self, ball: Label) -> Option<NodeId> {
-        self.pos.get(&ball).copied()
+        self.slot_of(ball).map(|s| self.node_of[s])
+    }
+
+    /// The slot of `ball` in the label column, if it is live.
+    pub fn slot_of(&self, ball: Label) -> Option<usize> {
+        match self.labels.binary_search(&ball) {
+            Ok(slot) if self.node_of[slot] != VACANT => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// The sorted label column, including vacant slots (every label this
+    /// view has ever admitted). Paired index-for-index with
+    /// [`LocalTree::node_column`].
+    pub fn label_column(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The node column: `node_column()[s]` is the current node of
+    /// `label_column()[s]`, or `0` for a vacant (removed) slot.
+    pub fn node_column(&self) -> &[NodeId] {
+        &self.node_of
+    }
+
+    /// Bumped whenever existing slots are renumbered — which happens
+    /// only when a brand-new label is inserted *out of order* (crash
+    /// echoes re-introducing a ball this view never admitted). Removal
+    /// and re-admission of a known label keep slots stable. Consumers
+    /// caching slot indexes across mutations must re-resolve when this
+    /// advances.
+    pub fn shift_generation(&self) -> u64 {
+        self.shift_gen
     }
 
     /// Iterate `(ball, node)` pairs in label order.
     pub fn balls(&self) -> impl Iterator<Item = (Label, NodeId)> + '_ {
-        self.pos.iter().map(|(l, n)| (*l, *n))
+        self.labels
+            .iter()
+            .zip(self.node_of.iter())
+            .filter(|(_, n)| **n != VACANT)
+            .map(|(l, n)| (*l, *n))
+    }
+
+    /// Links a vacant `slot` to `node`, maintaining every column.
+    fn link(&mut self, slot: usize, node: NodeId) {
+        debug_assert_eq!(self.node_of[slot], VACANT);
+        self.node_of[slot] = node;
+        self.live += 1;
+        for v in self.topo.ancestors_inclusive(node) {
+            self.balls_in[v as usize] += 1;
+        }
+        self.at_count[node as usize] += 1;
+        let head = self.at_head[node as usize];
+        self.at_next[slot] = head;
+        self.at_prev[slot] = NIL;
+        if head != NIL {
+            self.at_prev[head as usize] = slot as u32;
+        }
+        self.at_head[node as usize] = slot as u32;
+        if !self.topo.is_leaf(node) {
+            self.at_internal += 1;
+        }
+    }
+
+    /// Unlinks a live `slot`, leaving it vacant; returns the node it
+    /// was at.
+    fn unlink(&mut self, slot: usize) -> NodeId {
+        let node = self.node_of[slot];
+        debug_assert_ne!(node, VACANT);
+        self.node_of[slot] = VACANT;
+        self.live -= 1;
+        for v in self.topo.ancestors_inclusive(node) {
+            debug_assert!(self.balls_in[v as usize] > 0);
+            self.balls_in[v as usize] -= 1;
+        }
+        self.at_count[node as usize] -= 1;
+        let (prev, next) = (self.at_prev[slot], self.at_next[slot]);
+        if prev != NIL {
+            self.at_next[prev as usize] = next;
+        } else {
+            self.at_head[node as usize] = next;
+        }
+        if next != NIL {
+            self.at_prev[next as usize] = prev;
+        }
+        self.at_next[slot] = NIL;
+        self.at_prev[slot] = NIL;
+        if !self.topo.is_leaf(node) {
+            self.at_internal -= 1;
+        }
+        node
+    }
+
+    /// Re-threads every at-list from the node column — needed after an
+    /// out-of-order label insertion renumbers slots. Cold by design:
+    /// round-0 admissions arrive in label order (pure pushes), so only
+    /// crash-echo re-introductions ever pay this.
+    fn rebuild_at_lists(&mut self) {
+        for h in self.at_head.iter_mut() {
+            *h = NIL;
+        }
+        for slot in 0..self.labels.len() {
+            self.at_next[slot] = NIL;
+            self.at_prev[slot] = NIL;
+        }
+        for slot in 0..self.labels.len() {
+            let node = self.node_of[slot];
+            if node == VACANT {
+                continue;
+            }
+            let head = self.at_head[node as usize];
+            self.at_next[slot] = head;
+            if head != NIL {
+                self.at_prev[head as usize] = slot as u32;
+            }
+            self.at_head[node as usize] = slot as u32;
+        }
     }
 
     /// Inserts `ball` at `node`.
@@ -206,44 +374,39 @@ impl LocalTree {
         if !self.topo.is_node(node) {
             return Err(TreeError::BadNode(node));
         }
-        if self.pos.contains_key(&ball) {
-            return Err(TreeError::BallExists(ball));
-        }
-        self.pos.insert(ball, node);
-        for v in self.topo.ancestors_inclusive(node) {
-            self.balls_in[v as usize] += 1;
-        }
-        let slot = self.at.entry(node).or_default();
-        let idx = slot.binary_search(&ball).unwrap_err();
-        slot.insert(idx, ball);
-        if !self.topo.is_leaf(node) {
-            self.at_internal += 1;
+        match self.labels.binary_search(&ball) {
+            Ok(slot) => {
+                if self.node_of[slot] != VACANT {
+                    return Err(TreeError::BallExists(ball));
+                }
+                // Revive the vacant slot in place: slots stay stable.
+                self.link(slot, node);
+            }
+            Err(idx) => {
+                self.labels.insert(idx, ball);
+                self.node_of.insert(idx, VACANT);
+                self.at_next.insert(idx, NIL);
+                self.at_prev.insert(idx, NIL);
+                if idx != self.labels.len() - 1 {
+                    // Existing slots above `idx` were renumbered: every
+                    // stored slot index (the at-lists, and any snapshot
+                    // a consumer holds) is stale.
+                    self.rebuild_at_lists();
+                    self.shift_gen += 1;
+                }
+                self.link(idx, node);
+            }
         }
         Ok(())
     }
 
     /// Removes `ball` (`Remove` in the paper), returning the node it was
     /// at, or `None` if absent (removing an already-removed ball is a
-    /// no-op, matching Algorithm 1's idempotent crash handling).
+    /// no-op, matching Algorithm 1's idempotent crash handling). The
+    /// ball's slot goes vacant; it is never renumbered away.
     pub fn remove(&mut self, ball: Label) -> Option<NodeId> {
-        let node = self.pos.remove(&ball)?;
-        for v in self.topo.ancestors_inclusive(node) {
-            debug_assert!(self.balls_in[v as usize] > 0);
-            self.balls_in[v as usize] -= 1;
-        }
-        let slot = self
-            .at
-            .get_mut(&node)
-            .expect("at-list exists for occupied node");
-        let idx = slot.binary_search(&ball).expect("ball in its at-list");
-        slot.remove(idx);
-        if slot.is_empty() {
-            self.at.remove(&node);
-        }
-        if !self.topo.is_leaf(node) {
-            self.at_internal -= 1;
-        }
-        Some(node)
+        let slot = self.slot_of(ball)?;
+        Some(self.unlink(slot))
     }
 
     /// Moves `ball` to `node` unconditionally (`UpdateNode` in the paper;
@@ -257,8 +420,16 @@ impl LocalTree {
         if !self.topo.is_node(node) {
             return Err(TreeError::BadNode(node));
         }
-        self.remove(ball);
-        self.insert(ball, node)
+        match self.slot_of(ball) {
+            Some(slot) => {
+                if self.node_of[slot] != node {
+                    self.unlink(slot);
+                    self.link(slot, node);
+                }
+                Ok(())
+            }
+            None => self.insert(ball, node),
+        }
     }
 
     /// Balls in the subtree rooted at `node`.
@@ -269,12 +440,20 @@ impl LocalTree {
 
     /// Balls exactly at `node`.
     pub fn load_at(&self, node: NodeId) -> u32 {
-        self.at.get(&node).map_or(0, |v| v.len() as u32)
+        debug_assert!(self.topo.is_node(node));
+        self.at_count[node as usize]
     }
 
     /// Balls exactly at `node`, sorted by label.
-    pub fn balls_at(&self, node: NodeId) -> &[Label] {
-        self.at.get(&node).map_or(&[], |v| v.as_slice())
+    pub fn balls_at(&self, node: NodeId) -> Vec<Label> {
+        let mut out = Vec::with_capacity(self.load_at(node) as usize);
+        let mut cur = self.at_head[node as usize];
+        while cur != NIL {
+            out.push(self.labels[cur as usize]);
+            cur = self.at_next[cur as usize];
+        }
+        out.sort_unstable();
+        out
     }
 
     /// `RemainingCapacity(node)`: leaves of the subtree minus balls in the
@@ -359,16 +538,34 @@ impl LocalTree {
     /// The rank of `ball` among the balls at its own node, by label
     /// (0-based). Used by the deterministic descent rules.
     ///
+    /// Cost: `O(1)` for a ball alone at its node and for the
+    /// all-at-one-node configuration (phase 1 of the deterministic
+    /// descents); otherwise one walk of the node's at-list.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::UnknownBall`] if absent.
     pub fn rank_at_node(&self, ball: Label) -> Result<usize, TreeError> {
-        let node = self
-            .current_node(ball)
-            .ok_or(TreeError::UnknownBall(ball))?;
-        let slot = self.balls_at(node);
-        slot.binary_search(&ball)
-            .map_err(|_| TreeError::UnknownBall(ball))
+        let slot = self.slot_of(ball).ok_or(TreeError::UnknownBall(ball))?;
+        let node = self.node_of[slot];
+        let group = self.at_count[node as usize];
+        if group == 1 {
+            return Ok(0);
+        }
+        if group as usize == self.live && self.live == self.labels.len() {
+            // Every ball sits at this node and no slot is vacant: label
+            // order is slot order, so the rank is the slot itself.
+            return Ok(slot);
+        }
+        let mut rank = 0;
+        let mut cur = self.at_head[node as usize];
+        while cur != NIL {
+            if self.labels[cur as usize] < ball {
+                rank += 1;
+            }
+            cur = self.at_next[cur as usize];
+        }
+        Ok(rank)
     }
 
     /// The rank of `ball` among **all** balls in the view, in `<R` order
@@ -388,18 +585,40 @@ impl LocalTree {
             .expect("ball present"))
     }
 
+    /// Snapshots the priority order `<R` (Definition 1) into `out`:
+    /// deeper balls first, ties broken by smaller label; the first entry
+    /// has the highest priority. Allocation-free once `out` has warmed
+    /// to the view's size — the per-round engine path reuses one
+    /// scratch vector per view.
+    ///
+    /// Each entry carries the ball's slot, valid until
+    /// [`LocalTree::shift_generation`] advances.
+    pub fn priority_order_into(&self, out: &mut Vec<OrderedBall>) {
+        out.clear();
+        for (slot, (label, node)) in self.labels.iter().zip(self.node_of.iter()).enumerate() {
+            if *node == VACANT {
+                continue;
+            }
+            out.push(OrderedBall {
+                depth: self.topo.depth(*node),
+                slot: slot as u32,
+                ball: *label,
+            });
+        }
+        // Deeper first (depth descending), then label ascending. Keys
+        // are unique (labels are), so the unstable sort is
+        // deterministic.
+        out.sort_unstable_by(|a, b| b.depth.cmp(&a.depth).then(a.ball.cmp(&b.ball)));
+    }
+
     /// `OrderedBalls()`: all balls sorted by the priority order `<R`
     /// (Definition 1): deeper balls first, ties broken by smaller label.
-    /// The first element has the highest priority.
+    /// The first element has the highest priority. Allocating
+    /// convenience form of [`LocalTree::priority_order_into`].
     pub fn ordered_balls(&self) -> Vec<Label> {
-        let mut out: Vec<(u32, Label)> = self
-            .pos
-            .iter()
-            .map(|(l, n)| (self.topo.depth(*n), *l))
-            .collect();
-        // Deeper first (depth descending), then label ascending.
-        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        out.into_iter().map(|(_, l)| l).collect()
+        let mut order = Vec::new();
+        self.priority_order_into(&mut order);
+        order.into_iter().map(|e| e.ball).collect()
     }
 
     /// `true` if every ball sits on a leaf — Algorithm 1's termination
@@ -412,16 +631,28 @@ impl LocalTree {
     /// with at least one ball. Used by the per-phase experiments
     /// (`bmax`, Lemma 6).
     pub fn occupancy(&self) -> BTreeMap<NodeId, u32> {
-        self.at.iter().map(|(n, v)| (*n, v.len() as u32)).collect()
+        let mut out = BTreeMap::new();
+        for (_, node) in self.balls() {
+            *out.entry(node).or_insert(0) += 1;
+        }
+        out
     }
 
     /// The most populated node and its load — the paper's `bmax(φ)`.
     /// Returns `None` for an empty view.
     pub fn max_load_at(&self) -> Option<(NodeId, u32)> {
-        self.at
-            .iter()
-            .map(|(n, v)| (*n, v.len() as u32))
-            .max_by_key(|(n, c)| (*c, std::cmp::Reverse(*n)))
+        let mut best: Option<(NodeId, u32)> = None;
+        for (_, node) in self.balls() {
+            let count = self.at_count[node as usize];
+            let better = match best {
+                None => true,
+                Some((bn, bc)) => (count, std::cmp::Reverse(node)) > (bc, std::cmp::Reverse(bn)),
+            };
+            if better {
+                best = Some((node, count));
+            }
+        }
+        best
     }
 
     /// All balls positioned on the chain from the root down to `node`
@@ -431,14 +662,14 @@ impl LocalTree {
         debug_assert!(self.topo.is_node(node));
         let mut out = Vec::new();
         for v in self.topo.ancestors_inclusive(node) {
-            out.extend(self.balls_at(v).iter().copied());
+            out.extend(self.balls_at(v));
         }
         out
     }
 
     /// Verifies all internal invariants:
     ///
-    /// 1. the three indexes agree with each other
+    /// 1. the columns and at-lists agree with each other
     ///    ([`LocalTree::validate_consistency`]);
     /// 2. every node's load is within its capacity (the paper's Lemma 1),
     ///    which also implies no ball sits on a phantom (capacity-0) leaf.
@@ -461,63 +692,124 @@ impl LocalTree {
         Ok(())
     }
 
-    /// Verifies that the three internal indexes (`pos`, `balls_in`, `at`)
-    /// agree, without checking capacities. Unlike Lemma 1 — which the
-    /// *algorithm* maintains and raw [`LocalTree::update_node`] calls can
-    /// legitimately breach mid-round — index consistency must hold after
-    /// **every** operation.
+    /// Verifies that the columns (`labels`/`node_of`), the derived
+    /// per-node columns (`balls_in`, `at_count`), and the intrusive
+    /// at-lists agree, without checking capacities. Unlike Lemma 1 —
+    /// which the *algorithm* maintains and raw
+    /// [`LocalTree::update_node`] calls can legitimately breach
+    /// mid-round — index consistency must hold after **every**
+    /// operation.
     ///
     /// # Errors
     ///
     /// Returns a descriptive [`InvariantViolation`] on the first breach.
     pub fn validate_consistency(&self) -> Result<(), InvariantViolation> {
-        // Recompute subtree loads from positions.
-        let mut want = vec![0u32; self.topo.node_slots()];
-        for (l, n) in self.pos.iter() {
-            if !self.topo.is_node(*n) {
-                return Err(InvariantViolation::new(format!(
-                    "ball {l} at invalid node {n}"
-                )));
-            }
-            for v in self.topo.ancestors_inclusive(*n) {
-                want[v as usize] += 1;
-            }
-        }
-        if want != self.balls_in {
+        let slots = self.labels.len();
+        if self.node_of.len() != slots || self.at_next.len() != slots || self.at_prev.len() != slots
+        {
             return Err(InvariantViolation::new(
-                "balls_in index disagrees with positions".into(),
+                "slot columns have unequal lengths".into(),
             ));
         }
-        // at-lists agree with positions.
-        let mut at_count = 0usize;
+        if !self.labels.windows(2).all(|w| w[0] < w[1]) {
+            return Err(InvariantViolation::new(
+                "label column is not strictly sorted".into(),
+            ));
+        }
+        // Recompute every derived per-node column from the node column.
+        let mut want_in = vec![0u32; self.topo.node_slots()];
+        let mut want_at = vec![0u32; self.topo.node_slots()];
+        let mut live = 0usize;
         let mut internal = 0u32;
-        for (n, slot) in &self.at {
-            if !slot.windows(2).all(|w| w[0] < w[1]) {
+        for slot in 0..slots {
+            let node = self.node_of[slot];
+            if node == VACANT {
+                continue;
+            }
+            if !self.topo.is_node(node) {
                 return Err(InvariantViolation::new(format!(
-                    "at-list of node {n} is not sorted/deduped"
+                    "ball {} at invalid node {node}",
+                    self.labels[slot]
                 )));
             }
-            for l in slot {
-                if self.pos.get(l) != Some(n) {
-                    return Err(InvariantViolation::new(format!(
-                        "at-list of node {n} lists ball {l} not positioned there"
-                    )));
-                }
+            live += 1;
+            for v in self.topo.ancestors_inclusive(node) {
+                want_in[v as usize] += 1;
             }
-            at_count += slot.len();
-            if !self.topo.is_leaf(*n) {
-                internal += slot.len() as u32;
+            want_at[node as usize] += 1;
+            if !self.topo.is_leaf(node) {
+                internal += 1;
             }
         }
-        if at_count != self.pos.len() {
+        if want_in != self.balls_in {
             return Err(InvariantViolation::new(
-                "at-lists and positions have different ball counts".into(),
+                "balls_in column disagrees with positions".into(),
             ));
+        }
+        if want_at != self.at_count {
+            return Err(InvariantViolation::new(
+                "at_count column disagrees with positions".into(),
+            ));
+        }
+        if live != self.live {
+            return Err(InvariantViolation::new("live counter out of sync".into()));
         }
         if internal != self.at_internal {
             return Err(InvariantViolation::new(
                 "at_internal counter out of sync".into(),
             ));
+        }
+        // The at-lists: each node's list threads exactly its live slots,
+        // once each, with coherent back-links.
+        let mut seen = vec![false; slots];
+        for node in 1..self.topo.node_slots() as NodeId {
+            let mut cur = self.at_head[node as usize];
+            let mut prev = NIL;
+            let mut count = 0u32;
+            while cur != NIL {
+                let s = cur as usize;
+                if s >= slots || seen[s] {
+                    return Err(InvariantViolation::new(format!(
+                        "at-list of node {node} links slot {cur} twice or out of range"
+                    )));
+                }
+                seen[s] = true;
+                if self.node_of[s] != node {
+                    return Err(InvariantViolation::new(format!(
+                        "at-list of node {node} links ball {} positioned elsewhere",
+                        self.labels[s]
+                    )));
+                }
+                if self.at_prev[s] != prev {
+                    return Err(InvariantViolation::new(format!(
+                        "at-list back-link broken at node {node}, slot {cur}"
+                    )));
+                }
+                prev = cur;
+                cur = self.at_next[s];
+                count += 1;
+            }
+            if count != self.at_count[node as usize] {
+                return Err(InvariantViolation::new(format!(
+                    "at-list of node {node} has {count} members, at_count says {}",
+                    self.at_count[node as usize]
+                )));
+            }
+        }
+        for (slot, seen_in_at_list) in seen.iter().enumerate() {
+            if self.node_of[slot] != VACANT && !seen_in_at_list {
+                return Err(InvariantViolation::new(format!(
+                    "live ball {} is in no at-list",
+                    self.labels[slot]
+                )));
+            }
+            if self.node_of[slot] == VACANT
+                && (self.at_next[slot] != NIL || self.at_prev[slot] != NIL)
+            {
+                return Err(InvariantViolation::new(format!(
+                    "vacant slot {slot} still carries at-list links"
+                )));
+            }
         }
         for leaf in &self.blocked {
             if !self.topo.is_node(*leaf) || !self.topo.is_leaf(*leaf) {
@@ -617,6 +909,24 @@ mod tests {
     }
 
     #[test]
+    fn priority_order_carries_valid_slots() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(30), ROOT).unwrap();
+        t.insert(Label(10), 3).unwrap();
+        t.insert(Label(20), 13).unwrap();
+        let mut order = Vec::new();
+        t.priority_order_into(&mut order);
+        assert_eq!(order.len(), 3);
+        for e in &order {
+            assert_eq!(t.label_column()[e.slot as usize], e.ball);
+            assert_eq!(t.slot_of(e.ball), Some(e.slot as usize));
+            assert_eq!(t.topology().depth(t.current_node(e.ball).unwrap()), e.depth);
+        }
+        // Highest priority first: the leaf ball leads.
+        assert_eq!(order[0].ball, Label(20));
+    }
+
+    #[test]
     fn rank_at_node_and_overall() {
         let mut t = LocalTree::new(topo(8));
         t.insert(Label(3), ROOT).unwrap();
@@ -628,6 +938,23 @@ mod tests {
         assert_eq!(t.rank_overall(Label(2)).unwrap(), 1);
         assert!(t.rank_at_node(Label(9)).is_err());
         assert!(t.rank_overall(Label(9)).is_err());
+    }
+
+    #[test]
+    fn rank_at_node_with_vacant_slots_and_mixed_groups() {
+        // Defeat both fast paths: vacant slots present, several groups.
+        let mut t = LocalTree::new(topo(8));
+        for l in [1u64, 2, 3, 4, 5] {
+            t.insert(Label(l), ROOT).unwrap();
+        }
+        t.remove(Label(2)).unwrap();
+        t.update_node(Label(4), 13).unwrap();
+        // At the root: {1, 3, 5}.
+        assert_eq!(t.rank_at_node(Label(1)).unwrap(), 0);
+        assert_eq!(t.rank_at_node(Label(3)).unwrap(), 1);
+        assert_eq!(t.rank_at_node(Label(5)).unwrap(), 2);
+        assert_eq!(t.rank_at_node(Label(4)).unwrap(), 0);
+        t.validate().unwrap();
     }
 
     #[test]
@@ -683,6 +1010,43 @@ mod tests {
         assert_eq!(a, b);
         a.update_node(Label(1), 4).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_ignores_vacant_slots() {
+        // A view that admitted and removed extra balls equals one that
+        // never saw them: vacant slots are history, not state.
+        let mut a = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(2), Label(3)]);
+        a.remove(Label(2)).unwrap();
+        let b = LocalTree::with_balls_at_root(topo(4), [Label(1), Label(3)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Revival lands back in the same column slot.
+        a.insert(Label(2), 5).unwrap();
+        assert_eq!(a.current_node(Label(2)), Some(5));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_insert_renumbers_and_rebuilds() {
+        let mut t = LocalTree::new(topo(8));
+        t.insert(Label(10), ROOT).unwrap();
+        t.insert(Label(30), 3).unwrap();
+        let gen = t.shift_generation();
+        // In-order (push) and revival inserts keep slots stable …
+        t.insert(Label(40), 13).unwrap();
+        t.remove(Label(30)).unwrap();
+        t.insert(Label(30), 3).unwrap();
+        assert_eq!(t.shift_generation(), gen);
+        // … an out-of-order brand-new label renumbers.
+        t.insert(Label(20), 6).unwrap();
+        assert!(t.shift_generation() > gen);
+        assert_eq!(
+            t.label_column(),
+            &[Label(10), Label(20), Label(30), Label(40)]
+        );
+        assert_eq!(t.rank_at_node(Label(20)).unwrap(), 0);
+        t.validate().unwrap();
     }
 
     #[test]
@@ -805,5 +1169,46 @@ mod tests {
         assert!(LocalTree::with_balls_at(topo(4), [(Label(1), 4), (Label(2), 4)]).is_err());
         // A ball on a phantom leaf (n=3 pads to 4; leaf 7 has capacity 0).
         assert!(LocalTree::with_balls_at(topo(3), [(Label(1), 7)]).is_err());
+    }
+
+    #[test]
+    fn columns_expose_positions_and_vacancies() {
+        let mut t = LocalTree::with_balls_at_root(topo(4), [Label(2), Label(7), Label(9)]);
+        t.update_node(Label(7), 5).unwrap();
+        t.remove(Label(9)).unwrap();
+        assert_eq!(t.label_column(), &[Label(2), Label(7), Label(9)]);
+        assert_eq!(t.node_column(), &[ROOT, 5, 0]);
+        assert_eq!(t.slot_of(Label(7)), Some(1));
+        assert_eq!(t.slot_of(Label(9)), None, "vacant slot is not live");
+        assert_eq!(
+            t.balls().collect::<Vec<_>>(),
+            vec![(Label(2), 1), (Label(7), 5)]
+        );
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn heavy_churn_keeps_columns_consistent() {
+        // Mixed inserts, moves, removals, revivals and out-of-order
+        // admissions, validated after every step.
+        let mut t = LocalTree::new(topo(8));
+        let seq: &[(u64, NodeId)] = &[(12, 1), (4, 2), (20, 3), (8, 6), (16, 13)];
+        for (l, v) in seq {
+            t.insert(Label(*l), *v).unwrap();
+            t.validate_consistency().unwrap();
+        }
+        t.remove(Label(8)).unwrap();
+        t.validate_consistency().unwrap();
+        t.update_node(Label(4), 13).unwrap();
+        t.validate_consistency().unwrap();
+        t.update_node(Label(4), 13).unwrap(); // same-node fast path
+        t.validate_consistency().unwrap();
+        t.insert(Label(8), 7).unwrap(); // revival
+        t.validate_consistency().unwrap();
+        t.insert(Label(5), 2).unwrap(); // out-of-order brand-new label
+        t.validate_consistency().unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.current_node(Label(4)), Some(13));
+        assert_eq!(t.current_node(Label(8)), Some(7));
     }
 }

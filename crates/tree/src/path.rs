@@ -337,13 +337,20 @@ impl LocalTree {
         Ok(PackedPath { leaf: v, len })
     }
 
-    /// The move-walk (Algorithm 1 lines 12–18): removes `ball`, walks it
-    /// down `path` until just before the first subtree with no remaining
-    /// capacity, re-inserts it there, and returns its new node.
+    /// The move-walk (Algorithm 1 lines 12–18): walks `ball` down `path`
+    /// until just before the first subtree with no remaining capacity,
+    /// moves it there in one step, and returns its new node.
     ///
-    /// The ball is removed *first*, so its own vacated slot is available —
-    /// this is what guarantees the walk's first node is always feasible
-    /// and that "there is enough space below to accommodate it" (§4).
+    /// Algorithm 1 removes the ball *first* so its own vacated slot is
+    /// available — that guarantees the walk's first node is always
+    /// feasible and that "there is enough space below to accommodate it"
+    /// (§4). This implementation walks first and moves once at the end,
+    /// which is observably identical: the walk queries capacities only of
+    /// *strict descendants* of the ball's current node, and the ball —
+    /// sitting at the current node itself — is in none of those subtrees,
+    /// so every capacity the walk reads is the same whether or not the
+    /// ball has been removed. Walking first keeps the hot path to a
+    /// single position update (or none, when the ball stays put).
     ///
     /// This is also where network-received paths are re-validated: a
     /// packed pair is accepted only if its implied chain starts at the
@@ -376,9 +383,11 @@ impl LocalTree {
             return Err(TreeError::BadPath("path does not end at a leaf"));
         }
 
-        self.remove(ball).expect("ball present");
+        // With the ball still in place, `load <= capacity` at its own
+        // node is exactly Algorithm 1's "vacated slot makes the start
+        // node feasible" (remove would turn it into `remaining >= 1`).
         debug_assert!(
-            self.remaining_capacity(current) >= 1,
+            self.load(current) <= topo.capacity(current),
             "vacated slot must make the start node feasible"
         );
         let mut idx = 0;
@@ -386,7 +395,10 @@ impl LocalTree {
             idx += 1;
         }
         let dest = path.node_at(idx);
-        self.insert(ball, dest).expect("ball was just removed");
+        if dest != current {
+            self.update_node(ball, dest)
+                .expect("destination is on a validated chain");
+        }
         Ok(dest)
     }
 }
