@@ -15,6 +15,7 @@
 //! ```sh
 //! cargo run --release -p bil-bench --bin round_kernel            # full grid
 //! cargo run --release -p bil-bench --bin round_kernel -- --smoke # CI guard
+//! cargo run --release -p bil-bench --bin round_kernel -- --gate  # CI perf gate
 //! cargo run --release -p bil-bench --bin round_kernel -- --out target/x.json
 //! ```
 //!
@@ -22,6 +23,13 @@
 //! figures, and exits non-zero if the run misbehaves — CI wraps it in a
 //! `timeout` so an accidental O(n log n) regression in the hot path
 //! turns the perf-smoke step red instead of silently landing.
+//!
+//! `--gate` additionally compares the measured ns/ball-round against
+//! the committed `BENCH_round_kernel.json` row for the same cell and
+//! fails beyond a generous [`GATE_TOLERANCE`]× — wide enough to absorb
+//! shared-runner noise, tight enough that an accidental return to the
+//! per-round map-building regime (a ≥5× swing in PR 7's measurements)
+//! cannot land green.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,13 +43,22 @@ const ROUNDS: u64 = 4;
 /// Smoke-mode kernel size: the ≥2× acceptance point of the SoA refactor.
 const SMOKE_N: usize = 1 << 16;
 
+/// How many × slower than the committed snapshot the gated cell may
+/// measure before `--gate` fails.
+const GATE_TOLERANCE: f64 = 2.5;
+
 fn main() -> ExitCode {
     let mut out = report::default_path();
     let mut smoke = false;
+    let mut gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--gate" => {
+                smoke = true;
+                gate = true;
+            }
             "--out" => match args.next() {
                 Some(p) => out = PathBuf::from(p),
                 None => {
@@ -66,6 +83,39 @@ fn main() -> ExitCode {
         // expiring; a zero/NaN figure means the measurement itself broke.
         if !row.rounds_per_sec.is_finite() || row.rounds_per_sec <= 0.0 {
             return ExitCode::FAILURE;
+        }
+        if gate {
+            let baseline = Report::load(&out);
+            let committed = baseline
+                .rows()
+                .iter()
+                .find(|r| r.bench == row.bench && r.n == row.n && r.executor == row.executor);
+            match committed {
+                None => {
+                    // A missing row means the snapshot predates this
+                    // cell; warn rather than block unrelated PRs.
+                    println!(
+                        "round_kernel gate: no committed row for n={} {} in {}; skipping comparison",
+                        row.n,
+                        row.executor,
+                        out.display()
+                    );
+                }
+                Some(committed) => {
+                    let limit = committed.ns_per_ball_round * GATE_TOLERANCE;
+                    println!(
+                        "round_kernel gate: {:.1} ns/ball-round measured vs {:.1} committed (limit {:.1} = {GATE_TOLERANCE}x)",
+                        row.ns_per_ball_round, committed.ns_per_ball_round, limit
+                    );
+                    if row.ns_per_ball_round > limit {
+                        eprintln!(
+                            "round_kernel gate: FAIL — regression beyond {GATE_TOLERANCE}x; if intentional, re-run the full grid and commit the new {}",
+                            out.display()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }

@@ -79,6 +79,7 @@ fn priority_winner(contenders: &[(ProcId, Label, NodeId)]) -> (ProcId, Label, No
     *contenders
         .iter()
         .min_by_key(|(_, label, start)| (std::cmp::Reverse(depth_of(*start)), *label))
+        // bil-lint: allow(hot-path-panic): callers only pass contender sets built from a non-empty leaf group
         .expect("non-empty contender set")
 }
 

@@ -286,6 +286,7 @@ impl BilView {
             // this may cause are resolved by the eviction machinery.
             self.tree
                 .update_node(ball, leaf)
+                // bil-lint: allow(hot-path-panic): `leaf` passed `is_leaf` validation above; no wire input reaches here unchecked
                 .expect("leaf validated above");
         }
         self.committed.insert(
@@ -410,6 +411,7 @@ impl ViewProtocol for BallsIntoLeaves {
                 // a leaf whose name may already have been decided.
                 let needed = match self.cfg.path_rule {
                     PathRule::DeterministicRank => {
+                        // bil-lint: allow(hot-path-panic): `compose` is only called for balls in this view's tree
                         tree.rank_at_node(ball).expect("ball in own view") as u32
                     }
                     _ => 0,
@@ -440,6 +442,7 @@ impl ViewProtocol for BallsIntoLeaves {
                 }
                 PathRule::DeterministicRank => tree.rank_slot_path(ball),
             };
+            // bil-lint: allow(hot-path-panic): the routable_below guard above ensures a slot path exists
             BilMsg::Path(path.expect("ball is in its own view with capacity below"))
         } else {
             let mut node = node;
@@ -512,6 +515,7 @@ impl ViewProtocol for BallsIntoLeaves {
                         .tree
                         .label_column()
                         .binary_search(&e.ball)
+                        // bil-lint: allow(hot-path-panic): labels are never deleted from the column, so every snapshot ball resolves
                         .expect("snapshot labels stay in the column")
                         as u32;
                 }

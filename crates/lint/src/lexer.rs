@@ -19,6 +19,14 @@ pub struct Pragma {
     pub line: usize,
     /// The rule name inside `allow(...)`, verbatim.
     pub rule: String,
+    /// Whether the pragma carries the `fn` scope token
+    /// (`allow(<rule>, fn)`): it suppresses findings for the whole body
+    /// of the `fn` declared directly below it.
+    pub fn_scope: bool,
+    /// Whether a non-empty justification follows the closing paren
+    /// (`allow(<rule>): <why>`). Unjustified pragmas suppress nothing
+    /// and are themselves reported.
+    pub justified: bool,
 }
 
 /// A source file after lexical stripping.
@@ -87,6 +95,14 @@ pub fn strip(src: &str) -> Stripped {
                 parse_pragmas(&comment, line, &mut pragmas);
                 comment.clear();
                 state = State::Code;
+            }
+            // A backslash directly before a newline is a string
+            // continuation: the escape consumes the newline itself, so
+            // the next character is *not* escaped (`"\` + newline + `"`
+            // closes the string). Leaving the escape flag set would keep
+            // the string open and desync everything after it.
+            if state == State::Str(true) {
+                state = State::Str(false);
             }
             code.push(b'\n');
             line += 1;
@@ -255,7 +271,10 @@ fn is_ident_byte(b: u8) -> bool {
 ///
 /// The pragma must be the *start* of the comment text (as in
 /// `code(); // bil-lint: allow(x): why`), so doc comments and prose that
-/// merely mention the syntax mid-sentence are not pragmas.
+/// merely mention the syntax mid-sentence are not pragmas. A trailing
+/// `fn` token inside the parens (`allow(rule, fn)`) marks the pragma
+/// function-scoped rather than naming a rule, and a non-empty text after
+/// `): ` is the justification.
 fn parse_pragmas(comment: &str, line: usize, out: &mut Vec<Pragma>) {
     let trimmed = comment.trim_start();
     if !trimmed.starts_with("bil-lint:") {
@@ -269,14 +288,26 @@ fn parse_pragmas(comment: &str, line: usize, out: &mut Vec<Pragma>) {
     let Some(close) = rest.find(')') else {
         return;
     };
-    for rule in rest[..close].split(',') {
-        let rule = rule.trim();
-        if !rule.is_empty() {
-            out.push(Pragma {
-                line,
-                rule: rule.to_string(),
-            });
+    let justified = rest[close + 1..]
+        .trim_start()
+        .strip_prefix(':')
+        .is_some_and(|why| !why.trim().is_empty());
+    let tokens: Vec<&str> = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    let fn_scope = tokens.contains(&"fn");
+    for rule in tokens {
+        if rule == "fn" {
+            continue;
         }
+        out.push(Pragma {
+            line,
+            rule: rule.to_string(),
+            fn_scope,
+            justified,
+        });
     }
 }
 
@@ -436,18 +467,47 @@ mod tests {
             vec![
                 Pragma {
                     line: 1,
-                    rule: "no-panic".into()
+                    rule: "no-panic".into(),
+                    fn_scope: false,
+                    justified: true,
                 },
                 Pragma {
                     line: 2,
-                    rule: "determinism".into()
+                    rule: "determinism".into(),
+                    fn_scope: false,
+                    justified: false,
                 },
                 Pragma {
                     line: 2,
-                    rule: "unsafe-code".into()
+                    rule: "unsafe-code".into(),
+                    fn_scope: false,
+                    justified: false,
                 },
             ]
         );
+    }
+
+    #[test]
+    fn fn_scope_pragmas_are_parsed() {
+        let src = "// bil-lint: allow(no-panic, fn): whole body is validated\nfn f() {}\n";
+        let s = strip(src);
+        assert_eq!(
+            s.pragmas,
+            vec![Pragma {
+                line: 1,
+                rule: "no-panic".into(),
+                fn_scope: true,
+                justified: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_justification_is_not_justified() {
+        let src = "// bil-lint: allow(no-panic):   \n";
+        let s = strip(src);
+        assert_eq!(s.pragmas.len(), 1);
+        assert!(!s.pragmas[0].justified);
     }
 
     #[test]
@@ -491,5 +551,89 @@ mod tests {
         assert_eq!(s.line_of(0), 1);
         assert_eq!(s.line_of(2), 2);
         assert_eq!(s.line_of(5), 3);
+    }
+
+    /// Blanking must preserve byte length and newline positions exactly,
+    /// or every downstream `file:line` diagnostic desyncs.
+    fn assert_offsets_preserved(src: &str) {
+        let s = strip(src);
+        assert_eq!(s.code.len(), src.len(), "length changed for {src:?}");
+        let src_newlines: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter_map(|(i, b)| (b == b'\n').then_some(i))
+            .collect();
+        let out_newlines: Vec<usize> = s
+            .code
+            .bytes()
+            .enumerate()
+            .filter_map(|(i, b)| (b == b'\n').then_some(i))
+            .collect();
+        assert_eq!(src_newlines, out_newlines, "newlines moved for {src:?}");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_stay_in_sync() {
+        let src = "/* a /* b /* c */ b */ a */ let x = 1;\n/* /*\n*/ unwrap */ let y = 2;\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let x = 1;"));
+        assert!(s.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_stay_in_sync() {
+        // The `"#` inside the r## string must not close it early.
+        let src = "let a = r##\"panic!(\"#\") .unwrap()\"##; let tail = 3;\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        assert!(!s.code.contains("panic"));
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let tail = 3;"));
+    }
+
+    #[test]
+    fn byte_raw_strings_with_hashes_stay_in_sync() {
+        let src = "let a = br###\"x\"## .expect()\"###; let tail = 4;\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        assert!(!s.code.contains("expect"));
+        assert!(s.code.contains("let tail = 4;"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let src = "let a = r#\"line one\nline .unwrap() two\n\"#;\nlet b = 1; // bil-lint: allow(no-panic): after the raw string\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        assert!(!s.code.contains("unwrap"));
+        // The pragma after the multi-line raw string lands on line 4.
+        assert_eq!(s.pragmas.len(), 1);
+        assert_eq!(s.pragmas[0].line, 4);
+    }
+
+    #[test]
+    fn string_continuation_escape_does_not_swallow_the_closing_quote() {
+        // `"\` + newline + `"` is a complete (empty-ish) string literal:
+        // the escape consumes the newline, so the `"` on the next line
+        // closes it. The code after must survive stripping.
+        let src = "let s = \"\\\n\"; let live = x.unwrap();\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        assert!(
+            s.code.contains(".unwrap("),
+            "code after the string was eaten"
+        );
+    }
+
+    #[test]
+    fn unterminated_nested_comment_blanks_to_eof() {
+        let src = "/* open /* still open */ let a = 1;\nlet b = 2;\n";
+        let s = strip(src);
+        assert_offsets_preserved(src);
+        // Depth never returns to zero: everything stays blanked.
+        assert!(!s.code.contains("let a"));
+        assert!(!s.code.contains("let b"));
     }
 }

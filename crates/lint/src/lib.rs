@@ -17,14 +17,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod schema;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use rules::{lint_sources, Finding};
+pub use rules::{lint_sources, lint_sources_with_lockfile, Finding};
 
 /// Directory names never descended into: build output, VCS metadata.
 const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
@@ -84,10 +87,26 @@ pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let files = collect_sources(root)?;
     let files_checked = files.len();
+    let lockfile = fs::read_to_string(root.join(schema::LOCKFILE)).ok();
     Ok(LintReport {
-        findings: lint_sources(&files),
+        findings: lint_sources_with_lockfile(&files, lockfile.as_deref()),
         files_checked,
     })
+}
+
+/// Regenerates the canonical wire schema from the tree rooted at `root`.
+/// Returns `None` when the tree has no wire layer.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the source walk.
+pub fn emit_schema(root: &Path) -> io::Result<Option<String>> {
+    let files = collect_sources(root)?;
+    let mut stripped: BTreeMap<&str, lexer::Stripped> = BTreeMap::new();
+    for (path, content) in &files {
+        stripped.insert(path.as_str(), lexer::strip(content));
+    }
+    Ok(schema::extract(&stripped))
 }
 
 /// Walks upward from `start` to the first directory that looks like the

@@ -2,8 +2,9 @@
 //! finding.
 //!
 //! ```text
-//! cargo run -p bil-lint                 # lint the enclosing workspace
-//! cargo run -p bil-lint -- --root DIR   # lint an explicit tree
+//! cargo run -p bil-lint                   # lint the enclosing workspace
+//! cargo run -p bil-lint -- --root DIR     # lint an explicit tree
+//! cargo run -p bil-lint -- --emit-schema  # (re)write wire.schema.lock
 //! ```
 
 #![forbid(unsafe_code)]
@@ -14,6 +15,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut emit_schema = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -23,22 +25,35 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--emit-schema" => emit_schema = true,
             "--help" | "-h" => {
                 println!(
                     "bil-lint: workspace invariant checker\n\
                      \n\
-                     USAGE: bil-lint [--root DIR]\n\
+                     USAGE: bil-lint [--root DIR] [--emit-schema]\n\
                      \n\
                      Walks every .rs file under the workspace root (default:\n\
                      the enclosing workspace) and enforces the project\n\
                      invariants: determinism, release-mode honesty, no-panic\n\
-                     transports, unsafe containment, wire exhaustiveness, and\n\
-                     map-free compose/apply hot paths.\n\
+                     transports, unsafe containment, wire exhaustiveness,\n\
+                     decode-path cast safety, transitive hot-path reachability\n\
+                     (no panic/map/allocation calls reachable from the round\n\
+                     kernel, pipeline driver, or wire codec — diagnostics\n\
+                     carry the call path), wire-schema lockfile drift, and\n\
+                     anomaly/error exhaustiveness.\n\
                      Exits 0 when clean, 1 on findings, 2 on usage errors.\n\
+                     \n\
+                     --emit-schema regenerates the canonical wire schema from\n\
+                     the sources and writes it to wire.schema.lock at the\n\
+                     workspace root (commit the result; the wire-schema rule\n\
+                     fails on drift without a WIRE_FORMAT_VERSION bump).\n\
                      \n\
                      Suppress one finding with\n\
                      `// bil-lint: allow(<rule>): <justification>` on or\n\
-                     directly above the offending line."
+                     directly above the offending line, or a whole fn body\n\
+                     with `// bil-lint: allow(<rule>, fn): <justification>`\n\
+                     directly above the fn. Unused or unjustified pragmas are\n\
+                     themselves findings; wire-schema is not suppressible."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -70,6 +85,35 @@ fn main() -> ExitCode {
             }
         }
     };
+    if emit_schema {
+        return match bil_lint::emit_schema(&root) {
+            Ok(Some(schema)) => {
+                let path = root.join(bil_lint::schema::LOCKFILE);
+                match std::fs::write(&path, schema) {
+                    Ok(()) => {
+                        println!("bil-lint: wrote {}", path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("bil-lint: cannot write {}: {e}", path.display());
+                        ExitCode::from(2)
+                    }
+                }
+            }
+            Ok(None) => {
+                eprintln!(
+                    "bil-lint: no wire layer found under {} (missing {} or WIRE_FORMAT_VERSION)",
+                    root.display(),
+                    bil_lint::schema::WIRE_FILE
+                );
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("bil-lint: i/o failure walking {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        };
+    }
     match bil_lint::lint_workspace(&root) {
         Ok(report) => {
             for finding in &report.findings {

@@ -1,4 +1,4 @@
-//! The project invariants, as deny-by-default lexical rules.
+//! The project invariants, as deny-by-default rules.
 //!
 //! Each rule pins a bug class a past PR fixed by hand (see the
 //! *Enforced invariants* section of `DESIGN.md`):
@@ -21,23 +21,61 @@
 //! * [`CAST_TRUNCATION`] — decode paths never narrow attacker-controlled
 //!   integers with a bare `as` cast; they use `try_from` (or carry an
 //!   explicit pragma) so hostile lengths fail loudly.
-//! * [`HOT_PATH_MAPS`] — the per-round hot path (`compose`/`apply` and
-//!   their per-ball helpers in `bil-core`) works over the SoA columns;
-//!   constructing a `BTreeMap`/`HashMap` there reintroduces the
-//!   O(n log n)-per-round regime the columnar kernel removed. Boundary
-//!   code (init, epoch seeding, commit bookkeeping) lives in other
-//!   functions or carries a pragma.
 //!
-//! Findings can be suppressed, one line at a time, with
+//! On top of the file-local rules, three **transitive** rules walk the
+//! approximate workspace call graph ([`crate::graph`]) from fixed root
+//! sets and flag forbidden tokens in *any* function reachable from a
+//! root — the helper defined three files away is just as much hot-path
+//! code as the root itself. Each finding carries the call path
+//! (`root → f → g`) that makes it hot:
+//!
+//! * [`HOT_PATH_PANIC`] — no `unwrap`/`expect`/`panic!`-family calls
+//!   reachable from the per-round kernel (`compose`/`apply`/
+//!   `index_messages`), the pipeline driver (`RoundPipeline::run`), or
+//!   the wire codec entry points. Subsumes the file-scoped [`NO_PANIC`]
+//!   on transport files (those are excluded here to avoid double
+//!   findings).
+//! * [`HOT_PATH_MAPS`] — no `BTreeMap`/`BTreeSet`/`HashMap`/`HashSet`
+//!   mentioned in any function reachable from the per-round kernel; the
+//!   SoA columns (§4.2–§4.3 of DESIGN.md) exist because one convenient
+//!   map in a reachable helper reintroduces the O(n log n)-per-round
+//!   regime. Replaces (and deepens) the old file-scoped rule of the
+//!   same name.
+//! * [`HOT_PATH_ALLOC`] — no allocation-API tokens (`vec!`, `format!`,
+//!   `with_capacity`, `collect`, `to_vec`/`to_owned`/`to_string`,
+//!   `Box::new`, ...) reachable from the per-round kernel; the message
+//!   plane is allocation-free by PR 5's counting-allocator tests and
+//!   must stay that way statically. `Vec::new` and `clone` are
+//!   deliberately not tokens: an empty `Vec` does not allocate, and the
+//!   kernel legitimately clones reused buffers.
+//!
+//! Two workspace-shape rules complete the set:
+//!
+//! * [`WIRE_SCHEMA`] — the committed `wire.schema.lock` must match the
+//!   schema regenerated from the sources ([`crate::schema`]); drift
+//!   without a `WIRE_FORMAT_VERSION` bump fails the lint. This rule is
+//!   **not** suppressible by pragma: a wire break has no justifiable
+//!   form, only a version bump.
+//! * [`ANOMALY_EXHAUSTIVE`] — every `Anomalies` counter is both
+//!   incremented and read outside tests, and every `RunError` variant is
+//!   both constructed and matched outside tests, so the drop-and-count
+//!   paths of PRs 4–7 cannot silently rot into dead counters or
+//!   unreported errors.
+//!
+//! Findings can be suppressed with
 //! `// bil-lint: allow(<rule>): <justification>` on the offending line
-//! or the line directly above it. A pragma that suppresses nothing is
-//! itself reported ([`UNUSED_ALLOW`]), so stale exemptions cannot
-//! accumulate.
+//! or the line directly above it, or for a whole function body with
+//! `// bil-lint: allow(<rule>, fn): <justification>` directly above the
+//! `fn`. A justification is mandatory; a pragma that lacks one, names an
+//! unknown rule, or suppresses nothing is itself reported
+//! ([`UNUSED_ALLOW`]), so stale exemptions cannot accumulate.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::graph::{self, CallGraph, Reach};
 use crate::lexer::{strip, word_occurrences, Stripped};
+use crate::schema;
 
 /// Determinism hazards in protocol/runtime/service code.
 pub const DETERMINISM: &str = "determinism";
@@ -51,12 +89,23 @@ pub const UNSAFE_CODE: &str = "unsafe-code";
 pub const WIRE_EXHAUSTIVE: &str = "wire-exhaustive";
 /// Bare narrowing `as` cast on a decode path.
 pub const CAST_TRUNCATION: &str = "cast-truncation";
-/// Map/set construction inside the per-round compose/apply hot path.
+/// Panic-family call reachable from a hot-path root (transitive).
+pub const HOT_PATH_PANIC: &str = "hot-path-panic";
+/// Map/set type reachable from the per-round kernel (transitive).
 pub const HOT_PATH_MAPS: &str = "hot-path-maps";
+/// Allocation API reachable from the per-round kernel (transitive).
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// `wire.schema.lock` missing or drifted (not pragma-suppressible).
+pub const WIRE_SCHEMA: &str = "wire-schema";
+/// An `Anomalies` counter or `RunError` variant never constructed or
+/// never observed outside tests.
+pub const ANOMALY_EXHAUSTIVE: &str = "anomaly-exhaustive";
 /// A pragma that suppressed nothing (not itself suppressible).
 pub const UNUSED_ALLOW: &str = "unused-allow";
 
-/// Every suppressible rule, for pragma validation.
+/// Every suppressible rule, for pragma validation. [`WIRE_SCHEMA`] is
+/// deliberately absent: schema drift is fixed by a version bump and
+/// regeneration, never excused.
 pub const ALL_RULES: &[&str] = &[
     DETERMINISM,
     RELEASE_HONESTY,
@@ -64,11 +113,15 @@ pub const ALL_RULES: &[&str] = &[
     UNSAFE_CODE,
     WIRE_EXHAUSTIVE,
     CAST_TRUNCATION,
+    HOT_PATH_PANIC,
     HOT_PATH_MAPS,
+    HOT_PATH_ALLOC,
+    ANOMALY_EXHAUSTIVE,
 ];
 
 /// Crate `src/` trees whose non-test code must be deterministic: these
-/// four crates produce or replay the bit-identical `RunReport`.
+/// four crates produce or replay the bit-identical `RunReport`. The
+/// call graph's node set is scoped to the same trees.
 const DETERMINISTIC_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/tree/src/",
@@ -97,7 +150,9 @@ const MESSAGE_PATH_FILES: &[&str] = &[
 ];
 
 /// Executor/transport files that must report structured `RunError`s
-/// instead of panicking.
+/// instead of panicking. The transitive [`HOT_PATH_PANIC`] excludes
+/// these — the file-scoped [`NO_PANIC`] already covers every line here,
+/// reachable or not, and double findings would need double pragmas.
 const TRANSPORT_FILES: &[&str] = &[
     "crates/runtime/src/engine.rs",
     "crates/runtime/src/pipeline.rs",
@@ -116,6 +171,37 @@ const PANIC_TOKENS: &[&str] = &[
     "panic!",
 ];
 
+/// Panic-family tokens for the transitive pass: the file-scoped set
+/// plus the panicking placeholder macros. `assert!` is not a token —
+/// invariant assertions that hold in both profiles are allowed.
+const HOT_PANIC_TOKENS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    ".unwrap_err(",
+    ".expect_err(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Allocation-API tokens for the transitive pass. `Vec::new` (does not
+/// allocate) and `.clone(` (reused-buffer clones are legitimate) are
+/// deliberately excluded; `.push(` amortizes into reused buffers.
+const ALLOC_TOKENS: &[&str] = &[
+    "vec!",
+    "format!",
+    "Box::new(",
+    "Arc::new(",
+    "Rc::new(",
+    "String::from(",
+    "with_capacity(",
+    "to_vec(",
+    "to_owned(",
+    "to_string(",
+    "collect(",
+];
+
 /// The only files allowed to contain `unsafe`: the counting allocators
 /// that assert the message plane is allocation-free.
 const UNSAFE_ALLOWLIST: &[&str] = &[
@@ -130,7 +216,7 @@ const DECODE_FILES: &[&str] = &["crates/runtime/src/frame.rs", "crates/runtime/s
 /// an attacker-controlled `u64`.
 const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
 
-/// Files containing the per-round protocol hot path.
+/// Files containing the per-round protocol hot path (kernel roots).
 const HOT_PATH_FILES: &[&str] = &["crates/core/src/protocol.rs", "crates/core/src/epoch.rs"];
 
 /// Functions that run once per ball per round: the SoA round kernel.
@@ -138,15 +224,32 @@ const HOT_PATH_FILES: &[&str] = &["crates/core/src/protocol.rs", "crates/core/sr
 /// `index_messages` is the per-round inbox join.
 const HOT_PATH_FNS: &[&str] = &["compose", "apply", "index_messages"];
 
+/// The pipeline driver: everything it calls runs every round.
+const PIPELINE_FILE: &str = "crates/runtime/src/pipeline.rs";
+const PIPELINE_ROOT_FN: &str = "run";
+
+/// Files whose encode/decode entry points root the wire reachability.
+const WIRE_ROOT_FILES: &[&str] = &[
+    "crates/runtime/src/frame.rs",
+    "crates/runtime/src/wire.rs",
+    "crates/core/src/messages.rs",
+];
+
 /// Ordered-map/set (and hash-map/set) type names whose *appearance*
-/// inside a hot function marks per-round construction or lookups that
-/// the columnar kernel exists to avoid.
+/// inside a kernel-reachable function marks per-round construction or
+/// lookups that the columnar kernel exists to avoid.
 const MAP_TOKENS: &[&str] = &["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
 
 /// The enum whose variants must all be fixture-pinned, and where.
 const WIRE_ENUM_FILE: &str = "crates/core/src/messages.rs";
 const WIRE_ENUM_NAME: &str = "BilMsg";
 const WIRE_FIXTURE_FILE: &str = "crates/runtime/tests/wire_fixtures.rs";
+
+/// Where the exhaustiveness pass finds its subjects.
+const ANOMALIES_FILE: &str = "crates/core/src/protocol.rs";
+const ANOMALIES_STRUCT: &str = "Anomalies";
+const RUN_ERROR_FILE: &str = "crates/runtime/src/error.rs";
+const RUN_ERROR_ENUM: &str = "RunError";
 
 /// One diagnostic: a rule violation (or unused pragma) at a location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,17 +274,31 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Lints a set of `(relative path, contents)` sources as one workspace.
+/// Lints a set of `(relative path, contents)` sources as one workspace,
+/// without a wire-schema lockfile (the [`WIRE_SCHEMA`] rule then fires
+/// only if the sources carry a wire layer — fixture trees without one
+/// are unaffected).
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    lint_sources_with_lockfile(files, None)
+}
+
+/// Lints a set of `(relative path, contents)` sources as one workspace,
+/// checking the committed `wire.schema.lock` contents when given.
 ///
 /// Paths must be `/`-separated and relative to the workspace root; rule
 /// scoping is path-based. Returns all findings, sorted by
 /// `(file, line, rule)`, with pragma suppression already applied and
 /// unused pragmas reported.
-pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+pub fn lint_sources_with_lockfile(
+    files: &[(String, String)],
+    lockfile: Option<&str>,
+) -> Vec<Finding> {
     let mut stripped: BTreeMap<&str, Stripped> = BTreeMap::new();
     for (path, content) in files {
         stripped.insert(path.as_str(), strip(content));
     }
+    let graph_files: Vec<(&str, &Stripped)> = stripped.iter().map(|(p, s)| (*p, s)).collect();
+    let graph = graph::build(&graph_files, graph_scope);
 
     let mut findings = Vec::new();
     for (path, content) in files {
@@ -191,15 +308,22 @@ pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
         check_no_panic(path, s, &mut findings);
         check_unsafe(path, content, s, &mut findings);
         check_cast_truncation(path, s, &mut findings);
-        check_hot_path_maps(path, s, &mut findings);
     }
+    check_hot_path_transitive(&graph, &stripped, &mut findings);
     check_wire_exhaustive(&stripped, &mut findings);
+    check_wire_schema(&stripped, lockfile, &mut findings);
+    check_exhaustiveness(&stripped, &mut findings);
 
-    let findings = apply_pragmas(&stripped, findings);
-    let mut findings = findings;
+    let mut findings = apply_pragmas(&stripped, findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
+}
+
+/// Whether `path` contributes nodes to the call graph: deterministic
+/// crate sources outside test directories.
+fn graph_scope(path: &str) -> bool {
+    !in_test_dir(path) && DETERMINISTIC_SRC.iter().any(|p| path.starts_with(p))
 }
 
 /// Whether `path` lies under a test-only directory: integration tests,
@@ -343,8 +467,10 @@ fn check_unsafe(path: &str, raw: &str, s: &Stripped, findings: &mut Vec<Finding>
     }
 }
 
-/// `fn` body spans in stripped text: `(name, body_start, body_end)`.
-fn fn_spans(code: &str) -> Vec<(String, usize, usize)> {
+/// `fn` item spans in stripped text:
+/// `(name, decl_offset, body_start, body_end)`. Bodyless trait
+/// declarations are skipped.
+fn fn_spans(code: &str) -> Vec<(String, usize, usize, usize)> {
     let bytes = code.as_bytes();
     let mut spans = Vec::new();
     for off in word_occurrences(code, "fn") {
@@ -391,7 +517,7 @@ fn fn_spans(code: &str) -> Vec<(String, usize, usize)> {
                 _ => {}
             }
         }
-        spans.push((name, start, end));
+        spans.push((name, off, start, end));
     }
     spans
 }
@@ -405,6 +531,11 @@ fn is_decode_fn(name: &str) -> bool {
         || name == "peek_varint"
         || name == "read_frame"
         || name.starts_with("get_")
+}
+
+/// Whether a function, by name, is a wire entry point (either side).
+fn is_wire_root_fn(name: &str) -> bool {
+    name == "encode" || name == "encoded_len" || is_decode_fn(name)
 }
 
 fn check_cast_truncation(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
@@ -428,9 +559,9 @@ fn check_cast_truncation(path: &str, s: &Stripped, findings: &mut Vec<Finding>) 
         // Innermost enclosing fn decides whether this is a decode path.
         let enclosing = spans
             .iter()
-            .filter(|(_, start, end)| (*start..*end).contains(&off))
-            .max_by_key(|(_, start, _)| *start);
-        let Some((name, _, _)) = enclosing else {
+            .filter(|(_, _, start, end)| (*start..*end).contains(&off))
+            .max_by_key(|(_, _, start, _)| *start);
+        let Some((name, _, _, _)) = enclosing else {
             continue;
         };
         if is_decode_fn(name) {
@@ -445,48 +576,217 @@ fn check_cast_truncation(path: &str, s: &Stripped, findings: &mut Vec<Finding>) 
     }
 }
 
-fn check_hot_path_maps(path: &str, s: &Stripped, findings: &mut Vec<Finding>) {
-    if !HOT_PATH_FILES.contains(&path) {
-        return;
+/// The three transitive hot-path passes, sharing one call graph.
+fn check_hot_path_transitive(
+    graph: &CallGraph,
+    stripped: &BTreeMap<&str, Stripped>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut kernel_roots = Vec::new();
+    let mut panic_roots = Vec::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        let file = graph.files[f.file].as_str();
+        if HOT_PATH_FILES.contains(&file) && HOT_PATH_FNS.contains(&f.name.as_str()) {
+            kernel_roots.push(idx);
+        }
+        if (file == PIPELINE_FILE && f.name == PIPELINE_ROOT_FN)
+            || (WIRE_ROOT_FILES.contains(&file) && is_wire_root_fn(&f.name))
+        {
+            panic_roots.push(idx);
+        }
     }
-    let spans = fn_spans(&s.code);
-    for token in MAP_TOKENS {
-        for off in word_occurrences(&s.code, token) {
-            let line = s.line_of(off);
-            if s.is_test_line(line) {
-                continue;
-            }
-            // Innermost enclosing fn decides whether this is hot-path
-            // code; maps in boundary functions (init, epoch seeding,
-            // commit bookkeeping) are fine.
-            let enclosing = spans
-                .iter()
-                .filter(|(_, start, end)| (*start..*end).contains(&off))
-                .max_by_key(|(_, start, _)| *start);
-            let Some((name, _, _)) = enclosing else {
-                continue;
-            };
-            if HOT_PATH_FNS.contains(&name.as_str()) {
-                push(
-                    findings,
-                    path,
-                    line,
-                    HOT_PATH_MAPS,
-                    format!("`{token}` inside hot function `{name}`: the per-round path must stay a columnar sweep (SoA columns + sorted-slice merge-join); keep map construction at init/epoch/commit boundaries or justify with a pragma"),
-                );
+    // The panic pass roots at the kernel too: a panicking helper under
+    // `compose` is as fatal as one under the wire codec.
+    let mut all_panic_roots = kernel_roots.clone();
+    all_panic_roots.extend(panic_roots);
+
+    // Traversal is bounded to keep the method-by-name resolution honest:
+    // every executor implements trait methods *named* `compose`/`apply`,
+    // so an unbounded walk from the kernel roots would swallow the whole
+    // transport layer through those aliases. The per-round kernel lives
+    // in the deterministic data layer (`core` + `tree`); the panic pass
+    // may additionally pass through the pipeline driver (to reach e.g.
+    // the adversary planner it invokes every round) but never descends
+    // into the remaining transport files, whose bodies the file-scoped
+    // [`NO_PANIC`] already covers line-by-line.
+    let kernel_reach = graph::reachable_where(graph, &kernel_roots, |v| {
+        let file = graph.files[graph.fns[v].file].as_str();
+        file.starts_with("crates/core/") || file.starts_with("crates/tree/")
+    });
+    let panic_reach = graph::reachable_where(graph, &all_panic_roots, |v| {
+        let file = graph.files[graph.fns[v].file].as_str();
+        file == PIPELINE_FILE || !TRANSPORT_FILES.contains(&file)
+    });
+
+    scan_reachable(
+        graph,
+        &panic_reach,
+        stripped,
+        HOT_PANIC_TOKENS,
+        TRANSPORT_FILES,
+        findings,
+        |shown, chain| {
+            (
+                HOT_PATH_PANIC,
+                format!("`{shown}` is reachable from the hot path ({chain}): return a structured error or drop-and-count via `Anomalies` instead of panicking"),
+            )
+        },
+    );
+    scan_reachable(
+        graph,
+        &kernel_reach,
+        stripped,
+        MAP_TOKENS,
+        &[],
+        findings,
+        |shown, chain| {
+            (
+                HOT_PATH_MAPS,
+                format!("`{shown}` is reachable from the per-round kernel ({chain}): the round path must stay a columnar sweep (SoA columns + sorted-slice merge-join); keep map construction at init/epoch/commit boundaries or justify with a pragma"),
+            )
+        },
+    );
+    scan_reachable(
+        graph,
+        &kernel_reach,
+        stripped,
+        ALLOC_TOKENS,
+        &[],
+        findings,
+        |shown, chain| {
+            (
+                HOT_PATH_ALLOC,
+                format!("`{shown}` is reachable from the per-round kernel ({chain}): the per-round path is allocation-free; hoist the allocation to an init/epoch boundary or a reused buffer, or justify with a pragma"),
+            )
+        },
+    );
+}
+
+/// Scans every reached function's body for `tokens`; each occurrence is
+/// attributed to the *innermost* enclosing graph fn (so nested fns are
+/// not double-reported) and rendered with its call path.
+fn scan_reachable(
+    graph: &CallGraph,
+    reach: &Reach,
+    stripped: &BTreeMap<&str, Stripped>,
+    tokens: &[&str],
+    skip_files: &[&str],
+    findings: &mut Vec<Finding>,
+    describe: impl Fn(&str, &str) -> (&'static str, String),
+) {
+    for (file_idx, path) in graph.files.iter().enumerate() {
+        if skip_files.contains(&path.as_str()) {
+            continue;
+        }
+        let Some(s) = stripped.get(path.as_str()) else {
+            continue;
+        };
+        for token in tokens {
+            for off in word_occurrences(&s.code, token) {
+                let enclosing = graph
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.file == file_idx && (f.body.0..f.body.1).contains(&off))
+                    .max_by_key(|(_, f)| f.body.0);
+                let Some((fn_idx, _)) = enclosing else {
+                    continue;
+                };
+                if !reach.contains(fn_idx) {
+                    continue;
+                }
+                let line = s.line_of(off);
+                if s.is_test_line(line) {
+                    continue;
+                }
+                let shown = token.trim_start_matches('.').trim_end_matches('(');
+                let chain = reach.chain_names(graph, fn_idx);
+                let (rule, message) = describe(shown, &chain);
+                push(findings, path, line, rule, message);
             }
         }
     }
 }
 
-/// Parses the top-level variant names (with lines) of `enum BilMsg`.
-fn bilmsg_variants(s: &Stripped) -> Vec<(String, usize)> {
+fn check_wire_exhaustive(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<Finding>) {
+    let Some(msgs) = stripped.get(WIRE_ENUM_FILE) else {
+        return;
+    };
+    let variants = schema::enum_variants(msgs, WIRE_ENUM_NAME);
+    if variants.is_empty() {
+        return;
+    }
+    let Some(fixtures) = stripped.get(WIRE_FIXTURE_FILE) else {
+        for v in &variants {
+            findings.push(Finding {
+                file: WIRE_ENUM_FILE.to_string(),
+                line: v.line,
+                rule: WIRE_EXHAUSTIVE,
+                message: format!(
+                    "`{WIRE_ENUM_NAME}::{}` cannot be fixture-checked: `{WIRE_FIXTURE_FILE}` is missing",
+                    v.name
+                ),
+            });
+        }
+        return;
+    };
+    for v in &variants {
+        if word_occurrences(&fixtures.code, &v.name).is_empty() {
+            findings.push(Finding {
+                file: WIRE_ENUM_FILE.to_string(),
+                line: v.line,
+                rule: WIRE_EXHAUSTIVE,
+                message: format!(
+                    "`{WIRE_ENUM_NAME}::{}` has no golden byte fixture in `{WIRE_FIXTURE_FILE}`; its encoding can drift without bumping `WIRE_FORMAT_VERSION`",
+                    v.name
+                ),
+            });
+        }
+    }
+}
+
+/// Compares the committed `wire.schema.lock` (if any) against the schema
+/// regenerated from the sources. Trees without a wire layer are exempt.
+fn check_wire_schema(
+    stripped: &BTreeMap<&str, Stripped>,
+    lockfile: Option<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(current) = schema::extract(stripped) else {
+        return;
+    };
+    let message = match lockfile {
+        None => format!(
+            "`{}` is missing: generate it with `cargo run -p bil-lint -- --emit-schema` and commit it",
+            schema::LOCKFILE
+        ),
+        Some(text) => match schema::compare(text, &current) {
+            schema::Drift::Clean => return,
+            schema::Drift::SameVersion { detail } => format!(
+                "wire schema drifted without a WIRE_FORMAT_VERSION bump ({detail}); bump the version in crates/runtime/src/wire.rs and regenerate with `--emit-schema`"
+            ),
+            schema::Drift::VersionChanged { committed, current } => format!(
+                "`{}` declares wire-format version {committed} but the workspace is at {current}: regenerate with `cargo run -p bil-lint -- --emit-schema` and commit the diff",
+                schema::LOCKFILE
+            ),
+        },
+    };
+    findings.push(Finding {
+        file: schema::LOCKFILE.to_string(),
+        line: 1,
+        rule: WIRE_SCHEMA,
+        message,
+    });
+}
+
+/// Top-level field names (with lines) of `struct <name> { ... }`.
+fn struct_fields(s: &Stripped, struct_name: &str) -> Vec<(String, usize)> {
     let code = &s.code;
     let bytes = code.as_bytes();
-    for off in word_occurrences(code, "enum") {
-        let rest = code[off + "enum".len()..].trim_start();
-        let is_target = rest.starts_with(WIRE_ENUM_NAME)
-            && !rest[WIRE_ENUM_NAME.len()..]
+    for off in word_occurrences(code, "struct") {
+        let rest = code[off + "struct".len()..].trim_start();
+        let is_target = rest.starts_with(struct_name)
+            && !rest[struct_name.len()..]
                 .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
         if !is_target {
             continue;
@@ -496,11 +796,8 @@ fn bilmsg_variants(s: &Stripped) -> Vec<(String, usize)> {
         };
         let mut i = off + open_rel + 1;
         let mut depth = 1i64;
-        let mut variants = Vec::new();
-        // A variant name is the first identifier after `{` or a
-        // top-level `,` (attributes in between are skipped); everything
-        // until the next top-level comma is that variant's payload.
-        let mut expect_variant = true;
+        let mut fields = Vec::new();
+        let mut expect_field = true;
         while i < bytes.len() && depth > 0 {
             let b = bytes[i];
             match b {
@@ -513,75 +810,193 @@ fn bilmsg_variants(s: &Stripped) -> Vec<(String, usize)> {
                     i += 1;
                 }
                 b',' if depth == 1 => {
-                    expect_variant = true;
+                    expect_field = true;
                     i += 1;
                 }
-                b'#' if depth == 1 && expect_variant => {
+                b'#' if depth == 1 && expect_field => {
                     while i < bytes.len() && bytes[i] != b']' {
                         i += 1;
                     }
                     i += 1;
                 }
-                _ if depth == 1 && expect_variant && (b.is_ascii_alphabetic() || b == b'_') => {
+                _ if depth == 1 && expect_field && (b.is_ascii_alphabetic() || b == b'_') => {
                     let start = i;
                     while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }
-                    variants.push((code[start..i].to_string(), s.line_of(start)));
-                    expect_variant = false;
+                    let word = &code[start..i];
+                    if word == "pub" {
+                        // Visibility modifier; the field name follows
+                        // (any `(crate)` group is depth-tracked above).
+                        continue;
+                    }
+                    let mut j = i;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b':') && bytes.get(j + 1) != Some(&b':') {
+                        fields.push((word.to_string(), s.line_of(start)));
+                    }
+                    expect_field = false;
                 }
                 _ => i += 1,
             }
         }
-        return variants;
+        return fields;
     }
     Vec::new()
 }
 
-fn check_wire_exhaustive(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<Finding>) {
-    let Some(msgs) = stripped.get(WIRE_ENUM_FILE) else {
-        return;
-    };
-    let variants = bilmsg_variants(msgs);
-    if variants.is_empty() {
-        return;
-    }
-    let Some(fixtures) = stripped.get(WIRE_FIXTURE_FILE) else {
-        for (variant, line) in &variants {
-            findings.push(Finding {
-                file: WIRE_ENUM_FILE.to_string(),
-                line: *line,
-                rule: WIRE_EXHAUSTIVE,
-                message: format!(
-                    "`{WIRE_ENUM_NAME}::{variant}` cannot be fixture-checked: `{WIRE_FIXTURE_FILE}` is missing"
-                ),
-            });
+/// Every `Anomalies` counter must be incremented *and* read outside
+/// tests, and every `RunError` variant constructed *and* matched outside
+/// tests: a counter nobody bumps means the drop path it counted rotted
+/// away; a variant nobody matches means an error the operator never
+/// sees.
+fn check_exhaustiveness(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<Finding>) {
+    if let Some(s) = stripped.get(ANOMALIES_FILE) {
+        for (field, line) in struct_fields(s, ANOMALIES_STRUCT) {
+            let needle = format!(".{field}");
+            let mut incremented = false;
+            let mut observed = false;
+            for (path, sf) in stripped {
+                if in_test_dir(path) {
+                    continue;
+                }
+                for off in word_occurrences(&sf.code, &needle) {
+                    if sf.is_test_line(sf.line_of(off)) {
+                        continue;
+                    }
+                    let rest = sf.code[off + needle.len()..].trim_start();
+                    if rest.starts_with("+=") {
+                        incremented = true;
+                    } else {
+                        observed = true;
+                    }
+                }
+            }
+            if !incremented {
+                push(
+                    findings,
+                    ANOMALIES_FILE,
+                    line,
+                    ANOMALY_EXHAUSTIVE,
+                    format!("`{ANOMALIES_STRUCT}::{field}` is never incremented outside tests: the drop-and-count path it records has rotted away (or the counter is dead and should be removed)"),
+                );
+            }
+            if !observed {
+                push(
+                    findings,
+                    ANOMALIES_FILE,
+                    line,
+                    ANOMALY_EXHAUSTIVE,
+                    format!("`{ANOMALIES_STRUCT}::{field}` is never read outside tests: anomaly counts must be observable (fold it into `total()` or a report)"),
+                );
+            }
         }
+    }
+    let Some(s) = stripped.get(RUN_ERROR_FILE) else {
         return;
     };
-    for (variant, line) in &variants {
-        if word_occurrences(&fixtures.code, variant).is_empty() {
-            findings.push(Finding {
-                file: WIRE_ENUM_FILE.to_string(),
-                line: *line,
-                rule: WIRE_EXHAUSTIVE,
-                message: format!(
-                    "`{WIRE_ENUM_NAME}::{variant}` has no golden byte fixture in `{WIRE_FIXTURE_FILE}`; its encoding can drift without bumping `WIRE_FORMAT_VERSION`"
-                ),
-            });
+    for v in schema::enum_variants(s, RUN_ERROR_ENUM) {
+        let needle = format!("{RUN_ERROR_ENUM}::{}", v.name);
+        let mut constructed = false;
+        let mut observed = false;
+        for (path, sf) in stripped {
+            if in_test_dir(path) {
+                continue;
+            }
+            for off in word_occurrences(&sf.code, &needle) {
+                let line = sf.line_of(off);
+                if sf.is_test_line(line) {
+                    continue;
+                }
+                if variant_use_is_observation(sf, off, needle.len()) {
+                    observed = true;
+                } else {
+                    constructed = true;
+                }
+            }
+        }
+        if !constructed {
+            push(
+                findings,
+                RUN_ERROR_FILE,
+                v.line,
+                ANOMALY_EXHAUSTIVE,
+                format!("`{RUN_ERROR_ENUM}::{}` is never constructed outside tests: the failure it models is no longer reported (remove the variant or restore the path)", v.name),
+            );
+        }
+        if !observed {
+            push(
+                findings,
+                RUN_ERROR_FILE,
+                v.line,
+                ANOMALY_EXHAUSTIVE,
+                format!("`{RUN_ERROR_ENUM}::{}` is never matched outside tests: callers cannot distinguish this failure (match it in `Display`/handling code)", v.name),
+            );
         }
     }
 }
 
-/// Applies `bil-lint: allow(..)` pragmas: a pragma suppresses findings
-/// of its rule on its own line, or — when there are none there — on the
-/// next line. Pragmas that suppress nothing (or name unknown rules)
-/// become [`UNUSED_ALLOW`] findings.
+/// Whether a `RunError::Variant` occurrence is an *observation* (a match
+/// arm or pattern) rather than a construction: a `=>` follows the
+/// variant's payload group, or the line is an `if let`/`while let`/
+/// `matches!` pattern.
+fn variant_use_is_observation(s: &Stripped, off: usize, needle_len: usize) -> bool {
+    let code = &s.code;
+    let bytes = code.as_bytes();
+    let line = s.line_of(off);
+    let line_start = s.line_starts[line - 1];
+    let before = &code[line_start..off];
+    if before.contains("if let") || before.contains("while let") || before.contains("matches!") {
+        return true;
+    }
+    let mut i = off + needle_len;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    // Skip one balanced payload group, `{ .. }` or `( .. )`.
+    if i < bytes.len() && (bytes[i] == b'{' || bytes[i] == b'(') {
+        let (open, close) = if bytes[i] == b'{' {
+            (b'{', b'}')
+        } else {
+            (b'(', b')')
+        };
+        let mut depth = 0i64;
+        while i < bytes.len() {
+            if bytes[i] == open {
+                depth += 1;
+            } else if bytes[i] == close {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'=') && bytes.get(i + 1) == Some(&b'>')
+}
+
+/// Applies `bil-lint: allow(..)` pragmas.
+///
+/// A line-scoped pragma suppresses findings of its rule on its own line,
+/// or — when there are none there — on the next line. A `fn`-scoped
+/// pragma (`allow(rule, fn)`) suppresses findings of its rule anywhere
+/// in the body of the `fn` declared directly beneath it (up to two
+/// attribute lines in between). Pragmas that lack a justification, name
+/// an unknown rule, or suppress nothing become [`UNUSED_ALLOW`]
+/// findings.
 fn apply_pragmas(stripped: &BTreeMap<&str, Stripped>, findings: Vec<Finding>) -> Vec<Finding> {
     let mut suppressed = vec![false; findings.len()];
     let mut extra = Vec::new();
     for (path, s) in stripped {
+        let mut spans: Option<Vec<(String, usize, usize, usize)>> = None;
         for pragma in &s.pragmas {
             if !ALL_RULES.contains(&pragma.rule.as_str()) {
                 extra.push(Finding {
@@ -596,16 +1011,68 @@ fn apply_pragmas(stripped: &BTreeMap<&str, Stripped>, findings: Vec<Finding>) ->
                 });
                 continue;
             }
+            if !pragma.justified {
+                extra.push(Finding {
+                    file: path.to_string(),
+                    line: pragma.line,
+                    rule: UNUSED_ALLOW,
+                    message: format!(
+                        "`allow({})` lacks a justification — write `allow({}): <why>`; unjustified pragmas suppress nothing",
+                        pragma.rule, pragma.rule
+                    ),
+                });
+                continue;
+            }
             let mut hit = false;
-            for target_line in [pragma.line, pragma.line + 1] {
-                for (i, f) in findings.iter().enumerate() {
-                    if f.file == **path && f.line == target_line && f.rule == pragma.rule {
-                        suppressed[i] = true;
-                        hit = true;
+            if pragma.fn_scope {
+                let spans = spans.get_or_insert_with(|| fn_spans(&s.code));
+                // The fn directly beneath the pragma: its `fn` keyword
+                // within three lines (attributes may intervene).
+                let target = spans
+                    .iter()
+                    .filter(|(_, decl, _, _)| {
+                        let decl_line = s.line_of(*decl);
+                        decl_line > pragma.line && decl_line <= pragma.line + 3
+                    })
+                    .min_by_key(|(_, decl, _, _)| *decl);
+                match target {
+                    None => {
+                        extra.push(Finding {
+                            file: path.to_string(),
+                            line: pragma.line,
+                            rule: UNUSED_ALLOW,
+                            message: format!(
+                                "`allow({}, fn)` has no `fn` directly beneath it to scope to",
+                                pragma.rule
+                            ),
+                        });
+                        continue;
+                    }
+                    Some((_, decl, _, end)) => {
+                        let first = s.line_of(*decl);
+                        let last = s.line_of(end.saturating_sub(1).max(*decl));
+                        for (i, f) in findings.iter().enumerate() {
+                            if f.file == **path
+                                && f.rule == pragma.rule
+                                && (first..=last).contains(&f.line)
+                            {
+                                suppressed[i] = true;
+                                hit = true;
+                            }
+                        }
                     }
                 }
-                if hit {
-                    break;
+            } else {
+                for target_line in [pragma.line, pragma.line + 1] {
+                    for (i, f) in findings.iter().enumerate() {
+                        if f.file == **path && f.line == target_line && f.rule == pragma.rule {
+                            suppressed[i] = true;
+                            hit = true;
+                        }
+                    }
+                    if hit {
+                        break;
+                    }
                 }
             }
             if !hit {

@@ -1,0 +1,101 @@
+//! Golden-snapshot tests over the `fixtures/ws1` mini-workspace: the
+//! extracted call-graph edges and the full diagnostic output (call-path
+//! chains included) are pinned byte-for-byte, so any change to the
+//! extractor or the diagnostics format is a deliberate, reviewed diff.
+//!
+//! Regenerate the goldens with
+//! `BIL_LINT_BLESS=1 cargo test -p bil-lint --test graph_snapshot`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bil_lint::graph;
+use bil_lint::lexer::{strip, Stripped};
+use bil_lint::rules::lint_sources;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws1")
+}
+
+/// Loads every `.rs_` fixture file as the `.rs` workspace path it
+/// stands in for (the underscore keeps the real lint/fmt/clippy runs
+/// away from fixture code), sorted by path like `collect_sources`.
+fn load_fixture() -> Vec<(String, String)> {
+    let root = fixture_root();
+    let mut files = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("fixture dir readable") {
+            let path = entry.expect("fixture entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs_") {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("under fixture root")
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let rel = rel.strip_suffix('_').expect("rs_ suffix").to_string();
+                let content = fs::read_to_string(&path).expect("fixture file readable");
+                files.push((rel, content));
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no .rs_ fixtures under {}",
+        root.display()
+    );
+    files
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when `BIL_LINT_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_root().join(name);
+    if std::env::var_os("BIL_LINT_BLESS").is_some() {
+        fs::write(&path, actual).expect("golden writable");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden {name}; run with BIL_LINT_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted; rerun with BIL_LINT_BLESS=1 if the change is deliberate"
+    );
+}
+
+/// Mirrors the lint's graph scope: deterministic crate sources.
+fn in_scope(path: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/tree/src/",
+        "crates/runtime/src/",
+        "crates/service/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+#[test]
+fn call_graph_edges_match_golden() {
+    let files = load_fixture();
+    let stripped: Vec<(String, Stripped)> =
+        files.iter().map(|(p, c)| (p.clone(), strip(c))).collect();
+    let refs: Vec<(&str, &Stripped)> = stripped.iter().map(|(p, s)| (p.as_str(), s)).collect();
+    let graph = graph::build(&refs, in_scope);
+    check_golden("expected_graph.txt", &graph::render_edges(&graph));
+}
+
+#[test]
+fn full_diagnostic_output_matches_golden() {
+    let files = load_fixture();
+    let rendered: String = lint_sources(&files)
+        .iter()
+        .map(|f| format!("{f}\n"))
+        .collect();
+    check_golden("expected_findings.txt", &rendered);
+}

@@ -6,8 +6,9 @@
 //! [`bil_lint::lint_sources`] exactly as the binary would.
 
 use bil_lint::rules::{
-    lint_sources, Finding, CAST_TRUNCATION, DETERMINISM, HOT_PATH_MAPS, NO_PANIC, RELEASE_HONESTY,
-    UNSAFE_CODE, UNUSED_ALLOW, WIRE_EXHAUSTIVE,
+    lint_sources, lint_sources_with_lockfile, Finding, ANOMALY_EXHAUSTIVE, CAST_TRUNCATION,
+    DETERMINISM, HOT_PATH_ALLOC, HOT_PATH_MAPS, HOT_PATH_PANIC, NO_PANIC, RELEASE_HONESTY,
+    UNSAFE_CODE, UNUSED_ALLOW, WIRE_EXHAUSTIVE, WIRE_SCHEMA,
 };
 
 fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
@@ -83,9 +84,15 @@ fn release_honesty_flags_debug_assert_false_and_unreachable() {
         "crates/core/src/protocol.rs",
         "fn apply(x: u32) {\n    debug_assert!(false, \"corrupt: {x}\");\n    unreachable!()\n}\n",
     )]);
-    assert_eq!(rules_hit(&findings), vec![RELEASE_HONESTY, RELEASE_HONESTY]);
+    // `apply` in protocol.rs is also a kernel root, so the transitive
+    // pass flags the `unreachable!` a second time under hot-path-panic.
+    assert_eq!(
+        rules_hit(&findings),
+        vec![RELEASE_HONESTY, HOT_PATH_PANIC, RELEASE_HONESTY]
+    );
     assert_eq!(findings[0].line, 2);
     assert_eq!(findings[1].line, 3);
+    assert_eq!(findings[2].line, 3);
 }
 
 #[test]
@@ -292,7 +299,7 @@ fn hot_path_maps_flags_map_construction_in_apply() {
     )]);
     assert_eq!(rules_hit(&findings), vec![HOT_PATH_MAPS, HOT_PATH_MAPS]);
     assert_eq!(findings[0].line, 4);
-    assert!(findings[0].message.contains("hot function `apply`"));
+    assert!(findings[0].message.contains("per-round kernel (apply)"));
 }
 
 #[test]
@@ -362,6 +369,274 @@ fn doc_comments_mentioning_pragmas_are_not_pragmas() {
         "/// Suppress with `bil-lint: allow(determinism)` if needed.\nfn f() {}\n",
     )]);
     assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------- hot-path-panic (transitive)
+
+#[test]
+fn hot_path_panic_reports_cross_file_chain() {
+    // `apply` (kernel root, core) → `mid_hop` (core, other file) →
+    // `deep_helper` (tree) which unwraps: the finding lands on the
+    // helper with the full call path.
+    let findings = lint(&[
+        (
+            "crates/core/src/protocol.rs",
+            "pub fn apply(x: u32) -> u32 { mid_hop(x) }\n",
+        ),
+        (
+            "crates/core/src/support.rs",
+            "pub fn mid_hop(x: u32) -> u32 { deep_helper(Some(x)) }\n",
+        ),
+        (
+            "crates/tree/src/util.rs",
+            "pub fn deep_helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![HOT_PATH_PANIC]);
+    assert_eq!(findings[0].file, "crates/tree/src/util.rs");
+    assert_eq!(findings[0].line, 1);
+    assert!(
+        findings[0]
+            .message
+            .contains("apply \u{2192} mid_hop \u{2192} deep_helper"),
+        "missing chain: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn hot_path_panic_ignores_unreached_helpers_and_transport_files() {
+    let findings = lint(&[
+        // A panicking helper nobody on the hot path calls: clean.
+        (
+            "crates/tree/src/util.rs",
+            "pub fn cold_helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+        // Transport files are covered by the file-scoped no-panic rule;
+        // the transitive pass must not double-report them.
+        (
+            "crates/runtime/src/pipeline.rs",
+            "pub fn run(x: Option<u32>) -> u32 {\n    // bil-lint: allow(no-panic): test fixture\n    x.unwrap()\n}\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn hot_path_panic_roots_at_the_wire_codec() {
+    let findings = lint(&[
+        (
+            "crates/core/src/messages.rs",
+            "pub fn encode(x: u32) -> u32 { widen(x) }\n",
+        ),
+        (
+            "crates/core/src/varint.rs",
+            "pub fn widen(x: u32) -> u32 { u32::try_from(u64::from(x)).expect(\"fits\") }\n",
+        ),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![HOT_PATH_PANIC]);
+    assert_eq!(findings[0].file, "crates/core/src/varint.rs");
+    assert!(findings[0].message.contains("encode \u{2192} widen"));
+}
+
+// ------------------------------------------------- hot-path-alloc (transitive)
+
+#[test]
+fn hot_path_alloc_flags_reachable_allocation_but_not_vec_new() {
+    let findings = lint(&[
+        (
+            "crates/core/src/protocol.rs",
+            "pub fn compose(n: usize) -> Vec<u32> { scratch(n) }\nfn empty() -> Vec<u32> { Vec::new() }\n",
+        ),
+        (
+            "crates/core/src/deliver.rs",
+            "pub fn scratch(n: usize) -> Vec<u32> { vec![0; n] }\n",
+        ),
+    ]);
+    assert_eq!(rules_hit(&findings), vec![HOT_PATH_ALLOC]);
+    assert_eq!(findings[0].file, "crates/core/src/deliver.rs");
+    assert!(findings[0].message.contains("compose \u{2192} scratch"));
+}
+
+#[test]
+fn hot_path_alloc_ignores_allocation_off_the_kernel() {
+    // Allocation reachable only from the pipeline/wire roots (not the
+    // kernel) is fine: those paths are panic-checked, not alloc-checked.
+    let findings = lint(&[(
+        "crates/core/src/messages.rs",
+        "pub fn encode(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ----------------------------------------------------------- fn-scope pragmas
+
+#[test]
+fn fn_scope_pragma_suppresses_whole_body() {
+    let findings = lint(&[(
+        "crates/core/src/protocol.rs",
+        "// bil-lint: allow(hot-path-maps, fn): rebuilt once per epoch, not per round\n\
+         pub fn index_messages(n: usize) {\n\
+             let _a: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();\n\
+             let _b = std::collections::BTreeSet::<u32>::new();\n\
+         }\n",
+    )]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn stale_fn_scope_pragma_is_reported() {
+    let findings = lint(&[(
+        "crates/core/src/protocol.rs",
+        "// bil-lint: allow(hot-path-maps, fn): nothing here any more\npub fn apply(n: usize) -> usize { n }\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW]);
+    assert!(findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn fn_scope_pragma_without_fn_beneath_is_reported() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "// bil-lint: allow(determinism, fn): orphaned\nconst X: u32 = 7;\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW]);
+    assert!(findings[0].message.contains("no `fn` directly beneath"));
+}
+
+#[test]
+fn unjustified_pragma_suppresses_nothing_and_is_reported() {
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "// bil-lint: allow(determinism)\nuse std::collections::HashMap;\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW, DETERMINISM]);
+    assert!(findings[0].message.contains("lacks a justification"));
+}
+
+// --------------------------------------------------------- anomaly-exhaustive
+
+const ANOMALIES_OK: &str = "\
+pub struct Anomalies {\n    pub malformed: u64,\n}\n\
+pub fn apply(a: &mut Anomalies) { a.malformed += 1; }\n\
+pub fn total(a: &Anomalies) -> u64 { a.malformed }\n";
+
+#[test]
+fn anomaly_exhaustive_clean_when_counters_are_bumped_and_read() {
+    let findings = lint(&[("crates/core/src/protocol.rs", ANOMALIES_OK)]);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn anomaly_exhaustive_flags_dead_and_writeonly_counters() {
+    let findings = lint(&[(
+        "crates/core/src/protocol.rs",
+        "pub struct Anomalies {\n    pub never_bumped: u64,\n    pub never_read: u64,\n}\n\
+         pub fn apply(a: &mut Anomalies) -> u64 { a.never_read += 1; a.never_bumped }\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![ANOMALY_EXHAUSTIVE; 2]);
+    assert!(findings[0].message.contains("never incremented"));
+    assert!(findings[1].message.contains("never read"));
+}
+
+#[test]
+fn anomaly_exhaustive_covers_run_error_variants() {
+    let findings = lint(&[(
+        "crates/runtime/src/error.rs",
+        "pub enum RunError {\n    Io(String),\n    Ghost(String),\n    Unmatched(String),\n}\n\
+         pub fn fail() -> RunError { RunError::Io(String::new()) }\n\
+         pub fn constructed_only() -> RunError { RunError::Unmatched(String::new()) }\n\
+         pub fn show(e: &RunError) -> u32 {\n    match e {\n        RunError::Io(_) => 1,\n        RunError::Ghost(_) => 2,\n        _ => 3,\n    }\n}\n",
+    )]);
+    // `Io` is constructed and matched; `Ghost` is matched but never
+    // constructed; `Unmatched` is constructed but never matched.
+    assert_eq!(rules_hit(&findings), vec![ANOMALY_EXHAUSTIVE; 2]);
+    assert!(findings[0].message.contains("Ghost"));
+    assert!(findings[0].message.contains("never constructed"));
+    assert!(findings[1].message.contains("Unmatched"));
+    assert!(findings[1].message.contains("never matched"));
+}
+
+// ---------------------------------------------------------------- wire-schema
+
+fn wire_workspace() -> Vec<(String, String)> {
+    [
+        (
+            "crates/runtime/src/wire.rs",
+            "pub const MAX_SEQ_LEN: u64 = 1 << 26;\npub const WIRE_FORMAT_VERSION: u64 = 2;\n",
+        ),
+        (
+            "crates/runtime/src/frame.rs",
+            "pub const MAX_FRAME_LEN: u64 = 1 << 28;\n",
+        ),
+        (
+            "crates/core/src/messages.rs",
+            "pub const TAG_INIT: u8 = 0;\npub enum BilMsg {\n    Init,\n}\n",
+        ),
+        (
+            "crates/runtime/tests/wire_fixtures.rs",
+            "fn pins() { check(Init); }\n",
+        ),
+    ]
+    .into_iter()
+    .map(|(p, c)| (p.to_string(), c.to_string()))
+    .collect()
+}
+
+fn current_schema(files: &[(String, String)]) -> String {
+    let stripped: std::collections::BTreeMap<&str, bil_lint::lexer::Stripped> = files
+        .iter()
+        .map(|(p, c)| (p.as_str(), bil_lint::lexer::strip(c)))
+        .collect();
+    bil_lint::schema::extract(&stripped).expect("wire workspace has a schema")
+}
+
+#[test]
+fn wire_schema_flags_missing_lockfile() {
+    let files = wire_workspace();
+    let findings = lint_sources_with_lockfile(&files, None);
+    assert_eq!(rules_hit(&findings), vec![WIRE_SCHEMA]);
+    assert_eq!(findings[0].file, "wire.schema.lock");
+    assert!(findings[0].message.contains("--emit-schema"));
+}
+
+#[test]
+fn wire_schema_clean_when_lockfile_matches() {
+    let files = wire_workspace();
+    let lock = current_schema(&files);
+    let findings = lint_sources_with_lockfile(&files, Some(&lock));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn wire_schema_drift_without_version_bump_fails() {
+    let files = wire_workspace();
+    let lock = current_schema(&files).replace("1 << 26", "1 << 24");
+    let findings = lint_sources_with_lockfile(&files, Some(&lock));
+    assert_eq!(rules_hit(&findings), vec![WIRE_SCHEMA]);
+    assert!(findings[0]
+        .message
+        .contains("without a WIRE_FORMAT_VERSION bump"));
+}
+
+#[test]
+fn wire_schema_stale_lockfile_after_version_bump_fails() {
+    let files = wire_workspace();
+    let lock = current_schema(&files).replace("wire-format-version = 2", "wire-format-version = 1");
+    let findings = lint_sources_with_lockfile(&files, Some(&lock));
+    assert_eq!(rules_hit(&findings), vec![WIRE_SCHEMA]);
+    assert!(findings[0].message.contains("regenerate"));
+}
+
+#[test]
+fn wire_schema_is_not_pragma_suppressible() {
+    // A pragma naming wire-schema is itself an unknown-rule finding.
+    let findings = lint(&[(
+        "crates/core/src/scratch.rs",
+        "// bil-lint: allow(wire-schema): cannot be excused\nfn f() {}\n",
+    )]);
+    assert_eq!(rules_hit(&findings), vec![UNUSED_ALLOW]);
+    assert!(findings[0].message.contains("unknown rule"));
 }
 
 // ------------------------------------------------------------------- ordering

@@ -293,6 +293,7 @@ impl<M> Adversary<M> for SteadyAttrition {
             .iter()
             .min_by_key(|(_, label, _)| *label)
             .map(|(p, _, _)| *p)
+            // bil-lint: allow(hot-path-panic): the participant_count guard above returns early when nobody is outgoing
             .expect("participant_count > 1");
         let set: Vec<ProcId> = (0..view.n as u32)
             .map(ProcId)

@@ -438,10 +438,10 @@ where
                         state.leave(ci, members.len());
                         let nci = state.alloc(view, members.len());
                         for slot in &members {
-                            // bil-lint: allow(no-panic): `members` was just drawn from `state.procs`; no wire input involved
                             state
                                 .procs
                                 .get_mut(slot)
+                                // bil-lint: allow(no-panic): `members` was just drawn from `state.procs`; no wire input involved
                                 .expect("partitioned above")
                                 .cluster = nci;
                         }

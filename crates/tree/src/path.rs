@@ -364,6 +364,7 @@ impl LocalTree {
     /// Returns [`TreeError::UnknownBall`] if `ball` is absent, or
     /// [`TreeError::BadPath`] if `path` is empty, does not start at the
     /// ball's current node, or does not end on a leaf.
+    // bil-lint: allow(hot-path-panic, fn): both expects guard chains this fn validated lines earlier; malformed wire paths were rejected with TreeError before
     pub fn place_along(&mut self, ball: Label, path: &PackedPath) -> Result<NodeId, TreeError> {
         let current = self
             .current_node(ball)
