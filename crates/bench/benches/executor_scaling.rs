@@ -20,8 +20,9 @@
 //! point there, not raw size). Executor-specific size caps keep the grid
 //! honest about physics rather than silently truncating it:
 //!
-//! * per-process holds `n` distinct `O(n)` views in memory, so it stops
-//!   at `2^14` (a `2^16` grid point would need tens of GB);
+//! * per-process shares views by delivery history now (it used to hold
+//!   `n` distinct `O(n)` views and stop at `2^14`), so its bound is the
+//!   `O(n)` per-slot round bookkeeping — it stops at `2^16`;
 //! * threaded spawns one OS thread per process, so it stops at `2^12`;
 //! * socket workers share one view per delivery history (failure-free:
 //!   one view per worker), so its bound is the per-round loopback-TCP

@@ -7,7 +7,7 @@
 //! top of each executor's per-round cost.
 //!
 //! The same feasibility caps as `executor_scaling` apply (per-process
-//! and socket stop at `2^14`, threaded at `2^12`); a service epoch runs
+//! and socket stop at `2^16`, threaded at `2^12`); a service epoch runs
 //! at most `free ≤ N` contenders, so the cap is on the namespace size.
 //! Skipped cells are printed explicitly.
 

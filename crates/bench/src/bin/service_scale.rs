@@ -1,0 +1,134 @@
+//! The service-scale macro: how many names the sharded namespace
+//! service holds at once, and at what sustained acquire throughput,
+//! written to `BENCH_service_scale.json` (schema:
+//! `bil_bench::service_report`).
+//!
+//! Where `round_kernel` times one protocol round in isolation, this
+//! binary times the whole service stack — front-end routing, two-stage
+//! admission, pipelined per-shard epochs — under the E15 saturating
+//! schedule: adversarial arrivals fill the namespace in epoch 0 and
+//! later epochs verify it stays saturated. The headline row is the
+//! million-name cell: `2^20` names over 64 shards of `2^14`.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p bil-bench --bin service_scale            # full grid
+//! cargo run --release -p bil-bench --bin service_scale -- --smoke # CI guard
+//! cargo run --release -p bil-bench --bin service_scale -- --out target/x.json
+//! ```
+//!
+//! `--smoke` drives a `2^14`-name, 16-shard fill on the clustered
+//! executor, prints its figures, and exits non-zero if the namespace
+//! does not saturate or the throughput figure is degenerate — CI wraps
+//! it in a `timeout` so a routing or pipelining regression turns the
+//! perf-smoke step red instead of silently landing.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bil_bench::service_report::{self, ServiceReport};
+use bil_harness::Executor;
+
+/// Pipelined epochs per cell: epoch 0 fills, epoch 1 re-batches an
+/// already-saturated namespace under the overlap path.
+const EPOCHS: u64 = 2;
+
+/// Smoke-mode namespace: big enough to exercise spill routing across
+/// 16 shards, small enough for a debug-build CI lane.
+const SMOKE_CAPACITY: usize = 1 << 14;
+
+/// Smoke-mode shard count.
+const SMOKE_SHARDS: usize = 16;
+
+fn main() -> ExitCode {
+    let mut out = service_report::default_path();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if smoke {
+        let row = service_report::measure(
+            "service_scale",
+            SMOKE_CAPACITY,
+            SMOKE_SHARDS,
+            Executor::Clustered,
+            EPOCHS,
+        );
+        println!(
+            "service_scale smoke: {} names / {} shards on {}: {} held, {:.1} acquires/sec",
+            row.capacity, row.shards, row.executor, row.names_held, row.acquires_per_sec
+        );
+        // A crash-free saturating fill that leaves holes means routing
+        // or admission broke; a degenerate rate means timing broke.
+        if row.names_held != row.capacity {
+            eprintln!(
+                "service_scale smoke: FAIL — held {} of {} names",
+                row.names_held, row.capacity
+            );
+            return ExitCode::FAILURE;
+        }
+        if !row.acquires_per_sec.is_finite() || row.acquires_per_sec <= 0.0 {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The grid: the million-name layout (64 shards × 2^14) on the
+    // executors whose per-run cap admits a 2^14-contender shard epoch.
+    // Threaded would need 256 sequential 2^12 shards (thread-per-
+    // contender), and socket would push every round of 64 shard epochs
+    // over loopback TCP; both are measured at the smoke layout instead
+    // so every executor kind keeps a row.
+    let grid: &[(Executor, usize, usize)] = &[
+        (Executor::Clustered, 1 << 20, 64),
+        (Executor::Parallel, 1 << 20, 64),
+        (Executor::PerProcess, 1 << 20, 64),
+        (Executor::Threaded, SMOKE_CAPACITY, SMOKE_SHARDS),
+        (Executor::Socket, SMOKE_CAPACITY, SMOKE_SHARDS),
+    ];
+
+    let mut report = ServiceReport::load(&out);
+    let mut ok = true;
+    for &(executor, capacity, shards) in grid {
+        let row = service_report::measure("service_scale", capacity, shards, executor, EPOCHS);
+        println!(
+            "{:>9} names / {:>3} shards {:>11}: {:>9} held, {:>10.1} acquires/sec",
+            row.capacity, row.shards, row.executor, row.names_held, row.acquires_per_sec
+        );
+        if row.names_held != row.capacity {
+            eprintln!(
+                "service_scale: FAIL — {} held only {} of {} names",
+                row.executor, row.names_held, row.capacity
+            );
+            ok = false;
+        }
+        report.upsert(row);
+    }
+    match report.save(&out) {
+        Ok(()) if ok => {
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Ok(()) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod service_report;
 
 use bil_harness::{AdversarySpec, Algorithm, Scenario};
 

@@ -1,0 +1,305 @@
+//! Machine-readable service-scale results: `BENCH_service_scale.json`.
+//!
+//! The sharded-service counterpart of [`crate::report`]: the
+//! `service_scale` binary drives the E15 saturating workload through
+//! [`ShardedService`](bil_service::ShardedService) and upserts one flat
+//! row per `(bench, capacity, shards, executor)` cell, so the service's
+//! capacity and throughput trajectory is tracked across PRs alongside
+//! the round-kernel numbers.
+//!
+//! Schema (`bil-service-scale/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "bil-service-scale/v1",
+//!   "rows": [
+//!     { "bench": "service_scale", "capacity": 1048576, "shards": 64,
+//!       "shard_capacity": 16384, "executor": "clustered", "epochs": 2,
+//!       "names_held": 1048576, "acquires_per_sec": 1234567.8 }
+//!   ]
+//! }
+//! ```
+//!
+//! As with the round-kernel file, the parser accepts exactly what
+//! [`ServiceReport::save`] writes and treats anything else as empty —
+//! a stale or foreign results file must never abort a bench run.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use bil_harness::experiments::e15_service_scale::{scale_run, ScaleSchedule};
+use bil_harness::experiments::EvalOpts;
+use bil_harness::Executor;
+
+/// The schema tag written to (and required of) the JSON file.
+pub const SCHEMA: &str = "bil-service-scale/v1";
+
+/// The checked-in location of the results file, resolved from this
+/// crate's manifest (see [`crate::report::default_path`]).
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service_scale.json")
+}
+
+/// Drives a crash-free saturating fill (the E15 `saturating` schedule)
+/// of `capacity` names across `shards` shards for `epochs` pipelined
+/// epochs on `executor`, and folds the outcome into a [`ServiceRow`].
+/// Epoch 0 fills the namespace; later epochs find it saturated.
+pub fn measure(
+    bench: &str,
+    capacity: usize,
+    shards: usize,
+    executor: Executor,
+    epochs: u64,
+) -> ServiceRow {
+    let opts = EvalOpts {
+        quick: false,
+        executor,
+    };
+    let outcome = scale_run(
+        capacity,
+        shards,
+        epochs,
+        ScaleSchedule::saturating(),
+        2014,
+        &opts,
+    );
+    ServiceRow {
+        bench: bench.into(),
+        capacity,
+        shards,
+        shard_capacity: capacity.div_ceil(shards),
+        executor: executor.to_string(),
+        epochs,
+        names_held: outcome.held_peak,
+        acquires_per_sec: outcome.acquires_per_sec(),
+    }
+}
+
+/// One measured cell: service capacity and throughput of one shard
+/// layout on one executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRow {
+    /// Which bench produced the row (`service_scale`).
+    pub bench: String,
+    /// Total namespace size.
+    pub capacity: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Names per shard (the widest shard, for uneven splits).
+    pub shard_capacity: usize,
+    /// Executor name as printed by the harness (`clustered`, …).
+    pub executor: String,
+    /// Pipelined epochs driven.
+    pub epochs: u64,
+    /// Peak names held simultaneously (the headline capacity figure).
+    pub names_held: usize,
+    /// Grants per wall-clock second over the whole drive.
+    pub acquires_per_sec: f64,
+}
+
+/// An upsertable collection of [`ServiceRow`]s backed by one JSON file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    rows: Vec<ServiceRow>,
+}
+
+impl ServiceReport {
+    /// An empty report.
+    pub fn new() -> ServiceReport {
+        ServiceReport::default()
+    }
+
+    /// Loads `path`, returning an empty report if the file is missing,
+    /// unreadable, or not a `bil-service-scale/v1` document.
+    pub fn load(path: &Path) -> ServiceReport {
+        let Ok(text) = fs::read_to_string(path) else {
+            return ServiceReport::new();
+        };
+        parse(&text).unwrap_or_default()
+    }
+
+    /// The rows, sorted by `(bench, capacity, shards, executor)`.
+    pub fn rows(&self) -> &[ServiceRow] {
+        &self.rows
+    }
+
+    /// Inserts `row`, replacing any existing row with the same
+    /// `(bench, capacity, shards, executor)` key.
+    pub fn upsert(&mut self, row: ServiceRow) {
+        if let Some(existing) = self.rows.iter_mut().find(|r| {
+            r.bench == row.bench
+                && r.capacity == row.capacity
+                && r.shards == row.shards
+                && r.executor == row.executor
+        }) {
+            *existing = row;
+        } else {
+            self.rows.push(row);
+        }
+        self.rows.sort_by(|a, b| {
+            (&a.bench, a.capacity, a.shards, &a.executor).cmp(&(
+                &b.bench,
+                b.capacity,
+                b.shards,
+                &b.executor,
+            ))
+        });
+    }
+
+    /// Serializes to the v1 schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{ \"bench\": \"{}\", \"capacity\": {}, \"shards\": {}, \
+                 \"shard_capacity\": {}, \"executor\": \"{}\", \"epochs\": {}, \
+                 \"names_held\": {}, \"acquires_per_sec\": {:.1} }}",
+                r.bench,
+                r.capacity,
+                r.shards,
+                r.shard_capacity,
+                r.executor,
+                r.epochs,
+                r.names_held,
+                r.acquires_per_sec
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
+/// Parses a v1 document. `None` for anything that is not one.
+fn parse(text: &str) -> Option<ServiceReport> {
+    if !text.contains(SCHEMA) {
+        return None;
+    }
+    let rows_start = text.find("\"rows\"")?;
+    let body = &text[rows_start..];
+    let open = body.find('[')?;
+    let close = body.rfind(']')?;
+    let array = &body[open + 1..close];
+    let mut report = ServiceReport::new();
+    let mut rest = array;
+    while let Some(obj_open) = rest.find('{') {
+        let obj_close = rest[obj_open..].find('}')? + obj_open;
+        let obj = &rest[obj_open + 1..obj_close];
+        report.upsert(parse_row(obj)?);
+        rest = &rest[obj_close + 1..];
+    }
+    Some(report)
+}
+
+/// Parses one flat `key: value` object body.
+fn parse_row(obj: &str) -> Option<ServiceRow> {
+    let mut bench = None;
+    let mut capacity = None;
+    let mut shards = None;
+    let mut shard_capacity = None;
+    let mut executor = None;
+    let mut epochs = None;
+    let mut names_held = None;
+    let mut acquires_per_sec = None;
+    for field in obj.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (key, value) = field.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "bench" => bench = Some(value.trim_matches('"').to_string()),
+            "executor" => executor = Some(value.trim_matches('"').to_string()),
+            "capacity" => capacity = value.parse::<usize>().ok(),
+            "shards" => shards = value.parse::<usize>().ok(),
+            "shard_capacity" => shard_capacity = value.parse::<usize>().ok(),
+            "epochs" => epochs = value.parse::<u64>().ok(),
+            "names_held" => names_held = value.parse::<usize>().ok(),
+            "acquires_per_sec" => acquires_per_sec = value.parse::<f64>().ok(),
+            _ => return None,
+        }
+    }
+    Some(ServiceRow {
+        bench: bench?,
+        capacity: capacity?,
+        shards: shards?,
+        shard_capacity: shard_capacity?,
+        executor: executor?,
+        epochs: epochs?,
+        names_held: names_held?,
+        acquires_per_sec: acquires_per_sec?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(capacity: usize, shards: usize, executor: &str, held: usize) -> ServiceRow {
+        ServiceRow {
+            bench: "service_scale".into(),
+            capacity,
+            shards,
+            shard_capacity: capacity / shards,
+            executor: executor.into(),
+            epochs: 2,
+            names_held: held,
+            acquires_per_sec: held as f64 * 3.5,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut r = ServiceReport::new();
+        r.upsert(row(1 << 20, 64, "clustered", 1 << 20));
+        r.upsert(row(1 << 14, 16, "socket", 1 << 14));
+        let parsed = parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.rows().len(), 2);
+        assert_eq!(parsed.rows()[1].capacity, 1 << 20);
+        assert_eq!(parsed.rows()[1].names_held, 1 << 20);
+        assert_eq!(parse(&parsed.to_json()), Some(parsed.clone()));
+    }
+
+    #[test]
+    fn upsert_replaces_by_key_and_sorts() {
+        let mut r = ServiceReport::new();
+        r.upsert(row(1 << 20, 64, "clustered", 100));
+        r.upsert(row(1 << 14, 16, "clustered", 200));
+        r.upsert(row(1 << 20, 64, "clustered", 300));
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[0].capacity, 1 << 14, "sorted by key");
+        assert_eq!(r.rows()[1].names_held, 300, "replaced in place");
+    }
+
+    #[test]
+    fn foreign_or_corrupt_text_reads_as_empty() {
+        assert_eq!(parse("not json"), None);
+        assert_eq!(
+            parse("{\"schema\": \"bil-round-kernel/v1\", \"rows\": []}"),
+            None
+        );
+        let missing = ServiceReport::load(Path::new("/nonexistent/missing.json"));
+        assert!(missing.rows().is_empty());
+    }
+
+    #[test]
+    fn measure_smoke_fills_a_tiny_namespace() {
+        let row = measure("service_scale", 64, 4, Executor::Clustered, 2);
+        assert_eq!(row.names_held, 64, "crash-free saturation must fill");
+        assert_eq!(row.shard_capacity, 16);
+        assert!(row.acquires_per_sec > 0.0);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel|socket}]
 //!            [all | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 |
-//!             e11 | e12 | e13 | e14 | fig12 | fig4]...
+//!             e11 | e12 | e13 | e14 | e15 | fig12 | fig4]...
 //! ```
 //!
 //! With no experiment ids, runs everything. `--quick` shrinks sizes and
@@ -21,7 +21,7 @@ use bil_harness::Executor;
 
 fn usage() -> &'static str {
     "usage: paper-eval [--quick] [--executor {clustered|per-process|threaded|parallel|socket}]\n\
-     \x20                 [all|e1|e2|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|fig12|fig4]..."
+     \x20                 [all|e1|e2|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15|fig12|fig4]..."
 }
 
 fn parse_executor(name: &str) -> Result<Executor, ExitCode> {
@@ -89,6 +89,7 @@ fn main() -> ExitCode {
             "e12" => experiments::e12_ablations::run(&opts),
             "e13" => experiments::e13_baseline_failures::run(&opts),
             "e14" => experiments::e14_churn::run(&opts),
+            "e15" => experiments::e15_service_scale::run(&opts),
             "fig12" => experiments::figures::run_fig12(&opts),
             "fig4" => experiments::figures::run_fig4(&opts),
             unknown => {

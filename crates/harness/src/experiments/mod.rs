@@ -18,6 +18,7 @@ pub mod e11_messages;
 pub mod e12_ablations;
 pub mod e13_baseline_failures;
 pub mod e14_churn;
+pub mod e15_service_scale;
 pub mod figures;
 
 use crate::scenario::{Algorithm, Executor, Scenario};
@@ -152,6 +153,7 @@ pub fn run_all(opts: &EvalOpts) -> String {
         e12_ablations::run(opts),
         e13_baseline_failures::run(opts),
         e14_churn::run(opts),
+        e15_service_scale::run(opts),
     ];
     parts.join("\n")
 }
@@ -186,7 +188,10 @@ mod tests {
             quick: false,
             executor: Executor::PerProcess,
         };
-        assert!(per_process.pow2s(4, 16, 2).iter().all(|n| *n <= 1 << 14));
+        // Per-process shares views by delivery history now, so its cap
+        // sits at 2^16 like the socket executor's.
+        assert!(per_process.pow2s(4, 16, 2).iter().all(|n| *n <= 1 << 16));
+        assert_eq!(per_process.pow2s(4, 16, 2).last(), Some(&65536));
         let socket = EvalOpts {
             quick: false,
             executor: Executor::Socket,

@@ -141,20 +141,21 @@ impl Executor {
 
     /// The largest `n` this executor can feasibly carry, if bounded.
     ///
-    /// Per-process holds `n` distinct `O(n)` views (≈ GBs at `2^14`,
-    /// tens of GB beyond); threaded spawns one OS thread per process
-    /// (thread creation fails well below `2^16`). The socket executor's
-    /// workers share views by delivery history (one view per worker when
-    /// failure-free), so its bound is no longer the per-slot view memory
-    /// but the per-round wire traffic — every round still ships `O(n)`
-    /// encoded broadcasts per worker over loopback — capped at `2^16`.
-    /// Scenario dispatch refuses larger systems loudly instead of
-    /// crashing or OOMing mid-sweep; the clustered and parallel
-    /// executors are unbounded.
+    /// Threaded spawns one OS thread per process (thread creation fails
+    /// well below `2^16`). Per-process and socket both share views by
+    /// delivery history now (one view per divergence class instead of
+    /// one per slot), so neither is bounded by per-slot view memory any
+    /// more: per-process is capped at `2^16` by its `O(n)` per-slot
+    /// round bookkeeping (RNG streams, compose fan-out) and the socket
+    /// executor by per-round wire traffic — every round still ships
+    /// `O(n)` encoded broadcasts per worker over loopback. Scenario
+    /// dispatch refuses larger systems loudly instead of crashing or
+    /// OOMing mid-sweep; the clustered and parallel executors are
+    /// unbounded.
     pub fn max_n(&self) -> Option<usize> {
         match self {
             Executor::Clustered | Executor::Parallel => None,
-            Executor::PerProcess => Some(1 << 14),
+            Executor::PerProcess => Some(1 << 16),
             Executor::Socket => Some(1 << 16),
             Executor::Threaded => Some(1 << 12),
         }
@@ -700,8 +701,8 @@ mod tests {
         );
         assert!(err.to_string().contains("threaded"));
         // The socket executor clusters views by delivery history, so it
-        // outgrows the per-process cap; the wire-traffic cap at 2^16
-        // still rejects larger systems.
+        // outgrows the old per-slot-view memory wall; the wire-traffic
+        // cap at 2^16 still rejects larger systems.
         let too_big = (1 << 16) + 1;
         let err = Scenario::failure_free(Algorithm::BilBase, too_big)
             .on_executor(Executor::Socket)
@@ -720,7 +721,7 @@ mod tests {
 
     #[test]
     fn infeasible_hint_reflects_actual_executor_and_caps() {
-        // Threaded at 2^12 + 1: per-process and socket (cap 2^14) are
+        // Threaded at 2^12 + 1: per-process and socket (caps 2^16) are
         // still feasible and must be suggested alongside the unbounded
         // executors; the failing executor itself must not be.
         let err = ScenarioError::ExecutorInfeasible {

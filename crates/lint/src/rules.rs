@@ -57,10 +57,11 @@
 //!   **not** suppressible by pragma: a wire break has no justifiable
 //!   form, only a version bump.
 //! * [`ANOMALY_EXHAUSTIVE`] — every `Anomalies` counter is both
-//!   incremented and read outside tests, and every `RunError` variant is
-//!   both constructed and matched outside tests, so the drop-and-count
-//!   paths of PRs 4–7 cannot silently rot into dead counters or
-//!   unreported errors.
+//!   incremented and read outside tests, and every variant of the
+//!   tracked error enums (`RunError`, the service front-end's
+//!   `ShardError`) is both constructed and matched outside tests, so the
+//!   drop-and-count paths of PRs 4–7 cannot silently rot into dead
+//!   counters or unreported errors.
 //!
 //! Findings can be suppressed with
 //! `// bil-lint: allow(<rule>): <justification>` on the offending line
@@ -97,8 +98,9 @@ pub const HOT_PATH_MAPS: &str = "hot-path-maps";
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 /// `wire.schema.lock` missing or drifted (not pragma-suppressible).
 pub const WIRE_SCHEMA: &str = "wire-schema";
-/// An `Anomalies` counter or `RunError` variant never constructed or
-/// never observed outside tests.
+/// An `Anomalies` counter, or a variant of one of the `ERROR_ENUMS`
+/// (`RunError`, `ShardError`), never constructed or never observed
+/// outside tests.
 pub const ANOMALY_EXHAUSTIVE: &str = "anomaly-exhaustive";
 /// A pragma that suppressed nothing (not itself suppressible).
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -146,7 +148,9 @@ const MESSAGE_PATH_FILES: &[&str] = &[
     "crates/runtime/src/socket.rs",
     "crates/runtime/src/frame.rs",
     "crates/runtime/src/wire.rs",
-    "crates/service/src/lib.rs",
+    "crates/service/src/epoch.rs",
+    "crates/service/src/shard.rs",
+    "crates/service/src/sharded.rs",
 ];
 
 /// Executor/transport files that must report structured `RunError`s
@@ -248,8 +252,13 @@ const WIRE_FIXTURE_FILE: &str = "crates/runtime/tests/wire_fixtures.rs";
 /// Where the exhaustiveness pass finds its subjects.
 const ANOMALIES_FILE: &str = "crates/core/src/protocol.rs";
 const ANOMALIES_STRUCT: &str = "Anomalies";
-const RUN_ERROR_FILE: &str = "crates/runtime/src/error.rs";
-const RUN_ERROR_ENUM: &str = "RunError";
+/// Error enums held to the same exhaustiveness contract as `Anomalies`:
+/// every variant must be constructed AND matched outside tests, in the
+/// named defining file's enum. `(file, enum)` pairs.
+const ERROR_ENUMS: &[(&str, &str)] = &[
+    ("crates/runtime/src/error.rs", "RunError"),
+    ("crates/service/src/error.rs", "ShardError"),
+];
 
 /// One diagnostic: a rule violation (or unused pragma) at a location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -849,10 +858,10 @@ fn struct_fields(s: &Stripped, struct_name: &str) -> Vec<(String, usize)> {
 }
 
 /// Every `Anomalies` counter must be incremented *and* read outside
-/// tests, and every `RunError` variant constructed *and* matched outside
-/// tests: a counter nobody bumps means the drop path it counted rotted
-/// away; a variant nobody matches means an error the operator never
-/// sees.
+/// tests, and every variant of each enum in [`ERROR_ENUMS`] constructed
+/// *and* matched outside tests: a counter nobody bumps means the drop
+/// path it counted rotted away; a variant nobody matches means an error
+/// the operator never sees.
 fn check_exhaustiveness(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<Finding>) {
     if let Some(s) = stripped.get(ANOMALIES_FILE) {
         for (field, line) in struct_fields(s, ANOMALIES_STRUCT) {
@@ -895,46 +904,48 @@ fn check_exhaustiveness(stripped: &BTreeMap<&str, Stripped>, findings: &mut Vec<
             }
         }
     }
-    let Some(s) = stripped.get(RUN_ERROR_FILE) else {
-        return;
-    };
-    for v in schema::enum_variants(s, RUN_ERROR_ENUM) {
-        let needle = format!("{RUN_ERROR_ENUM}::{}", v.name);
-        let mut constructed = false;
-        let mut observed = false;
-        for (path, sf) in stripped {
-            if in_test_dir(path) {
-                continue;
-            }
-            for off in word_occurrences(&sf.code, &needle) {
-                let line = sf.line_of(off);
-                if sf.is_test_line(line) {
+    for (error_file, error_enum) in ERROR_ENUMS {
+        let Some(s) = stripped.get(error_file) else {
+            continue;
+        };
+        for v in schema::enum_variants(s, error_enum) {
+            let needle = format!("{error_enum}::{}", v.name);
+            let mut constructed = false;
+            let mut observed = false;
+            for (path, sf) in stripped {
+                if in_test_dir(path) {
                     continue;
                 }
-                if variant_use_is_observation(sf, off, needle.len()) {
-                    observed = true;
-                } else {
-                    constructed = true;
+                for off in word_occurrences(&sf.code, &needle) {
+                    let line = sf.line_of(off);
+                    if sf.is_test_line(line) {
+                        continue;
+                    }
+                    if variant_use_is_observation(sf, off, needle.len()) {
+                        observed = true;
+                    } else {
+                        constructed = true;
+                    }
                 }
             }
-        }
-        if !constructed {
-            push(
-                findings,
-                RUN_ERROR_FILE,
-                v.line,
-                ANOMALY_EXHAUSTIVE,
-                format!("`{RUN_ERROR_ENUM}::{}` is never constructed outside tests: the failure it models is no longer reported (remove the variant or restore the path)", v.name),
-            );
-        }
-        if !observed {
-            push(
-                findings,
-                RUN_ERROR_FILE,
-                v.line,
-                ANOMALY_EXHAUSTIVE,
-                format!("`{RUN_ERROR_ENUM}::{}` is never matched outside tests: callers cannot distinguish this failure (match it in `Display`/handling code)", v.name),
-            );
+            if !constructed {
+                push(
+                    findings,
+                    error_file,
+                    v.line,
+                    ANOMALY_EXHAUSTIVE,
+                    format!("`{error_enum}::{}` is never constructed outside tests: the failure it models is no longer reported (remove the variant or restore the path)", v.name),
+                );
+            }
+            if !observed {
+                push(
+                    findings,
+                    error_file,
+                    v.line,
+                    ANOMALY_EXHAUSTIVE,
+                    format!("`{error_enum}::{}` is never matched outside tests: callers cannot distinguish this failure (match it in `Display`/handling code)", v.name),
+                );
+            }
         }
     }
 }

@@ -557,6 +557,23 @@ fn anomaly_exhaustive_covers_run_error_variants() {
     assert!(findings[1].message.contains("never matched"));
 }
 
+#[test]
+fn anomaly_exhaustive_covers_shard_error_variants() {
+    // The service front-end's `ShardError` is held to the same contract
+    // as `RunError`, from its own defining file.
+    let findings = lint(&[(
+        "crates/service/src/error.rs",
+        "pub enum ShardError {\n    BadPartition { capacity: usize },\n    Ghost { shard: usize },\n}\n\
+         pub fn fail() -> ShardError { ShardError::BadPartition { capacity: 0 } }\n\
+         pub fn show(e: &ShardError) -> u32 {\n    match e {\n        ShardError::BadPartition { .. } => 1,\n        ShardError::Ghost { .. } => 2,\n    }\n}\n",
+    )]);
+    // `BadPartition` is constructed and matched; `Ghost` is matched but
+    // never constructed.
+    assert_eq!(rules_hit(&findings), vec![ANOMALY_EXHAUSTIVE]);
+    assert!(findings[0].message.contains("ShardError::Ghost"));
+    assert!(findings[0].message.contains("never constructed"));
+}
+
 // ---------------------------------------------------------------- wire-schema
 
 fn wire_workspace() -> Vec<(String, String)> {

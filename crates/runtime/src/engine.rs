@@ -10,8 +10,12 @@
 //! this engine is a thin driver that picks a transport for one of three
 //! observationally-equivalent modes ([`EngineMode`]):
 //!
-//! * [`EngineMode::PerProcess`] — the reference semantics: one view per
-//!   process, `O(n² log n)` work per phase for Balls-into-Leaves.
+//! * [`EngineMode::PerProcess`] — the reference semantics: a process's
+//!   view is exactly what its own delivery history dictates. Views are
+//!   physically shared by delivery history (one cluster until partial
+//!   deliveries diverge inboxes) but, unlike the clustered mode, diverged
+//!   views **never re-merge** — so the mode exercises the
+//!   no-recoalescing execution shape without paying `n` identical views.
 //! * [`EngineMode::Clustered`] — processes with bit-identical views share
 //!   one view; views split on partial deliveries and re-merge when they
 //!   become equal again (which the paper's position-resynchronization round
@@ -41,7 +45,8 @@ pub enum EngineMode {
     /// Share identical views between processes (fast, default).
     #[default]
     Clustered,
-    /// One view per process (reference semantics).
+    /// Views shared by delivery history, never re-merged (reference
+    /// semantics).
     PerProcess,
     /// Clustered semantics with per-round work sharded across OS threads.
     Parallel,

@@ -25,7 +25,7 @@
 //!
 //! | executor | transport | use it for |
 //! |---|---|---|
-//! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | in-memory, one view per process | fidelity cross-checks (reference semantics) |
+//! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | in-memory, views shared by delivery history, never re-merged | fidelity cross-checks (reference semantics) |
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | in-memory, identical views shared | large-`n` experiment sweeps |
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Parallel`] / [`parallel::run_parallel`] | in-memory clustered, rounds sharded across OS threads | multi-core sweeps |
 //! | [`threaded::run_threaded`] | one OS thread per process, wire-encoded messages over crossbeam channels | demonstrating the protocol over real message passing |

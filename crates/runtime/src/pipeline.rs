@@ -541,9 +541,16 @@ impl<A> RoundPipeline<A> {
 }
 
 /// The in-memory transport: views live on the calling thread as
-/// [`Cluster`]s, messages are passed by reference. With `merge` enabled
-/// this is the clustered engine (processes with bit-identical views share
-/// one view); without it, the per-process reference semantics.
+/// [`Cluster`]s, messages are passed by reference. Both modes start from
+/// one shared-view cluster and split members apart when a partial
+/// delivery hands them different inboxes; with `merge` enabled this is
+/// the clustered engine (equal views re-coalesce after every round),
+/// without it the per-process engine, where diverged delivery histories
+/// stay split forever. Either way a process's view is exactly what its
+/// own delivery history dictates, so reports are bit-identical across
+/// the two — but a failure-free run materializes one view instead of
+/// `n`, which is what lets per-process mode scale past its former
+/// one-view-per-slot 2^14 memory ceiling.
 pub struct LocalTransport<P: ViewProtocol> {
     pub(crate) protocol: P,
     pub(crate) labels: Vec<Label>,
@@ -570,26 +577,25 @@ impl<P: ViewProtocol> LocalTransport<P> {
         Self::with_merge(protocol, labels, seeds, true)
     }
 
-    /// A transport with one view per process (reference semantics).
+    /// A transport where processes share views by delivery history:
+    /// members split off a cluster when a partial delivery diverges
+    /// their inboxes and never re-merge (unlike
+    /// [`LocalTransport::clustered`]). A process's view is therefore a
+    /// pure function of its own delivery history — the per-process
+    /// reference semantics — without materializing `n` identical views.
     pub fn per_process(protocol: P, labels: &[Label], seeds: &SeedTree) -> Self {
         Self::with_merge(protocol, labels, seeds, false)
     }
 
     fn with_merge(protocol: P, labels: &[Label], seeds: &SeedTree, merge: bool) -> Self {
         let n = labels.len();
-        let clusters = if merge {
-            vec![Cluster {
-                members: (0..n as u32).map(ProcId).collect(),
-                view: protocol.init_view(n),
-            }]
-        } else {
-            (0..n as u32)
-                .map(|p| Cluster {
-                    members: vec![ProcId(p)],
-                    view: protocol.init_view(n),
-                })
-                .collect()
-        };
+        // Both modes start from one shared cluster: views only diverge
+        // when delivery histories do (`split_groups`), and `merge`
+        // decides whether equal views re-coalesce afterwards.
+        let clusters = vec![Cluster {
+            members: (0..n as u32).map(ProcId).collect(),
+            view: protocol.init_view(n),
+        }];
         LocalTransport {
             protocol,
             labels: labels.to_vec(),
@@ -806,6 +812,48 @@ mod tests {
             .expect("in-memory transports are infallible");
         assert!(report.completed());
         assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn per_process_clusters_by_delivery_history_and_never_remerges() {
+        use crate::testproto::UnionRank;
+
+        let labels: Vec<Label> = (0..6u64).map(Label).collect();
+        let seeds = SeedTree::new(9);
+        let mut t = LocalTransport::per_process(UnionRank::rounds(8), &labels, &seeds);
+        assert_eq!(t.clusters.len(), 1, "one shared cluster, not n singletons");
+
+        // Round 0, crash-free: every process hears the same inbox, so
+        // one view serves all six slots.
+        let all: Vec<ProcId> = (0..6).map(ProcId).collect();
+        let alive = vec![true; 6];
+        let outgoing = t.compose(Round(0), &all).unwrap();
+        let mut msgs = RoundMessages::new(outgoing, &alive, &[]);
+        msgs.prepare(&all);
+        t.apply(Round(0), &alive, &all, &msgs).unwrap();
+        assert_eq!(t.clusters.len(), 1);
+
+        // Round 1: slot 5 crashes mid-broadcast, heard only by slot 0 —
+        // slot 0's delivery history diverges and it splits off.
+        let outgoing = t.compose(Round(1), &all).unwrap();
+        let alive = vec![true, true, true, true, true, false];
+        let crashes = vec![(ProcId(5), Recipients::Set(vec![ProcId(0)]))];
+        let survivors: Vec<ProcId> = (0..5).map(ProcId).collect();
+        let mut msgs = RoundMessages::new(outgoing, &alive, &crashes);
+        msgs.prepare(&survivors);
+        t.apply(Round(1), &alive, &survivors, &msgs).unwrap();
+        assert_eq!(t.clusters.len(), 2, "diverged history splits the cluster");
+
+        // By round 1 every view already knew all six labels, so the two
+        // clusters hold *equal* views: the split keys on history, not on
+        // view content, and a crash-free round later per-process mode
+        // still refuses to re-merge (that is the clustered engine's move).
+        assert_eq!(t.clusters[0].view, t.clusters[1].view);
+        let outgoing = t.compose(Round(2), &survivors).unwrap();
+        let mut msgs = RoundMessages::new(outgoing, &alive, &[]);
+        msgs.prepare(&survivors);
+        t.apply(Round(2), &alive, &survivors, &msgs).unwrap();
+        assert_eq!(t.clusters.len(), 2, "per-process clusters never re-merge");
     }
 
     #[test]

@@ -22,17 +22,34 @@
 //! 3. Admitted contenders run **one Balls-into-Leaves execution**
 //!    ([`bil_core::EpochBil`]) over the `N`-leaf tree with every held
 //!    name masked out by a committed *resident ball* on its leaf. Which
-//!    executor carries the rounds is a plain [`ExecutorKind`] choice;
-//!    all five yield bit-identical epochs.
+//!    executor carries the rounds is a plain
+//!    [`ExecutorKind`](bil_runtime::ExecutorKind) choice; all five yield
+//!    bit-identical epochs.
 //! 4. Decisions become grants; contenders crashed by the adversary are
 //!    dropped (their request dies with them). The service records which
 //!    granted names are **recycled** — previously released and now
 //!    reissued.
 //!
 //! Every epoch `e` runs from the deterministic seed tree
-//! [`SeedTree::epoch`]`(e)` derived from the service's root seed, so an
-//! entire multi-epoch history is one deterministic function of
-//! `(root seed, request stream, adversary choices)` — on every executor.
+//! [`SeedTree::epoch`](bil_runtime::SeedTree::epoch)`(e)` derived from
+//! the service's root seed, so an entire multi-epoch history is one
+//! deterministic function of `(root seed, request stream, adversary
+//! choices)` — on every executor.
+//!
+//! ## Crate layout
+//!
+//! * [`mod@error`] — [`ServiceError`] (per-shard engine) and
+//!   [`ShardError`] (sharded front-end).
+//! * [`mod@epoch`] — [`Request`], [`ServiceOptions`], [`EpochReport`],
+//!   and the detached [`EpochRun`] / [`EpochOutcome`] pair that makes
+//!   epoch pipelining possible.
+//! * [`mod@shard`] — [`RenamingService`], the per-shard engine with its
+//!   two-stage admission queue (`enqueue` → `begin_epoch` →
+//!   `finish_epoch`).
+//! * [`mod@sharded`] — [`ShardedService`], the range-partitioned
+//!   front-end: [`NamePartition`], deterministic hash routing with ring
+//!   spill, and pipelined per-shard epochs
+//!   ([`ShardedService::run_epochs`]).
 //!
 //! ## Example
 //!
@@ -55,568 +72,32 @@
 //! assert_eq!(svc.holders().count(), 5);
 //! # Ok::<(), bil_service::ServiceError>(())
 //! ```
+//!
+//! Scaling past one engine is a front-end swap, not an API change:
+//!
+//! ```
+//! use bil_runtime::Label;
+//! use bil_service::{Request, ShardedOptions, ShardedService};
+//!
+//! // 64 names split across 4 shards, epochs pipelined per shard.
+//! let mut svc = ShardedService::new(64, 4, 2014, ShardedOptions::default())?;
+//! let batch: Vec<Request> = (0..48).map(|i| Request::Acquire(Label(i))).collect();
+//! let report = svc.step(&batch)?;
+//! assert_eq!(report.granted.len(), 48);
+//! assert_eq!(svc.held(), 48);
+//! # Ok::<(), bil_service::ShardError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::error::Error;
-use std::fmt;
+pub mod epoch;
+pub mod error;
+pub mod shard;
+pub mod sharded;
 
-use bil_core::{BilConfig, BilMsg, EpochBil, EpochError};
-use bil_runtime::adversary::{Adversary, NoFailures};
-use bil_runtime::engine::EngineOptions;
-use bil_runtime::socket::SocketOptions;
-use bil_runtime::{ExecutorKind, Label, Name, RunError, RunReport, SeedTree};
-use bil_tree::{Topology, TreeError};
-
-/// One client request, as batched into epochs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Request {
-    /// Acquire a name for this (globally unique) client label.
-    Acquire(Label),
-    /// Release the name this label currently holds.
-    Release(Label),
-}
-
-/// A service construction or epoch-execution error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServiceError {
-    /// The namespace size is not a valid tree.
-    BadCapacity(TreeError),
-    /// An acquire for a label that already holds a name (release it
-    /// first; a release and re-acquire must be split across epochs).
-    AlreadyHolding(Label),
-    /// An acquire for a label that is already queued.
-    AlreadyQueued(Label),
-    /// A release for a label that holds no name.
-    UnknownHolder(Label),
-    /// The same label appears twice in one request batch.
-    DuplicateRequest(Label),
-    /// The epoch protocol instance rejected the service state — only
-    /// reachable through a bug in the service's own bookkeeping.
-    Epoch(EpochError),
-    /// The executor failed mid-epoch (wire decode, socket I/O, …). The
-    /// admitted contenders were re-queued; the epoch may be retried.
-    Run {
-        /// The epoch that failed.
-        epoch: u64,
-        /// The executor's error.
-        source: RunError,
-    },
-    /// The epoch hit its round limit before every contender decided — a
-    /// liveness failure. The admitted contenders were re-queued.
-    Stalled {
-        /// The epoch that stalled.
-        epoch: u64,
-    },
-}
-
-impl fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServiceError::BadCapacity(e) => write!(f, "invalid service capacity: {e}"),
-            ServiceError::AlreadyHolding(l) => {
-                write!(f, "label {l} already holds a name (release it first)")
-            }
-            ServiceError::AlreadyQueued(l) => write!(f, "label {l} is already queued"),
-            ServiceError::UnknownHolder(l) => write!(f, "label {l} holds no name"),
-            ServiceError::DuplicateRequest(l) => {
-                write!(f, "label {l} appears twice in one request batch")
-            }
-            ServiceError::Epoch(e) => write!(f, "epoch construction rejected: {e}"),
-            ServiceError::Run { epoch, source } => {
-                write!(f, "executor failed in epoch {epoch}: {source}")
-            }
-            ServiceError::Stalled { epoch } => {
-                write!(f, "epoch {epoch} hit its round limit before completing")
-            }
-        }
-    }
-}
-
-impl Error for ServiceError {}
-
-impl From<EpochError> for ServiceError {
-    fn from(e: EpochError) -> Self {
-        ServiceError::Epoch(e)
-    }
-}
-
-/// Service tuning: protocol variant, executor, and per-epoch limits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ServiceOptions {
-    /// The Balls-into-Leaves variant every epoch runs.
-    pub config: BilConfig,
-    /// Which of the five bit-identical executors carries each epoch's
-    /// rounds.
-    pub executor: ExecutorKind,
-    /// Per-epoch round cap; `None` picks the engine default (`8n + 64`
-    /// for `n` admitted contenders).
-    pub max_rounds: Option<u64>,
-    /// Worker connections for [`ExecutorKind::Socket`] (`None` picks
-    /// `min(parallelism, n)`); reports are independent of this.
-    pub socket_workers: Option<usize>,
-}
-
-/// What one epoch did. Bit-identical across executors for the same
-/// service history (the embedded [`RunReport`] included).
-#[derive(Debug, Clone, PartialEq)]
-pub struct EpochReport {
-    /// The epoch index.
-    pub epoch: u64,
-    /// Contenders admitted into this epoch's protocol run, in admission
-    /// (FIFO backlog) order.
-    pub admitted: Vec<Label>,
-    /// Acquires still queued after admission (beyond free capacity).
-    pub deferred: usize,
-    /// `(label, name)` grants decided this epoch.
-    pub granted: Vec<(Label, Name)>,
-    /// Admitted contenders crashed by the adversary; their requests die
-    /// with them.
-    pub crashed: Vec<Label>,
-    /// `(label, name)` pairs released at the top of this epoch.
-    pub released: Vec<(Label, Name)>,
-    /// Granted names that previous holders had released — recycled
-    /// capacity, the observable core of long-lived renaming.
-    pub recycled: Vec<Name>,
-    /// Fraction of the namespace held after this epoch.
-    pub density: f64,
-    /// Rounds the protocol run took (0 for an epoch with no admissions).
-    pub rounds: u64,
-    /// The underlying protocol run, if one happened.
-    pub run: Option<RunReport>,
-}
-
-/// The long-lived renaming service; see the crate docs.
-#[derive(Debug, Clone)]
-pub struct RenamingService {
-    capacity: usize,
-    options: ServiceOptions,
-    seeds: SeedTree,
-    epoch: u64,
-    /// Label → held name.
-    assigned: BTreeMap<Label, Name>,
-    /// FIFO backlog of acquires waiting for free capacity.
-    pending: VecDeque<Label>,
-    /// Names that have been released at least once (for recycling
-    /// accounting).
-    ever_released: BTreeSet<Name>,
-}
-
-impl RenamingService {
-    /// A service over `capacity` names, rooted at `seed`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServiceError::BadCapacity`] if `capacity` is not a
-    /// valid tree size (`0` or beyond [`bil_tree::MAX_LEAVES`]).
-    pub fn new(
-        capacity: usize,
-        seed: u64,
-        options: ServiceOptions,
-    ) -> Result<RenamingService, ServiceError> {
-        Topology::new(capacity).map_err(ServiceError::BadCapacity)?;
-        Ok(RenamingService {
-            capacity,
-            options,
-            seeds: SeedTree::new(seed),
-            epoch: 0,
-            assigned: BTreeMap::new(),
-            pending: VecDeque::new(),
-            ever_released: BTreeSet::new(),
-        })
-    }
-
-    /// The namespace size `N`.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// The next epoch index.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Current `(label, name)` holders, in label order.
-    pub fn holders(&self) -> impl Iterator<Item = (Label, Name)> + '_ {
-        self.assigned.iter().map(|(l, n)| (*l, *n))
-    }
-
-    /// The name `label` currently holds, if any.
-    pub fn name_of(&self, label: Label) -> Option<Name> {
-        self.assigned.get(&label).copied()
-    }
-
-    /// Number of names currently held.
-    pub fn held(&self) -> usize {
-        self.assigned.len()
-    }
-
-    /// Fraction of the namespace currently held.
-    pub fn density(&self) -> f64 {
-        self.assigned.len() as f64 / self.capacity as f64
-    }
-
-    /// Acquires queued behind the current capacity.
-    pub fn backlog(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Runs one failure-free epoch over `requests`.
-    ///
-    /// # Errors
-    ///
-    /// As for [`RenamingService::step_against`].
-    pub fn step(&mut self, requests: &[Request]) -> Result<EpochReport, ServiceError> {
-        self.step_against(requests, NoFailures)
-    }
-
-    /// Runs one epoch over `requests` against `adversary` (crashes kill
-    /// admitted contenders; their acquires die with them).
-    ///
-    /// # Errors
-    ///
-    /// Returns a validation error ([`ServiceError::AlreadyHolding`],
-    /// [`ServiceError::UnknownHolder`], …) before any state changes, or
-    /// [`ServiceError::Run`] / [`ServiceError::Stalled`] if the executor
-    /// fails mid-epoch — in which case releases stay applied (they are
-    /// client facts), admitted contenders return to the front of the
-    /// backlog, and the epoch counter does not advance, so the epoch can
-    /// be retried deterministically.
-    pub fn step_against<A: Adversary<BilMsg>>(
-        &mut self,
-        requests: &[Request],
-        adversary: A,
-    ) -> Result<EpochReport, ServiceError> {
-        self.validate(requests)?;
-        let epoch = self.epoch;
-
-        // 1. Releases: residents leave, their leaves become free
-        // capacity for this very epoch.
-        let mut released = Vec::new();
-        for r in requests {
-            if let Request::Release(l) = r {
-                let name = self.assigned.remove(l).expect("validated holder");
-                self.ever_released.insert(name);
-                released.push((*l, name));
-            }
-        }
-
-        // 2. Admission: new acquires join the FIFO backlog; the epoch
-        // admits up to the free capacity.
-        for r in requests {
-            if let Request::Acquire(l) = r {
-                self.pending.push_back(*l);
-            }
-        }
-        let free = self.capacity - self.assigned.len();
-        let admit = free.min(self.pending.len());
-        let admitted: Vec<Label> = self.pending.drain(..admit).collect();
-        let deferred = self.pending.len();
-
-        if admitted.is_empty() {
-            self.epoch += 1;
-            return Ok(EpochReport {
-                epoch,
-                admitted,
-                deferred,
-                granted: Vec::new(),
-                crashed: Vec::new(),
-                released,
-                recycled: Vec::new(),
-                density: self.density(),
-                rounds: 0,
-                run: None,
-            });
-        }
-
-        // 3. One Balls-into-Leaves execution with held names masked out,
-        // on the configured executor, from this epoch's derived seeds.
-        let holders: Vec<(Label, Name)> = self.holders().collect();
-        let protocol = match EpochBil::new(self.options.config, self.capacity, &holders) {
-            Ok(p) => p,
-            // Only reachable through a service bookkeeping bug, but the
-            // retry contract still holds: the admitted cohort goes back
-            // to the front of the backlog, like every other epoch
-            // failure.
-            Err(e) => {
-                self.requeue(admitted);
-                return Err(ServiceError::Epoch(e));
-            }
-        };
-        let engine_options = EngineOptions {
-            max_rounds: self.options.max_rounds,
-            ..EngineOptions::default()
-        };
-        let socket_options = SocketOptions {
-            workers: self.options.socket_workers,
-            ..SocketOptions::default()
-        };
-        let outcome = self.options.executor.run_with(
-            protocol,
-            admitted.clone(),
-            adversary,
-            self.seeds.epoch(epoch),
-            engine_options,
-            socket_options,
-        );
-        let report = match outcome {
-            Ok(report) if report.completed() => report,
-            Ok(_) => {
-                self.requeue(admitted);
-                return Err(ServiceError::Stalled { epoch });
-            }
-            Err(source) => {
-                self.requeue(admitted);
-                return Err(ServiceError::Run { epoch, source });
-            }
-        };
-
-        // 4. Decisions become grants; the crashed are dropped.
-        let mut granted = Vec::new();
-        let mut crashed = Vec::new();
-        for (slot, label) in admitted.iter().enumerate() {
-            match report.decisions[slot] {
-                Some(decision) => {
-                    let prior = self.assigned.insert(*label, decision.name);
-                    debug_assert!(prior.is_none(), "grant to an existing holder");
-                    granted.push((*label, decision.name));
-                }
-                None => crashed.push(*label),
-            }
-        }
-        let recycled: Vec<Name> = granted
-            .iter()
-            .map(|(_, n)| *n)
-            .filter(|n| self.ever_released.contains(n))
-            .collect();
-        self.epoch += 1;
-        Ok(EpochReport {
-            epoch,
-            admitted,
-            deferred,
-            granted,
-            crashed,
-            released,
-            recycled,
-            density: self.density(),
-            rounds: report.rounds,
-            run: Some(report),
-        })
-    }
-
-    /// Returns failed-epoch contenders to the *front* of the backlog, in
-    /// their original order, so a retry admits the same cohort.
-    fn requeue(&mut self, admitted: Vec<Label>) {
-        for label in admitted.into_iter().rev() {
-            self.pending.push_front(label);
-        }
-    }
-
-    /// Rejects malformed batches before any state changes.
-    fn validate(&self, requests: &[Request]) -> Result<(), ServiceError> {
-        let mut seen = BTreeSet::new();
-        for r in requests {
-            let label = match r {
-                Request::Acquire(l) | Request::Release(l) => *l,
-            };
-            if !seen.insert(label) {
-                return Err(ServiceError::DuplicateRequest(label));
-            }
-            match r {
-                Request::Acquire(l) => {
-                    if self.assigned.contains_key(l) {
-                        return Err(ServiceError::AlreadyHolding(*l));
-                    }
-                    if self.pending.contains(l) {
-                        return Err(ServiceError::AlreadyQueued(*l));
-                    }
-                }
-                Request::Release(l) => {
-                    if !self.assigned.contains_key(l) {
-                        return Err(ServiceError::UnknownHolder(*l));
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bil_runtime::adversary::RandomCrash;
-
-    fn acquires(range: std::ops::Range<u64>) -> Vec<Request> {
-        range.map(|i| Request::Acquire(Label(i))).collect()
-    }
-
-    #[test]
-    fn construction_validates_capacity() {
-        assert!(matches!(
-            RenamingService::new(0, 1, ServiceOptions::default()),
-            Err(ServiceError::BadCapacity(_))
-        ));
-        let svc = RenamingService::new(16, 1, ServiceOptions::default()).unwrap();
-        assert_eq!(svc.capacity(), 16);
-        assert_eq!(svc.held(), 0);
-        assert_eq!(svc.density(), 0.0);
-    }
-
-    #[test]
-    fn grants_are_unique_and_within_namespace() {
-        let mut svc = RenamingService::new(8, 7, ServiceOptions::default()).unwrap();
-        let report = svc.step(&acquires(0..8)).unwrap();
-        assert_eq!(report.granted.len(), 8);
-        assert_eq!(report.density, 1.0);
-        let mut names: Vec<u32> = report.granted.iter().map(|(_, n)| n.0).collect();
-        names.sort_unstable();
-        assert_eq!(names, (0..8).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn released_names_are_recycled() {
-        let mut svc = RenamingService::new(4, 3, ServiceOptions::default()).unwrap();
-        svc.step(&acquires(0..4)).unwrap();
-        let freed = svc.name_of(Label(2)).unwrap();
-        let e1 = svc.step(&[Request::Release(Label(2))]).unwrap();
-        assert_eq!(e1.released, vec![(Label(2), freed)]);
-        assert_eq!(e1.rounds, 0, "no contenders, no protocol run");
-        // The only free name is the freed one: the next acquire must
-        // recycle it.
-        let e2 = svc.step(&[Request::Acquire(Label(99))]).unwrap();
-        assert_eq!(e2.granted, vec![(Label(99), freed)]);
-        assert_eq!(e2.recycled, vec![freed]);
-    }
-
-    #[test]
-    fn admission_control_defers_beyond_capacity() {
-        let mut svc = RenamingService::new(4, 5, ServiceOptions::default()).unwrap();
-        let e0 = svc.step(&acquires(0..6)).unwrap();
-        assert_eq!(e0.admitted.len(), 4);
-        assert_eq!(e0.deferred, 2);
-        assert_eq!(svc.backlog(), 2);
-        // No capacity: the next epoch admits nobody.
-        let e1 = svc.step(&[]).unwrap();
-        assert!(e1.admitted.is_empty());
-        assert_eq!(e1.deferred, 2);
-        // A release lets the backlog drain FIFO.
-        let e2 = svc.step(&[Request::Release(Label(0))]).unwrap();
-        assert_eq!(e2.admitted, vec![Label(4)]);
-        assert_eq!(e2.deferred, 1);
-    }
-
-    #[test]
-    fn validation_rejects_bad_batches_without_state_changes() {
-        let mut svc = RenamingService::new(4, 1, ServiceOptions::default()).unwrap();
-        svc.step(&acquires(0..2)).unwrap();
-        let held = svc.held();
-        for (batch, want) in [
-            (
-                vec![Request::Acquire(Label(0))],
-                ServiceError::AlreadyHolding(Label(0)),
-            ),
-            (
-                vec![Request::Release(Label(9))],
-                ServiceError::UnknownHolder(Label(9)),
-            ),
-            (
-                vec![Request::Acquire(Label(5)), Request::Acquire(Label(5))],
-                ServiceError::DuplicateRequest(Label(5)),
-            ),
-            (
-                // Release + immediate re-acquire must be split across
-                // epochs.
-                vec![Request::Release(Label(0)), Request::Acquire(Label(0))],
-                ServiceError::DuplicateRequest(Label(0)),
-            ),
-        ] {
-            assert_eq!(svc.step(&batch).unwrap_err(), want);
-            assert_eq!(svc.held(), held, "state must be untouched");
-        }
-        // Queued duplicates are rejected too.
-        let mut full = RenamingService::new(2, 1, ServiceOptions::default()).unwrap();
-        full.step(&acquires(0..2)).unwrap();
-        full.step(&[Request::Acquire(Label(7))]).unwrap();
-        assert_eq!(
-            full.step(&[Request::Acquire(Label(7))]).unwrap_err(),
-            ServiceError::AlreadyQueued(Label(7))
-        );
-    }
-
-    #[test]
-    fn crashed_contenders_are_dropped_not_granted() {
-        let mut svc = RenamingService::new(16, 11, ServiceOptions::default()).unwrap();
-        let adversary = RandomCrash::new(4, 0.9, SeedTree::new(11).adversary_rng());
-        let report = svc.step_against(&acquires(0..12), adversary).unwrap();
-        assert_eq!(report.granted.len() + report.crashed.len(), 12);
-        assert!(!report.crashed.is_empty(), "adversary was supposed to fire");
-        for l in &report.crashed {
-            assert_eq!(svc.name_of(*l), None);
-        }
-        // Uniqueness across the epoch.
-        let mut names: Vec<Name> = report.granted.iter().map(|(_, n)| *n).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), report.granted.len());
-    }
-
-    #[test]
-    fn multi_epoch_churn_never_duplicates_names() {
-        let mut svc = RenamingService::new(16, 23, ServiceOptions::default()).unwrap();
-        let mut next_label = 0u64;
-        for epoch in 0..24u64 {
-            let mut batch = Vec::new();
-            // Release every third holder (deterministically chosen).
-            let holders: Vec<Label> = svc.holders().map(|(l, _)| l).collect();
-            for (i, l) in holders.iter().enumerate() {
-                if (i as u64 + epoch).is_multiple_of(3) {
-                    batch.push(Request::Release(*l));
-                }
-            }
-            for _ in 0..(epoch % 5 + 1) {
-                batch.push(Request::Acquire(Label(next_label)));
-                next_label += 1;
-            }
-            let adversary = RandomCrash::new(2, 0.5, SeedTree::new(epoch).adversary_rng());
-            svc.step_against(&batch, adversary).unwrap();
-            // Invariant: held names are unique and within the namespace.
-            let mut names: Vec<Name> = svc.holders().map(|(_, n)| n).collect();
-            names.sort_unstable();
-            let mut dedup = names.clone();
-            dedup.dedup();
-            assert_eq!(names.len(), dedup.len(), "epoch {epoch}");
-            assert!(names.iter().all(|n| (n.0 as usize) < svc.capacity()));
-        }
-        assert!(svc.epoch() == 24);
-    }
-
-    #[test]
-    fn service_history_is_deterministic() {
-        let run = || {
-            let mut svc = RenamingService::new(8, 9, ServiceOptions::default()).unwrap();
-            vec![
-                svc.step(&acquires(0..5)).unwrap(),
-                svc.step(&[Request::Release(Label(1))]).unwrap(),
-                svc.step(&acquires(10..14)).unwrap(),
-            ]
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn error_display() {
-        for e in [
-            ServiceError::AlreadyHolding(Label(1)),
-            ServiceError::AlreadyQueued(Label(2)),
-            ServiceError::UnknownHolder(Label(3)),
-            ServiceError::DuplicateRequest(Label(4)),
-            ServiceError::Stalled { epoch: 5 },
-        ] {
-            assert!(!e.to_string().is_empty());
-        }
-    }
-}
+pub use epoch::{EpochOutcome, EpochReport, EpochRun, Request, ServiceOptions};
+pub use error::{ServiceError, ShardError};
+pub use shard::RenamingService;
+pub use sharded::{NamePartition, ShardedEpochReport, ShardedOptions, ShardedService};

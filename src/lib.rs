@@ -68,6 +68,8 @@ pub mod prelude {
     pub use bil_runtime::{
         ExecutorKind, Label, Name, Outcome, ProcId, Round, RunError, RunReport, SeedTree,
     };
-    pub use bil_service::{RenamingService, Request, ServiceOptions};
+    pub use bil_service::{
+        RenamingService, Request, ServiceOptions, ShardedOptions, ShardedService,
+    };
     pub use bil_tree::{CoinRule, LocalTree, Topology};
 }

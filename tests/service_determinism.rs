@@ -13,7 +13,8 @@
 use balls_into_leaves::harness::{ArrivalModel, ChurnWorkload};
 use balls_into_leaves::prelude::*;
 use balls_into_leaves::runtime::adversary::RandomCrash;
-use balls_into_leaves::service::EpochReport;
+use balls_into_leaves::runtime::ProcId;
+use balls_into_leaves::service::{EpochReport, ShardedEpochReport};
 
 /// Drives one service through `epochs` epochs of a seeded churn
 /// schedule with a crash-heavy adversary inside every epoch.
@@ -77,6 +78,142 @@ fn service_histories_are_bit_identical_across_all_five_executors() {
         );
         assert_eq!(reference, history, "{executor} service history diverged");
     }
+}
+
+/// Drives one sharded front-end through `epochs` *pipelined* epochs of
+/// a seeded churn schedule, with a crash-heavy per-shard adversary.
+fn sharded_churn_history(
+    options: ShardedOptions,
+    epochs: u64,
+    seed: u64,
+) -> Vec<ShardedEpochReport> {
+    const CAPACITY: usize = 60;
+    const SHARDS: usize = 4;
+    let mut service =
+        ShardedService::new(CAPACITY, SHARDS, seed, options).expect("valid partition");
+    let mut workload = ChurnWorkload::new(
+        CAPACITY,
+        seed ^ 0xC0FFEE,
+        ArrivalModel::Poisson { rate: 11.0 },
+        0.3,
+    );
+    service
+        .run_epochs(
+            epochs,
+            |_, svc| {
+                let holders: Vec<Label> = svc.holders().map(|(l, _)| l).collect();
+                workload.next_batch(&holders)
+            },
+            |epoch, shard| {
+                RandomCrash::new(
+                    2,
+                    0.8,
+                    SeedTree::new(seed)
+                        .epoch(epoch)
+                        .process_rng(ProcId(shard as u32)),
+                )
+            },
+        )
+        .expect("sharded churn epochs complete")
+}
+
+#[test]
+fn sharded_histories_are_bit_identical_across_all_five_executors() {
+    const EPOCHS: u64 = 8;
+    const SEED: u64 = 2014;
+    let options = |executor| ShardedOptions {
+        shard: ServiceOptions {
+            executor,
+            ..ServiceOptions::default()
+        },
+        concurrent: executor != ExecutorKind::Threaded,
+    };
+    let reference = sharded_churn_history(options(ExecutorKind::Clustered), EPOCHS, SEED);
+
+    // The run is not vacuous: multiple shards granted, crashes fired,
+    // and released names were observably reused across epochs.
+    let shards_granting: usize = (0..4)
+        .filter(|s| {
+            reference
+                .iter()
+                .any(|e| e.shards[*s].as_ref().is_ok_and(|r| !r.granted.is_empty()))
+        })
+        .count();
+    let crashed: usize = reference.iter().map(|e| e.crashed.len()).sum();
+    let recycled: usize = reference.iter().map(|e| e.recycled.len()).sum();
+    assert!(shards_granting >= 2, "churn never spread across shards");
+    assert!(crashed > 0, "adversary never fired");
+    assert!(recycled > 0, "released names were never reused");
+
+    for executor in ExecutorKind::ALL {
+        let history = sharded_churn_history(options(executor), EPOCHS, SEED);
+        assert_eq!(reference, history, "{executor} sharded history diverged");
+    }
+    // Concurrent shard execution changes nothing either.
+    let sequential = sharded_churn_history(
+        ShardedOptions {
+            concurrent: false,
+            ..options(ExecutorKind::Clustered)
+        },
+        EPOCHS,
+        SEED,
+    );
+    assert_eq!(reference, sequential, "concurrent shard threads diverged");
+}
+
+#[test]
+fn pipelined_sharded_history_equals_sequential_stepping() {
+    const CAPACITY: usize = 60;
+    const SHARDS: usize = 4;
+    const EPOCHS: u64 = 8;
+    const SEED: u64 = 99;
+    let adversary = |epoch: u64, shard: usize| {
+        RandomCrash::new(
+            2,
+            0.8,
+            SeedTree::new(SEED)
+                .epoch(epoch)
+                .process_rng(ProcId(shard as u32)),
+        )
+    };
+
+    // Pipelined drive, recording each epoch's submitted batch.
+    let mut service =
+        ShardedService::new(CAPACITY, SHARDS, SEED, ShardedOptions::default()).unwrap();
+    let mut workload = ChurnWorkload::new(
+        CAPACITY,
+        SEED ^ 0xC0FFEE,
+        ArrivalModel::Poisson { rate: 11.0 },
+        0.3,
+    );
+    let mut batches: Vec<Vec<Request>> = Vec::new();
+    let pipelined = service
+        .run_epochs(
+            EPOCHS,
+            |_, svc| {
+                let holders: Vec<Label> = svc.holders().map(|(l, _)| l).collect();
+                let batch = workload.next_batch(&holders);
+                batches.push(batch.clone());
+                batch
+            },
+            adversary,
+        )
+        .expect("pipelined epochs complete");
+
+    // Replay the recorded batches one sequential epoch at a time: the
+    // pipelining is pure overlap, so the reports must be identical.
+    let mut replay =
+        ShardedService::new(CAPACITY, SHARDS, SEED, ShardedOptions::default()).unwrap();
+    let sequential: Vec<ShardedEpochReport> = batches
+        .iter()
+        .map(|batch| {
+            let epoch = replay.epoch();
+            replay
+                .step_against(batch, |shard| adversary(epoch, shard))
+                .expect("sequential epoch completes")
+        })
+        .collect();
+    assert_eq!(pipelined, sequential, "pipelining changed the history");
 }
 
 #[test]
