@@ -19,17 +19,19 @@
 //! cargo run --release -p bil-bench --bin round_kernel -- --out target/x.json
 //! ```
 //!
-//! `--smoke` runs only the n = 2^16 clustered kernel, prints its
-//! figures, and exits non-zero if the run misbehaves — CI wraps it in a
-//! `timeout` so an accidental O(n log n) regression in the hot path
-//! turns the perf-smoke step red instead of silently landing.
+//! `--smoke` runs only the [`GATE_CELLS`] — the n = 2^16 clustered
+//! kernel plus the n = 2^12 threaded transport — prints their figures,
+//! and exits non-zero if a run misbehaves; CI wraps it in a `timeout`
+//! so an accidental O(n log n) regression in the hot path turns the
+//! perf-smoke step red instead of silently landing.
 //!
-//! `--gate` additionally compares the measured ns/ball-round against
+//! `--gate` additionally compares each measured ns/ball-round against
 //! the committed `BENCH_round_kernel.json` row for the same cell and
 //! fails beyond a generous [`GATE_TOLERANCE`]× — wide enough to absorb
 //! shared-runner noise, tight enough that an accidental return to the
 //! per-round map-building regime (a ≥5× swing in PR 7's measurements)
-//! cannot land green.
+//! or to per-ball re-encoded channel delivery (a ≥75× swing in the
+//! batched-transport measurements) cannot land green.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,8 +42,15 @@ use bil_harness::Executor;
 /// Rounds each measured run drives (matches `executor_scaling`).
 const ROUNDS: u64 = 4;
 
-/// Smoke-mode kernel size: the ≥2× acceptance point of the SoA refactor.
-const SMOKE_N: usize = 1 << 16;
+/// The smoke/gate cells. Clustered at n = 2^16 (the ≥2× acceptance
+/// point of the SoA refactor) guards the in-memory round kernel;
+/// threaded at n = 2^12 guards the range-batched channel transport —
+/// the cell where the old per-ball `Deliver` re-encoding was three
+/// orders of magnitude off the in-memory figure.
+const GATE_CELLS: &[(usize, Executor)] = &[
+    (1 << 16, Executor::Clustered),
+    (1 << 12, Executor::Threaded),
+];
 
 /// How many × slower than the committed snapshot the gated cell may
 /// measure before `--gate` fails.
@@ -74,18 +83,22 @@ fn main() -> ExitCode {
     }
 
     if smoke {
-        let row = report::measure("round_kernel", SMOKE_N, Executor::Clustered, ROUNDS);
-        println!(
-            "round_kernel smoke: n={} {}: {:.1} rounds/sec, {:.1} ns/ball-round",
-            row.n, row.executor, row.rounds_per_sec, row.ns_per_ball_round
-        );
-        // A real regression shows up as the surrounding CI `timeout`
-        // expiring; a zero/NaN figure means the measurement itself broke.
-        if !row.rounds_per_sec.is_finite() || row.rounds_per_sec <= 0.0 {
-            return ExitCode::FAILURE;
-        }
-        if gate {
-            let baseline = Report::load(&out);
+        let baseline = Report::load(&out);
+        for &(n, executor) in GATE_CELLS {
+            let row = report::measure("round_kernel", n, executor, ROUNDS);
+            println!(
+                "round_kernel smoke: n={} {}: {:.1} rounds/sec, {:.1} ns/ball-round",
+                row.n, row.executor, row.rounds_per_sec, row.ns_per_ball_round
+            );
+            // A real regression shows up as the surrounding CI `timeout`
+            // expiring; a zero/NaN figure means the measurement itself
+            // broke.
+            if !row.rounds_per_sec.is_finite() || row.rounds_per_sec <= 0.0 {
+                return ExitCode::FAILURE;
+            }
+            if !gate {
+                continue;
+            }
             let committed = baseline
                 .rows()
                 .iter()
@@ -104,8 +117,8 @@ fn main() -> ExitCode {
                 Some(committed) => {
                     let limit = committed.ns_per_ball_round * GATE_TOLERANCE;
                     println!(
-                        "round_kernel gate: {:.1} ns/ball-round measured vs {:.1} committed (limit {:.1} = {GATE_TOLERANCE}x)",
-                        row.ns_per_ball_round, committed.ns_per_ball_round, limit
+                        "round_kernel gate: {} n={}: {:.1} ns/ball-round measured vs {:.1} committed (limit {:.1} = {GATE_TOLERANCE}x)",
+                        row.executor, row.n, row.ns_per_ball_round, committed.ns_per_ball_round, limit
                     );
                     if row.ns_per_ball_round > limit {
                         eprintln!(
@@ -121,15 +134,16 @@ fn main() -> ExitCode {
     }
 
     // The grid: the unbounded executors scale to n = 2^20; the bounded
-    // ones are measured at their feasible sizes (socket's cap is the
-    // refactor's headline lift). Per-process and threaded pay O(n)
-    // distinct views resp. threads per round, so their larger sizes are
-    // left to `executor_scaling` rather than re-timed here.
+    // ones are measured at their feasible sizes. Both wire executors
+    // now run range-batched workers, so threaded covers the same sizes
+    // as socket; per-process still pays O(n) per-slot bookkeeping per
+    // round, so its larger sizes are left to `executor_scaling` rather
+    // than re-timed here.
     let grid: &[(Executor, &[usize])] = &[
         (Executor::Clustered, &[1 << 12, 1 << 16, 1 << 20]),
         (Executor::Parallel, &[1 << 12, 1 << 16, 1 << 20]),
         (Executor::PerProcess, &[1 << 12]),
-        (Executor::Threaded, &[1 << 12]),
+        (Executor::Threaded, &[1 << 12, 1 << 14, 1 << 16]),
         (Executor::Socket, &[1 << 12, 1 << 14, 1 << 16]),
     ];
 

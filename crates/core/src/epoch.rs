@@ -217,6 +217,17 @@ impl ViewProtocol for EpochBil {
         self.inner.compose(view, ball, round, rng)
     }
 
+    fn compose_batch(
+        &self,
+        view: &BilView,
+        balls: &[Label],
+        round: Round,
+        rngs: &mut [&mut SmallRng],
+        out: &mut Vec<(Label, BilMsg)>,
+    ) {
+        self.inner.compose_batch(view, balls, round, rngs, out);
+    }
+
     fn apply(&self, view: &mut BilView, round: Round, inbox: RoundInbox<'_, BilMsg>) {
         self.inner.apply(view, round, inbox);
     }

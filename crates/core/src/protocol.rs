@@ -360,6 +360,90 @@ impl BallsIntoLeaves {
     pub fn config(&self) -> &BilConfig {
         &self.cfg
     }
+
+    /// The compose core for a non-init round, once the ball's live slot
+    /// in the view's label column — and the node it holds — is resolved.
+    /// Both entry points funnel here: `compose` resolves the slot with
+    /// one binary search, `compose_batch` with its shared merge-join
+    /// sweep — so the message produced and the rng draws consumed are
+    /// identical by construction.
+    fn compose_resolved(
+        &self,
+        view: &BilView,
+        slot: usize,
+        node: NodeId,
+        round: Round,
+        rng: &mut SmallRng,
+    ) -> BilMsg {
+        let tree = &view.tree;
+        debug_assert!(!round.is_init());
+        debug_assert_eq!(tree.node_at_slot(slot), Some(node));
+        if round.is_path_round() {
+            if self.cfg.decide_at_leaf {
+                // A ball whose (synchronized) position is a leaf commits
+                // it and will decide at the end of this round.
+                if tree.topology().is_leaf(node) {
+                    return BilMsg::Commit(node);
+                }
+                // Cornered: every free leaf below is blocked for this
+                // view (poisoned by evictions). The ball passes the
+                // phase, keeping its position, rather than route toward
+                // a leaf whose name may already have been decided.
+                let needed = match self.cfg.path_rule {
+                    PathRule::DeterministicRank => tree.rank_at_slot(slot) as u32,
+                    _ => 0,
+                };
+                if tree.routable_below(node) <= needed {
+                    return BilMsg::Pos {
+                        node,
+                        echo: view.fresh.clone(),
+                    };
+                }
+            }
+            let path = match self.cfg.path_rule {
+                PathRule::Random(coin) => tree.random_path_from(node, coin, rng),
+                PathRule::EarlyTerminating(coin) => {
+                    if round.0 == 1 {
+                        // §6: descend toward the ball's rank-indexed free
+                        // slot. In phase 1 every contender is at the
+                        // root, so the overall `<R` rank equals the label
+                        // rank at the ball's node, and on a fresh tree
+                        // the slot walk is exactly the paper's straight
+                        // descent to the rank-th leaf. On a partially-
+                        // occupied (epoch) tree it additionally skips
+                        // leaves held by residents.
+                        tree.rank_slot_path_from(node, tree.rank_at_slot(slot) as u32)
+                    } else {
+                        tree.random_path_from(node, coin, rng)
+                    }
+                }
+                PathRule::DeterministicRank => {
+                    tree.rank_slot_path_from(node, tree.rank_at_slot(slot) as u32)
+                }
+            };
+            BilMsg::Path(path)
+        } else {
+            let mut node = node;
+            // Cornered recovery (decide-at-leaf variant): a ball whose
+            // whole subtree is routing-blocked *retreats* — it announces
+            // the nearest ancestor that still has routable capacity as
+            // its position ("the remaining balls backtrack towards the
+            // root", §1). Moving up only ever frees capacity below, so
+            // no view's Lemma 1 can be hurt by the forced update.
+            if self.cfg.decide_at_leaf
+                && !tree.topology().is_leaf(node)
+                && tree.routable_below(node) == 0
+            {
+                while node != ROOT && tree.routable_below(node) == 0 {
+                    node = tree.topology().parent(node);
+                }
+            }
+            BilMsg::Pos {
+                node,
+                echo: view.fresh.clone(),
+            }
+        }
+    }
 }
 
 impl ViewProtocol for BallsIntoLeaves {
@@ -386,7 +470,6 @@ impl ViewProtocol for BallsIntoLeaves {
         if round.is_init() {
             return BilMsg::Init;
         }
-        let tree = &view.tree;
         // A view that no longer contains its own ball is corrupt (a
         // correct ball always hears its own broadcast; only hostile wire
         // input can remove it). The explicit rejection path — identical
@@ -395,75 +478,65 @@ impl ViewProtocol for BallsIntoLeaves {
         // drop this sender as crashed instead of absorbing corrupt
         // state, and `status` keeps it Running so it can never decide a
         // bogus name.
-        let Some(node) = tree.current_node(ball) else {
+        let Some(slot) = view.tree.slot_of(ball) else {
             return BilMsg::Init;
         };
-        if round.is_path_round() {
-            if self.cfg.decide_at_leaf {
-                // A ball whose (synchronized) position is a leaf commits
-                // it and will decide at the end of this round.
-                if tree.topology().is_leaf(node) {
-                    return BilMsg::Commit(node);
-                }
-                // Cornered: every free leaf below is blocked for this
-                // view (poisoned by evictions). The ball passes the
-                // phase, keeping its position, rather than route toward
-                // a leaf whose name may already have been decided.
-                let needed = match self.cfg.path_rule {
-                    PathRule::DeterministicRank => {
-                        // bil-lint: allow(hot-path-panic): `compose` is only called for balls in this view's tree
-                        tree.rank_at_node(ball).expect("ball in own view") as u32
-                    }
-                    _ => 0,
-                };
-                if tree.routable_below(node) <= needed {
-                    return BilMsg::Pos {
-                        node,
-                        echo: view.fresh.clone(),
-                    };
-                }
+        let node = view.tree.node_column()[slot];
+        self.compose_resolved(view, slot, node, round, rng)
+    }
+
+    fn compose_batch(
+        &self,
+        view: &BilView,
+        balls: &[Label],
+        round: Round,
+        rngs: &mut [&mut SmallRng],
+        out: &mut Vec<(Label, BilMsg)>,
+    ) {
+        assert!(
+            balls.len() == rngs.len(),
+            "compose_batch needs one rng per ball"
+        );
+        if round.is_init() {
+            for &ball in balls {
+                out.push((ball, BilMsg::Init));
             }
-            let path = match self.cfg.path_rule {
-                PathRule::Random(coin) => tree.random_path(ball, coin, rng),
-                PathRule::EarlyTerminating(coin) => {
-                    if round.0 == 1 {
-                        // §6: descend toward the ball's rank-indexed free
-                        // slot. In phase 1 every contender is at the
-                        // root, so the overall `<R` rank equals the label
-                        // rank at the ball's node, and on a fresh tree
-                        // the slot walk is exactly the paper's straight
-                        // descent to the rank-th leaf. On a partially-
-                        // occupied (epoch) tree it additionally skips
-                        // leaves held by residents.
-                        tree.rank_slot_path(ball)
-                    } else {
-                        tree.random_path(ball, coin, rng)
-                    }
+            return;
+        }
+        if !balls.windows(2).all(|w| w[0] < w[1]) {
+            // Unsorted batches (possible only with unsorted label
+            // assignments) fall back to per-ball composition; the fast
+            // path below needs ascending balls to share its sweep.
+            for (i, &ball) in balls.iter().enumerate() {
+                let msg = self.compose(view, ball, round, &mut *rngs[i]);
+                out.push((ball, msg));
+            }
+            return;
+        }
+        // One merge-join sweep over the sorted label column resolves
+        // every ball's slot — replacing the three binary searches per
+        // ball (`current_node`, `rank_at_node`, and the path builders'
+        // own lookups) the per-ball path pays. Each ball then composes
+        // against its resolved slot, drawing from its own rng exactly
+        // what the per-ball path would (streams are per-process, so
+        // cross-ball interleaving is unobservable).
+        let labels = view.tree.label_column();
+        let mut slot = 0usize;
+        for (i, &ball) in balls.iter().enumerate() {
+            while slot < labels.len() && labels[slot] < ball {
+                slot += 1;
+            }
+            let msg = if slot < labels.len() && labels[slot] == ball {
+                match view.tree.node_at_slot(slot) {
+                    Some(node) => self.compose_resolved(view, slot, node, round, &mut *rngs[i]),
+                    // Vacant slot: the view lost this ball; same
+                    // silence-equivalent reply as `compose`.
+                    None => BilMsg::Init,
                 }
-                PathRule::DeterministicRank => tree.rank_slot_path(ball),
+            } else {
+                BilMsg::Init
             };
-            // bil-lint: allow(hot-path-panic): the routable_below guard above ensures a slot path exists
-            BilMsg::Path(path.expect("ball is in its own view with capacity below"))
-        } else {
-            let mut node = node;
-            // Cornered recovery (decide-at-leaf variant): a ball whose
-            // whole subtree is routing-blocked *retreats* — it announces
-            // the nearest ancestor that still has routable capacity as
-            // its position ("the remaining balls backtrack towards the
-            // root", §1). Moving up only ever frees capacity below, so
-            // no view's Lemma 1 can be hurt by the forced update.
-            if self.cfg.decide_at_leaf
-                && !tree.topology().is_leaf(node)
-                && tree.routable_below(node) == 0
-            {
-                while node != ROOT && tree.routable_below(node) == 0 {
-                    node = tree.topology().parent(node);
-                }
-            }
-            BilMsg::Pos {
-                node,
-                echo: view.fresh.clone(),
-            }
+            out.push((ball, msg));
         }
     }
 

@@ -112,6 +112,35 @@ fn composing_a_path_round_allocates_nothing() {
 }
 
 #[test]
+fn batched_compose_of_a_path_round_allocates_nothing() {
+    // The batched sweep's acceptance bar matches the per-ball one: with
+    // the output buffer warm, one `compose_batch` over a shared view —
+    // the shape every executor now drives per cluster — touches the heap
+    // zero times. The labels from `stage` ascend, so this exercises the
+    // prefix-sharing merge-join fast path, not the per-ball fallback.
+    let n = 256;
+    let mut s = stage(n);
+    let view = s.views.swap_remove(0);
+    let balls = s.labels.clone();
+    let mut out: Vec<(Label, BilMsg)> = Vec::new();
+    let mut rngs: Vec<&mut rand::rngs::SmallRng> = s.rngs.iter_mut().collect();
+    // Warm-up: sizes `out` and any lazy allocator state.
+    s.protocol
+        .compose_batch(&view, &balls, Round(1), &mut rngs, &mut out);
+    out.clear();
+    let (allocs, ()) = allocations_during(|| {
+        s.protocol
+            .compose_batch(&view, &balls, Round(1), &mut rngs, &mut out);
+    });
+    assert_eq!(
+        allocs, 0,
+        "one batched path-round sweep over {n} balls must not touch the heap"
+    );
+    assert_eq!(out.len(), n);
+    assert!(out.iter().all(|(_, m)| matches!(m, BilMsg::Path(_))));
+}
+
+#[test]
 fn failure_free_delivery_allocates_a_constant_independent_of_n() {
     let deliver_allocs = |n: usize| -> u64 {
         let mut s = stage(n);

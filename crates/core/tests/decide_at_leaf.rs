@@ -1,6 +1,6 @@
 //! Dedicated tests for the decide-at-leaf variant's "additional checks"
 //! (commit broadcast, commit echo, provenance eviction, leaf poisoning,
-//! cornered retreat) — the machinery DESIGN.md §4.4 documents.
+//! cornered retreat) — the machinery DESIGN.md §4.5 documents.
 //!
 //! These are heavier-schedule versions of the generic property suite:
 //! the bugs this construction fixes only materialized under dense crash

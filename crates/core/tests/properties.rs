@@ -326,6 +326,109 @@ proptest! {
         }
     }
 
+    /// The batched compose sweep is bit-identical to per-ball
+    /// composition for every variant: same messages in the same order,
+    /// the same rng draws from each ball's private stream, and — once
+    /// both message streams are applied — the same view and anomaly
+    /// counts. Crashed balls stay in the batch (their slots go vacant,
+    /// exercising the silence-equivalent reply), junk labels exercise
+    /// the missing-ball path, and a rotated batch exercises the
+    /// unsorted per-ball fallback alongside the sorted merge-join.
+    #[test]
+    fn compose_batch_matches_per_ball_compose(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        crashes in prop::collection::vec((1u64..9, 0usize..24), 0..8),
+        junk in 0usize..3,
+        rotate in 0usize..4,
+    ) {
+        use rand::RngCore;
+        for cfg in configs() {
+            let protocol = BallsIntoLeaves::new(cfg);
+            let labels = labels(n);
+            // rng index: ball labels[i] -> i, junk ball j -> n + j.
+            let index_of = |ball: Label| -> usize {
+                labels
+                    .iter()
+                    .position(|l| *l == ball)
+                    .unwrap_or_else(|| n + (ball.0 - 10_000) as usize)
+            };
+            let seeds = SeedTree::new(seed);
+            let mut rngs_a: Vec<_> = (0..n + junk)
+                .map(|p| seeds.process_rng(ProcId(p as u32)))
+                .collect();
+            let mut rngs_b: Vec<_> = (0..n + junk)
+                .map(|p| seeds.process_rng(ProcId(p as u32)))
+                .collect();
+            let mut view_a = protocol.init_view(n);
+            let init: InboxBuf<BilMsg> =
+                labels.iter().map(|l| (*l, BilMsg::Init)).collect();
+            protocol.apply(&mut view_a, Round(0), init.as_inbox());
+            let mut view_b = view_a.clone();
+            let mut crashed: BTreeSet<Label> = BTreeSet::new();
+            for r in 1..=8u64 {
+                let round = Round(r);
+                for (cr, victim) in &crashes {
+                    if *cr == r {
+                        crashed.insert(labels[*victim % n]);
+                    }
+                }
+                let mut batch: Vec<Label> = labels.clone();
+                batch.extend((0..junk).map(|j| Label(10_000 + j as u64)));
+                batch.sort_unstable();
+                let len = batch.len();
+                batch.rotate_left(rotate % len);
+                // Reference: one per-ball compose per batch entry, in
+                // batch order, from the `a` streams.
+                let reference: Vec<(Label, BilMsg)> = batch
+                    .iter()
+                    .map(|&ball| {
+                        let rng = &mut rngs_a[index_of(ball)];
+                        (ball, protocol.compose(&view_a, ball, round, rng))
+                    })
+                    .collect();
+                // Batched: one sweep over the same entries, from the
+                // `b` streams gathered in batch order.
+                let mut taken: Vec<Option<&mut rand::rngs::SmallRng>> =
+                    rngs_b.iter_mut().map(Some).collect();
+                let mut gathered: Vec<&mut rand::rngs::SmallRng> = batch
+                    .iter()
+                    .map(|&ball| taken[index_of(ball)].take().unwrap())
+                    .collect();
+                let mut batched: Vec<(Label, BilMsg)> = Vec::new();
+                protocol.compose_batch(&view_b, &batch, round, &mut gathered, &mut batched);
+                prop_assert_eq!(
+                    &reference,
+                    &batched,
+                    "round {} diverged (n={}, seed={}, rotate={})",
+                    r,
+                    n,
+                    seed,
+                    rotate
+                );
+                // Deliver each side's own stream (crashed balls silent)
+                // and the views — tree, commits, anomaly counts — must
+                // stay identical.
+                let deliver = |composed: &[(Label, BilMsg)]| -> InboxBuf<BilMsg> {
+                    composed
+                        .iter()
+                        .filter(|(ball, _)| !crashed.contains(ball))
+                        .cloned()
+                        .collect()
+                };
+                let inbox_a = deliver(&reference);
+                let inbox_b = deliver(&batched);
+                protocol.apply(&mut view_a, round, inbox_a.as_inbox());
+                protocol.apply(&mut view_b, round, inbox_b.as_inbox());
+                prop_assert_eq!(&view_a, &view_b, "views diverged after round {}", r);
+            }
+            // Both sides consumed identical draws from every stream.
+            for (a, b) in rngs_a.iter_mut().zip(rngs_b.iter_mut()) {
+                prop_assert_eq!(a.next_u64(), b.next_u64(), "rng streams diverged");
+            }
+        }
+    }
+
     /// Deterministic replay: identical inputs give identical reports for
     /// every variant.
     #[test]

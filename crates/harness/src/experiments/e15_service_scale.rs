@@ -300,9 +300,9 @@ mod tests {
             executor: Executor::Threaded,
             ..EvalOpts::default()
         };
-        // Threaded caps a run at 2^12 contenders, so shards shrink and
-        // multiply.
-        assert_eq!(shard_layout(1 << 20, &threaded), (256, 1 << 12));
+        // Threaded caps a run at 2^16 contenders — above the 2^14-name
+        // shard target, so the layout stays the default.
+        assert_eq!(shard_layout(1 << 20, &threaded), (64, 1 << 14));
     }
 
     #[test]

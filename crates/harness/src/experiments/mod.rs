@@ -181,9 +181,13 @@ mod tests {
             quick: false,
             executor: Executor::Threaded,
         };
-        // Full e1-style grid: everything past the thread-per-process cap
-        // is dropped, not crashed into.
-        assert_eq!(threaded.pow2s(4, 16, 2), vec![16, 64, 256, 1024, 4096]);
+        // Full e1-style grid: the threaded executor runs slot-range
+        // workers now, so its cap sits at 2^16 like the socket's —
+        // everything past it is dropped, not crashed into.
+        assert_eq!(
+            threaded.pow2s(4, 16, 2),
+            vec![16, 64, 256, 1024, 4096, 16384, 65536]
+        );
         let per_process = EvalOpts {
             quick: false,
             executor: Executor::PerProcess,

@@ -141,23 +141,23 @@ impl Executor {
 
     /// The largest `n` this executor can feasibly carry, if bounded.
     ///
-    /// Threaded spawns one OS thread per process (thread creation fails
-    /// well below `2^16`). Per-process and socket both share views by
-    /// delivery history now (one view per divergence class instead of
-    /// one per slot), so neither is bounded by per-slot view memory any
-    /// more: per-process is capped at `2^16` by its `O(n)` per-slot
-    /// round bookkeeping (RNG streams, compose fan-out) and the socket
-    /// executor by per-round wire traffic — every round still ships
-    /// `O(n)` encoded broadcasts per worker over loopback. Scenario
-    /// dispatch refuses larger systems loudly instead of crashing or
-    /// OOMing mid-sweep; the clustered and parallel executors are
-    /// unbounded.
+    /// The wire executors (threaded and socket) both run a few
+    /// slot-range workers that share views by delivery history (one
+    /// view per divergence class instead of one per slot), so neither
+    /// is bounded by threads or per-slot view memory any more; both
+    /// are capped at `2^16` by per-round wire traffic — every round
+    /// still ships `O(n)` encoded broadcasts across the thread (resp.
+    /// loopback) boundary. Per-process is capped at `2^16` by its
+    /// `O(n)` per-slot round bookkeeping (RNG streams, compose
+    /// fan-out). Scenario dispatch refuses larger systems loudly
+    /// instead of crashing or OOMing mid-sweep; the clustered and
+    /// parallel executors are unbounded.
     pub fn max_n(&self) -> Option<usize> {
         match self {
             Executor::Clustered | Executor::Parallel => None,
             Executor::PerProcess => Some(1 << 16),
             Executor::Socket => Some(1 << 16),
-            Executor::Threaded => Some(1 << 12),
+            Executor::Threaded => Some(1 << 16),
         }
     }
 }
@@ -690,7 +690,11 @@ mod tests {
 
     #[test]
     fn infeasible_executor_sizes_rejected_loudly() {
-        let too_big = (1 << 12) + 1;
+        // Both wire executors cluster views by delivery history across a
+        // few slot-range workers, so they outgrow the old per-thread and
+        // per-slot-view walls; the wire-traffic cap at 2^16 still
+        // rejects larger systems.
+        let too_big = (1 << 16) + 1;
         let err = Scenario::failure_free(Algorithm::BilBase, too_big)
             .on_executor(Executor::Threaded)
             .run(0)
@@ -700,10 +704,6 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("threaded"));
-        // The socket executor clusters views by delivery history, so it
-        // outgrows the old per-slot-view memory wall; the wire-traffic
-        // cap at 2^16 still rejects larger systems.
-        let too_big = (1 << 16) + 1;
         let err = Scenario::failure_free(Algorithm::BilBase, too_big)
             .on_executor(Executor::Socket)
             .run(0)
@@ -721,22 +721,21 @@ mod tests {
 
     #[test]
     fn infeasible_hint_reflects_actual_executor_and_caps() {
-        // Threaded at 2^12 + 1: per-process and socket (caps 2^16) are
-        // still feasible and must be suggested alongside the unbounded
-        // executors; the failing executor itself must not be.
+        // Threaded at 2^16 + 1: every capped executor is out; only the
+        // unbounded two may be suggested, never the failing executor.
         let err = ScenarioError::ExecutorInfeasible {
             executor: Executor::Threaded,
-            n: (1 << 12) + 1,
-            max_n: 1 << 12,
+            n: (1 << 16) + 1,
+            max_n: 1 << 16,
         }
         .to_string();
         assert!(err.contains("the threaded executor"), "{err}");
-        assert!(err.contains("its cap is 4096"), "{err}");
-        for suggested in ["clustered", "per-process", "parallel", "socket"] {
-            assert!(err.contains(suggested), "missing {suggested}: {err}");
-        }
-        // Socket at 2^16 + 1: every capped executor is out; only the
-        // unbounded two may be suggested.
+        assert!(err.contains("its cap is 65536"), "{err}");
+        assert!(err.contains("clustered"), "{err}");
+        assert!(err.contains("parallel"), "{err}");
+        assert!(!err.contains("per-process"), "{err}");
+        assert!(!err.contains("socket"), "{err}");
+        // Socket at 2^16 + 1: same caps, symmetric hint.
         let err = ScenarioError::ExecutorInfeasible {
             executor: Executor::Socket,
             n: (1 << 16) + 1,

@@ -224,9 +224,9 @@ const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32",
 const HOT_PATH_FILES: &[&str] = &["crates/core/src/protocol.rs", "crates/core/src/epoch.rs"];
 
 /// Functions that run once per ball per round: the SoA round kernel.
-/// `compose`/`apply` are the `ViewProtocol` entry points;
-/// `index_messages` is the per-round inbox join.
-const HOT_PATH_FNS: &[&str] = &["compose", "apply", "index_messages"];
+/// `compose`/`compose_batch`/`apply` are the `ViewProtocol` entry
+/// points; `index_messages` is the per-round inbox join.
+const HOT_PATH_FNS: &[&str] = &["compose", "compose_batch", "apply", "index_messages"];
 
 /// The pipeline driver: everything it calls runs every round.
 const PIPELINE_FILE: &str = "crates/runtime/src/pipeline.rs";

@@ -28,7 +28,7 @@
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::PerProcess`] | in-memory, views shared by delivery history, never re-merged | fidelity cross-checks (reference semantics) |
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Clustered`] | in-memory, identical views shared | large-`n` experiment sweeps |
 //! | [`engine::SyncEngine`] with [`engine::EngineMode::Parallel`] / [`parallel::run_parallel`] | in-memory clustered, rounds sharded across OS threads | multi-core sweeps |
-//! | [`threaded::run_threaded`] | one OS thread per process, wire-encoded messages over crossbeam channels | demonstrating the protocol over real message passing |
+//! | [`threaded::run_threaded`] | slot-range worker threads, wire-encoded broadcasts over crossbeam channels | demonstrating the protocol over real message passing |
 //! | [`socket::run_socket`] | worker threads over loopback TCP, length-prefixed frames ([`frame`]) of wire bytes | messages crossing a real OS boundary |
 //!
 //! All five produce bit-identical [`trace::RunReport`]s for the same
@@ -73,6 +73,7 @@ pub mod threaded;
 pub mod trace;
 pub mod view;
 pub mod wire;
+mod worker;
 
 pub use error::RunError;
 pub use exec::ExecutorKind;

@@ -82,6 +82,11 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
         round: Round,
         participants: &[ProcId],
     ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
+        if self.threads < 2 || participants.len() < 2 {
+            // The serial transport already composes one batched sweep per
+            // cluster; a one-shard run is exactly that.
+            return self.inner.compose(round, participants);
+        }
         let threads = self.threads;
         let LocalTransport {
             protocol,
@@ -99,17 +104,6 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
             .collect();
         items.sort_unstable_by_key(|(p, _)| *p);
         debug_assert_eq!(items.len(), participants.len());
-
-        if threads < 2 || items.len() < 2 {
-            return Ok(items
-                .into_iter()
-                .map(|(pid, view)| {
-                    let label = labels[pid.index()];
-                    let msg = protocol.compose(view, label, round, &mut rngs[pid.index()]);
-                    (pid, label, msg)
-                })
-                .collect());
-        }
 
         let shard_len = items.len().div_ceil(threads);
         let protocol: &P = protocol;
@@ -136,15 +130,53 @@ impl<P: ViewProtocol> Transport<P> for ParallelTransport<P> {
                 rng_tail = rest;
                 consumed = hi + 1;
                 handles.push(s.spawn(move || {
-                    shard
-                        .iter()
-                        .map(|&(pid, view)| {
-                            let label = labels[pid.index()];
-                            let msg =
-                                protocol.compose(view, label, round, &mut mine[pid.index() - lo]);
-                            (pid, label, msg)
-                        })
-                        .collect::<Vec<_>>()
+                    // Shard slots are in pid order, so members of one
+                    // cluster form consecutive pointer-equal view runs;
+                    // each run composes as one batched sweep. Per-process
+                    // RNG streams make the label-ordered compose within a
+                    // run unobservable, and re-sorting each run's output
+                    // by slot keeps the shard's result slot-ordered.
+                    let mut part: Vec<(ProcId, Label, P::Msg)> = Vec::with_capacity(shard.len());
+                    let mut slots: Vec<Option<&mut SmallRng>> = mine.iter_mut().map(Some).collect();
+                    let mut pairs: Vec<(Label, ProcId)> = Vec::new();
+                    let mut balls: Vec<Label> = Vec::new();
+                    let mut gathered: Vec<&mut SmallRng> = Vec::new();
+                    let mut composed: Vec<(Label, P::Msg)> = Vec::new();
+                    let mut i = 0;
+                    while i < shard.len() {
+                        let (_, view) = shard[i];
+                        let mut j = i + 1;
+                        while j < shard.len() && std::ptr::eq(shard[j].1, view) {
+                            j += 1;
+                        }
+                        pairs.clear();
+                        pairs.extend(
+                            shard[i..j]
+                                .iter()
+                                .map(|&(pid, _)| (labels[pid.index()], pid)),
+                        );
+                        pairs.sort_unstable();
+                        balls.clear();
+                        balls.extend(pairs.iter().map(|&(label, _)| label));
+                        gathered.clear();
+                        for &(_, pid) in &pairs {
+                            gathered.push(
+                                slots[pid.index() - lo]
+                                    .take()
+                                    // bil-lint: allow(no-panic): local invariant — view runs partition the shard, so each RNG is taken exactly once; no wire input involved
+                                    .expect("each participant composes once per round"),
+                            );
+                        }
+                        composed.clear();
+                        protocol.compose_batch(view, &balls, round, &mut gathered, &mut composed);
+                        let start = part.len();
+                        for ((label, msg), &(_, pid)) in composed.drain(..).zip(&pairs) {
+                            part.push((pid, label, msg));
+                        }
+                        part[start..].sort_unstable_by_key(|(p, _, _)| *p);
+                        i = j;
+                    }
+                    part
                 }));
             }
             // Join in shard order: the concatenation is slot-ordered

@@ -251,6 +251,17 @@ impl<M: Clone> RoundMessages<M> {
         self.variants[id as usize].1.as_inbox()
     }
 
+    /// The shared inbox buffer for interned signature `id`, by [`Arc`]
+    /// clone — for transports that move a round's inboxes to worker
+    /// threads without re-encoding them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by [`RoundMessages::prepare`].
+    pub fn inbox_arc(&self, id: SigId) -> Arc<InboxBuf<M>> {
+        Arc::clone(&self.variants[id as usize].1)
+    }
+
     /// The shared inbox of recipient `dst`. Allocation-free.
     ///
     /// # Panics
@@ -557,6 +568,17 @@ pub struct LocalTransport<P: ViewProtocol> {
     pub(crate) clusters: Vec<Cluster<P::View>>,
     pub(crate) rngs: Vec<SmallRng>,
     pub(crate) merge: bool,
+    /// `(label, slot)` pairs sorted by label, built once at
+    /// construction: labels never change, so a cluster's label-ordered
+    /// ball list is this sequence filtered by membership
+    /// (order-preserving) — no per-round sort.
+    by_label: Vec<(Label, ProcId)>,
+    /// Scratch, reused across rounds: slot → index of its cluster this
+    /// round (`u32::MAX` = not composing).
+    cluster_of: Vec<u32>,
+    /// Scratch, reused across rounds: per-cluster `(label, slot)`
+    /// buckets, each strictly label-ascending.
+    buckets: Vec<Vec<(Label, ProcId)>>,
 }
 
 impl<P: ViewProtocol + fmt::Debug> fmt::Debug for LocalTransport<P> {
@@ -596,6 +618,12 @@ impl<P: ViewProtocol> LocalTransport<P> {
             members: (0..n as u32).map(ProcId).collect(),
             view: protocol.init_view(n),
         }];
+        let mut by_label: Vec<(Label, ProcId)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| (label, ProcId(i as u32)))
+            .collect();
+        by_label.sort_unstable();
         LocalTransport {
             protocol,
             labels: labels.to_vec(),
@@ -604,6 +632,9 @@ impl<P: ViewProtocol> LocalTransport<P> {
                 .map(|p| seeds.process_rng(ProcId(p as u32)))
                 .collect(),
             merge,
+            by_label,
+            cluster_of: vec![u32::MAX; n],
+            buckets: Vec::new(),
         }
     }
 
@@ -654,13 +685,65 @@ impl<P: ViewProtocol> Transport<P> for LocalTransport<P> {
         round: Round,
         participants: &[ProcId],
     ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
+        let LocalTransport {
+            protocol,
+            clusters,
+            rngs,
+            by_label,
+            cluster_of,
+            buckets,
+            ..
+        } = self;
         let mut outgoing: Vec<(ProcId, Label, P::Msg)> = Vec::with_capacity(participants.len());
-        for cluster in &self.clusters {
+        // Route each slot to its cluster for this round; slots outside
+        // every cluster (decided or crashed) stay unmarked and drop out
+        // of the label sweep below.
+        cluster_of.fill(u32::MAX);
+        while buckets.len() < clusters.len() {
+            buckets.push(Vec::new());
+        }
+        for (ci, cluster) in clusters.iter().enumerate() {
             for &pid in &cluster.members {
-                let label = self.labels[pid.index()];
-                let msg =
-                    self.protocol
-                        .compose(&cluster.view, label, round, &mut self.rngs[pid.index()]);
+                cluster_of[pid.index()] = ci as u32;
+            }
+            buckets[ci].clear();
+        }
+        // One pass over the label-sorted slot list: filtering preserves
+        // order, so every bucket comes out strictly label-ascending —
+        // the batched sweep's merge-join fast path — with no per-round
+        // sort. Labels are validated duplicate-free up front.
+        for &(label, pid) in by_label.iter() {
+            let ci = cluster_of[pid.index()];
+            if ci != u32::MAX {
+                buckets[ci as usize].push((label, pid));
+            }
+        }
+        // Each participant composes exactly once per round, so its RNG is
+        // handed out at most once — which lets a cluster's RNGs be
+        // gathered in label order (not slot order) without aliasing.
+        let mut rng_slots: Vec<Option<&mut SmallRng>> = rngs.iter_mut().map(Some).collect();
+        let mut balls: Vec<Label> = Vec::new();
+        let mut gathered: Vec<&mut SmallRng> = Vec::new();
+        let mut composed: Vec<(Label, P::Msg)> = Vec::new();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            // One batched sweep per shared view. Per-process RNG streams
+            // make the cross-ball compose order unobservable.
+            let pairs = &buckets[ci];
+            debug_assert_eq!(pairs.len(), cluster.members.len());
+            balls.clear();
+            balls.extend(pairs.iter().map(|&(label, _)| label));
+            gathered.clear();
+            for &(_, pid) in pairs {
+                gathered.push(
+                    rng_slots[pid.index()]
+                        .take()
+                        // bil-lint: allow(no-panic): local invariant — clusters partition the participants, so each RNG is taken exactly once; no wire input involved
+                        .expect("each participant composes once per round"),
+                );
+            }
+            composed.clear();
+            protocol.compose_batch(&cluster.view, &balls, round, &mut gathered, &mut composed);
+            for ((label, msg), &(_, pid)) in composed.drain(..).zip(pairs) {
                 outgoing.push((pid, label, msg));
             }
         }

@@ -64,6 +64,7 @@ use crate::rng::SeedTree;
 use crate::trace::RunReport;
 use crate::view::{InboxBuf, NoObserver, Status, ViewProtocol};
 use crate::wire::{get_varint, put_varint, Wire, WireError, WIRE_FORMAT_VERSION};
+use crate::worker::{slot_ranges, WorkerState};
 
 /// Frame tags of the coordinator↔worker protocol.
 mod tag {
@@ -189,75 +190,6 @@ impl From<WireError> for WorkerFault {
     }
 }
 
-/// One shared view inside a worker: all member slots have witnessed the
-/// same delivery history, and views are pure functions of that history,
-/// so one materialized view stands for every member. Failure-free runs
-/// keep a single cluster per worker for the whole run — O(1) views per
-/// worker instead of one per slot, which is what makes n = 2^16 and
-/// beyond feasible on this executor.
-struct ViewCluster<V> {
-    view: V,
-    members: usize,
-}
-
-/// Per-slot worker state: label, private RNG stream, and the slot's
-/// current view cluster. The view itself lives in [`WorkerState::clusters`].
-struct Proc {
-    label: Label,
-    rng: rand::rngs::SmallRng,
-    cluster: usize,
-}
-
-/// A worker's slots plus the view clusters they share. Mirrors the
-/// clustered engine's signature-refined partition: slots start in one
-/// cluster and split off only when a round delivers them a different
-/// inbox signature than the rest of their cluster (partial deliveries of
-/// dying broadcasts).
-struct WorkerState<P: ViewProtocol> {
-    procs: BTreeMap<u64, Proc>,
-    /// Cluster slab; `None` entries are free slots kept for reuse.
-    clusters: Vec<Option<ViewCluster<P::View>>>,
-    free: Vec<usize>,
-}
-
-impl<P: ViewProtocol> WorkerState<P> {
-    fn cluster(&self, index: usize) -> &ViewCluster<P::View> {
-        // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
-        self.clusters[index].as_ref().expect("live cluster")
-    }
-
-    fn cluster_mut(&mut self, index: usize) -> &mut ViewCluster<P::View> {
-        // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
-        self.clusters[index].as_mut().expect("live cluster")
-    }
-
-    fn alloc(&mut self, view: P::View, members: usize) -> usize {
-        let entry = Some(ViewCluster { view, members });
-        match self.free.pop() {
-            Some(i) => {
-                self.clusters[i] = entry;
-                i
-            }
-            None => {
-                self.clusters.push(entry);
-                self.clusters.len() - 1
-            }
-        }
-    }
-
-    fn leave(&mut self, index: usize, count: usize) {
-        let c = self.cluster_mut(index);
-        debug_assert!(c.members >= count);
-        c.members -= count;
-        if c.members == 0 {
-            // Drop the view eagerly: a fragmented run's dead clusters
-            // must release their trees, not linger until exit.
-            self.clusters[index] = None;
-            self.free.push(index);
-        }
-    }
-}
-
 /// The body of one worker thread: connect back to the coordinator,
 /// handshake, then serve framed commands until `Exit` or a dead stream.
 fn worker_main<P>(
@@ -278,30 +210,7 @@ fn worker_main<P>(
     let _ = stream.set_read_timeout(io_timeout);
     let _ = stream.set_write_timeout(io_timeout);
 
-    // Every slot starts from the same `init_view(n)` with an empty
-    // delivery history: one shared cluster for the whole worker.
-    let members = slots.len();
-    let procs: BTreeMap<u64, Proc> = slots
-        .into_iter()
-        .map(|(slot, label)| {
-            (
-                slot as u64,
-                Proc {
-                    label,
-                    rng: seeds.process_rng(ProcId(slot)),
-                    cluster: 0,
-                },
-            )
-        })
-        .collect();
-    let mut state = WorkerState::<P> {
-        procs,
-        clusters: vec![Some(ViewCluster {
-            view: proto.init_view(n),
-            members,
-        })],
-        free: Vec::new(),
-    };
+    let mut state = WorkerState::<P>::new(&proto, n, &slots, &seeds);
 
     let mut hello = BytesMut::new();
     put_varint(&mut hello, tag::HELLO);
@@ -367,38 +276,37 @@ where
         tag::COMPOSE => {
             let round = Round(get_varint(&mut buf).map_err(wire)?);
             let count = get_varint(&mut buf).map_err(wire)?;
-            if count > state.procs.len() as u64 {
+            if count > state.len() as u64 {
                 return Err(wire(WireError::LengthOverflow(count)));
             }
+            let mut slots = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                slots.push(get_varint(&mut buf).map_err(wire)?);
+            }
+            // One batched sweep per view cluster; output is slot-sorted,
+            // matching the coordinator's (slot-ascending) request.
+            let composed = state
+                .compose_batch(proto, round, &slots)
+                .map_err(|slot| fault(WorkerFault::BadSlot(slot)))?;
             let mut rsp = BytesMut::new();
             put_varint(&mut rsp, tag::COMPOSED);
-            put_varint(&mut rsp, count);
-            for _ in 0..count {
-                let slot = get_varint(&mut buf).map_err(wire)?;
-                let Some(proc) = state.procs.get_mut(&slot) else {
-                    return Err(fault(WorkerFault::BadSlot(slot)));
-                };
-                let view = &state.clusters[proc.cluster]
-                    .as_ref()
-                    // bil-lint: allow(no-panic): slab invariant — procs only ever hold indices of live clusters; no wire input involved
-                    .expect("slots always point at live clusters")
-                    .view;
-                let msg = proto.compose(view, proc.label, round, &mut proc.rng);
+            put_varint(&mut rsp, composed.len() as u64);
+            for (slot, bytes) in composed {
                 put_varint(&mut rsp, slot);
-                put_blob(&mut rsp, &msg.to_bytes());
+                put_blob(&mut rsp, &bytes);
             }
             Some(rsp)
         }
         tag::DELIVER => {
             let round = Round(get_varint(&mut buf).map_err(wire)?);
             let groups = get_varint(&mut buf).map_err(wire)?;
-            if groups > state.procs.len() as u64 {
+            if groups > state.len() as u64 {
                 return Err(wire(WireError::LengthOverflow(groups)));
             }
             let mut statuses: Vec<(u64, Status)> = Vec::new();
             for _ in 0..groups {
                 let dst_count = get_varint(&mut buf).map_err(wire)?;
-                if dst_count > state.procs.len() as u64 {
+                if dst_count > state.len() as u64 {
                     return Err(wire(WireError::LengthOverflow(dst_count)));
                 }
                 let mut dsts = Vec::with_capacity(dst_count as usize);
@@ -416,44 +324,11 @@ where
                 }
                 let inbox = InboxBuf::from_pairs(inbox);
                 // All recipients of this group share one delivery
-                // signature. Partition them by current cluster: a cluster
-                // fully contained in the group applies the inbox once, in
-                // place; a partially-covered cluster splits — the covered
-                // slots move to a fresh cluster (cloned view) that then
-                // applies once. Views are pure functions of delivery
-                // history, so the shared result is exactly what per-slot
-                // application would have produced.
-                let mut by_cluster: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
-                for slot in dsts {
-                    let Some(proc) = state.procs.get(&slot) else {
-                        return Err(fault(WorkerFault::BadSlot(slot)));
-                    };
-                    by_cluster.entry(proc.cluster).or_default().push(slot);
-                }
-                for (ci, members) in by_cluster {
-                    let target = if members.len() == state.cluster(ci).members {
-                        ci
-                    } else {
-                        let view = state.cluster(ci).view.clone();
-                        state.leave(ci, members.len());
-                        let nci = state.alloc(view, members.len());
-                        for slot in &members {
-                            state
-                                .procs
-                                .get_mut(slot)
-                                // bil-lint: allow(no-panic): `members` was just drawn from `state.procs`; no wire input involved
-                                .expect("partitioned above")
-                                .cluster = nci;
-                        }
-                        nci
-                    };
-                    proto.apply(&mut state.cluster_mut(target).view, round, inbox.as_inbox());
-                    let view = &state.cluster(target).view;
-                    for slot in members {
-                        let label = state.procs[&slot].label;
-                        statuses.push((slot, proto.status(view, label, round)));
-                    }
-                }
+                // signature; `apply_group` partitions them by current
+                // cluster, splitting partially-covered clusters.
+                state
+                    .apply_group(proto, round, &dsts, &inbox, &mut statuses)
+                    .map_err(|slot| fault(WorkerFault::BadSlot(slot)))?;
             }
             statuses.sort_by_key(|(s, _)| *s);
             let mut rsp = BytesMut::new();
@@ -473,9 +348,7 @@ where
         }
         tag::RETIRE => {
             let slot = get_varint(&mut buf).map_err(wire)?;
-            if let Some(proc) = state.procs.remove(&slot) {
-                state.leave(proc.cluster, 1);
-            }
+            state.retire(slot);
             None
         }
         tag::EXIT => return Err(None),
@@ -544,20 +417,10 @@ where
             .map_err(|e| RunError::io("reading the listener address", &e))?;
 
         // Contiguous slot ranges, remainder spread over the first ranges.
-        let mut worker_of = vec![0usize; n];
+        let (ranges, worker_of) = slot_ranges(n, workers);
         let mut handles = Vec::with_capacity(workers);
-        let base = n / workers;
-        let rem = n % workers;
-        let mut start = 0usize;
-        for w in 0..workers {
-            let len = base + usize::from(w < rem);
-            let slots: Vec<(u32, Label)> = (start..start + len)
-                .map(|s| {
-                    worker_of[s] = w;
-                    (s as u32, labels[s])
-                })
-                .collect();
-            start += len;
+        for (w, range) in ranges.into_iter().enumerate() {
+            let slots: Vec<(u32, Label)> = range.map(|s| (s as u32, labels[s])).collect();
             let proto = protocol.clone();
             let seeds = *seeds;
             let io_timeout = options.io_timeout;

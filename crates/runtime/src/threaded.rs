@@ -1,14 +1,24 @@
-//! Thread-per-process executor over crossbeam channels.
+//! In-process wire executor over crossbeam channels.
 //!
 //! Where the in-memory transports *simulate* the synchronous network,
-//! this executor *is* one, in miniature: every process runs on its own OS
-//! thread, owns its view and RNG privately, and communicates exclusively
-//! by sending **encoded wire bytes** through channels. The shared
-//! [`RoundPipeline`] enforces the lock-step round structure (the
-//! "synchronization harness" the model presumes) and plays the adversary;
-//! [`ChannelTransport`] carries each round's broadcasts to the worker
-//! threads and routes each survivor its personalized inbox — which is
-//! exactly how a strong adaptive adversary is defined.
+//! this executor *is* one, in miniature: a few worker threads, each
+//! owning a contiguous range of process slots (views and RNG streams
+//! never leave their worker), lock-stepped by the shared
+//! [`RoundPipeline`] through command/response channels — the same
+//! worker shape as the socket executor ([`crate::socket`]), minus the
+//! kernel's socket layer. Within a worker, slots share views by
+//! delivery history (the `worker` module holds the shared state
+//! machine), so a failure-free run materializes one view per worker
+//! regardless of `n`.
+//!
+//! Each round costs one `Compose` and one `Deliver` command per
+//! *worker*, not per process: a worker composes its whole slot range as
+//! one batched sweep per shared view and answers with the encoded
+//! broadcasts (the coordinator decodes them, so the codec is exercised
+//! every round exactly as on the socket executor), and delivery hands
+//! each worker the round's shared [`InboxBuf`]s by [`Arc`] clone — one
+//! reference per (worker × delivery signature), never a re-encoded
+//! per-recipient byte vector.
 //!
 //! For any `(protocol, labels, adversary, seed)`, this executor produces a
 //! [`RunReport`] **bit-identical** to the in-memory executors'; the
@@ -18,17 +28,16 @@
 //!
 //! ## Failure handling
 //!
-//! Wire problems are *errors, not panics*: a message that fails to decode
-//! — in a worker or in the coordinator — and a worker that hangs up
-//! mid-run both surface as a structured [`RunError`] from
-//! [`run_threaded`], after the transport has torn itself down. A worker
-//! that encounters a malformed inbox reports the [`WireError`] back
-//! through its response channel and exits cleanly; it never panics across
-//! the thread boundary. The socket executor ([`crate::socket`]) shares
+//! Wire problems are *errors, not panics*: a broadcast that fails to
+//! decode at the coordinator and a worker that hangs up mid-run both
+//! surface as a structured [`RunError`] from [`run_threaded`], after the
+//! transport has torn itself down. A worker handed an unknown slot
+//! reports it back through its response channel and exits cleanly; it
+//! never panics across the thread boundary. The socket executor shares
 //! this exact error path.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::thread;
 
 use bytes::Bytes;
@@ -38,43 +47,54 @@ use crate::adversary::Adversary;
 use crate::engine::EngineOptions;
 use crate::error::RunError;
 use crate::ids::{Label, ProcId, Round};
-use crate::pipeline::{RoundMessages, RoundPipeline, Transport};
+use crate::pipeline::{RoundMessages, RoundPipeline, SigId, Transport};
 use crate::rng::SeedTree;
 use crate::trace::RunReport;
 use crate::view::{InboxBuf, NoObserver, Status, ViewProtocol};
-use crate::wire::{Wire, WireError};
+use crate::wire::Wire;
+use crate::worker::{slot_ranges, WorkerState};
 
-enum ToProc {
+enum ToWorker<M> {
+    /// Compose the broadcasts of `slots` (ascending, all owned by this
+    /// worker) for `round`.
     Compose {
         round: Round,
+        slots: Vec<u64>,
     },
+    /// Fold the round's shared inboxes: one `(recipients, inbox)` group
+    /// per delivery signature present at this worker.
     Deliver {
         round: Round,
-        inbox: Vec<(Label, Bytes)>,
+        groups: Vec<(Vec<u64>, Arc<InboxBuf<M>>)>,
     },
+    /// A slot crashed or decided; drop it. Fire-and-forget: channel FIFO
+    /// ordering lands it before the next `Deliver`.
+    Retire(u64),
     Exit,
 }
 
-enum FromProc {
-    Composed(Bytes),
-    Applied(Status),
-    /// The worker could not decode a delivered message; it reports the
-    /// codec error and exits its loop.
-    DecodeFailed(Label, WireError),
+enum FromWorker {
+    /// Encoded broadcasts, slot-ascending.
+    Composed(Vec<(u64, Bytes)>),
+    /// Post-apply statuses, slot-ascending.
+    Applied(Vec<(u64, Status)>),
+    /// A command named a slot this worker does not own; the worker
+    /// reports it and exits its loop.
+    BadSlot(u64),
 }
 
-/// The wire transport: one worker thread per process, lock-stepped by the
-/// [`RoundPipeline`] through command/response channels carrying encoded
-/// bytes. Views never leave their worker thread.
+/// The in-process wire transport: slot-range worker threads lock-stepped
+/// by the [`RoundPipeline`] through command/response channels. Views
+/// never leave their worker thread.
 pub struct ChannelTransport<P: ViewProtocol> {
     labels: Vec<Label>,
-    to_procs: Vec<Sender<ToProc>>,
-    from_procs: Vec<Receiver<FromProc>>,
+    to_workers: Vec<Sender<ToWorker<P::Msg>>>,
+    from_workers: Vec<Receiver<FromWorker>>,
+    /// Slot → owning worker index. Ranges are contiguous and ascending,
+    /// so concatenating per-worker responses in worker order yields slot
+    /// order.
+    worker_of: Vec<usize>,
     handles: Vec<thread::JoinHandle<()>>,
-    /// Workers already told to exit (crashed, decided, or shut down).
-    exited: Vec<bool>,
-    /// This round's encoded broadcasts, for inbox routing.
-    bytes_by_label: BTreeMap<Label, Bytes>,
     /// Statuses collected in [`Transport::apply`], drained by
     /// [`Transport::sweep`].
     statuses: Vec<(ProcId, Status)>,
@@ -85,6 +105,7 @@ impl<P: ViewProtocol> fmt::Debug for ChannelTransport<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ChannelTransport")
             .field("n", &self.labels.len())
+            .field("workers", &self.to_workers.len())
             .finish_non_exhaustive()
     }
 }
@@ -93,96 +114,142 @@ impl<P> ChannelTransport<P>
 where
     P: ViewProtocol + Clone + Send + 'static,
 {
-    /// Spawns one worker thread per label, each owning its view and its
-    /// process RNG stream.
+    /// Spawns `min(available_parallelism, n)` workers, each owning a
+    /// contiguous slot range with its views and process RNG streams.
     pub fn spawn(protocol: &P, labels: &[Label], seeds: &SeedTree) -> Self {
+        let auto = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        Self::spawn_with_workers(protocol, labels, seeds, auto)
+    }
+
+    /// [`ChannelTransport::spawn`] with an explicit worker count
+    /// (clamped to `1..=n`). The produced [`RunReport`] does not depend
+    /// on it — tests use this to assert exactly that.
+    pub fn spawn_with_workers(
+        protocol: &P,
+        labels: &[Label],
+        seeds: &SeedTree,
+        workers: usize,
+    ) -> Self {
         let n = labels.len();
-        let mut to_procs: Vec<Sender<ToProc>> = Vec::with_capacity(n);
-        let mut from_procs: Vec<Receiver<FromProc>> = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for (pid, label) in labels.iter().copied().enumerate() {
-            let (tx_cmd, rx_cmd) = unbounded::<ToProc>();
-            let (tx_rsp, rx_rsp) = unbounded::<FromProc>();
-            to_procs.push(tx_cmd);
-            from_procs.push(rx_rsp);
+        let workers = workers.clamp(1, n.max(1));
+        let (ranges, worker_of) = slot_ranges(n, workers);
+        let mut to_workers = Vec::with_capacity(workers);
+        let mut from_workers = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for range in ranges {
+            let (tx_cmd, rx_cmd) = unbounded::<ToWorker<P::Msg>>();
+            let (tx_rsp, rx_rsp) = unbounded::<FromWorker>();
+            to_workers.push(tx_cmd);
+            from_workers.push(rx_rsp);
+            let slots: Vec<(u32, Label)> = range.map(|s| (s as u32, labels[s])).collect();
             let proto = protocol.clone();
-            let mut rng = seeds.process_rng(ProcId(pid as u32));
+            let seeds = *seeds;
             handles.push(thread::spawn(move || {
-                let mut view = proto.init_view(n);
-                while let Ok(cmd) = rx_cmd.recv() {
-                    match cmd {
-                        ToProc::Compose { round } => {
-                            let msg = proto.compose(&view, label, round, &mut rng);
-                            if tx_rsp.send(FromProc::Composed(msg.to_bytes())).is_err() {
-                                break;
-                            }
-                        }
-                        ToProc::Deliver { round, inbox } => {
-                            let mut decoded: Vec<(Label, P::Msg)> = Vec::with_capacity(inbox.len());
-                            let mut failed = None;
-                            for (l, b) in inbox {
-                                match P::Msg::from_bytes(b) {
-                                    Ok(m) => decoded.push((l, m)),
-                                    Err(e) => {
-                                        failed = Some((l, e));
-                                        break;
-                                    }
-                                }
-                            }
-                            if let Some((l, e)) = failed {
-                                // Report the malformed message and retire
-                                // this worker; the coordinator turns the
-                                // report into a RunError.
-                                tx_rsp.send(FromProc::DecodeFailed(l, e)).ok();
-                                break;
-                            }
-                            let decoded = InboxBuf::from_pairs(decoded);
-                            proto.apply(&mut view, round, decoded.as_inbox());
-                            let status = proto.status(&view, label, round);
-                            if tx_rsp.send(FromProc::Applied(status)).is_err() {
-                                break;
-                            }
-                        }
-                        ToProc::Exit => break,
-                    }
-                }
+                worker_main(proto, n, slots, seeds, &rx_cmd, &tx_rsp);
             }));
         }
         ChannelTransport {
             labels: labels.to_vec(),
-            to_procs,
-            from_procs,
+            to_workers,
+            from_workers,
+            worker_of,
             handles,
-            exited: vec![false; n],
-            bytes_by_label: BTreeMap::new(),
             statuses: Vec::new(),
             _protocol: std::marker::PhantomData,
         }
     }
 
-    fn exit(&mut self, pid: ProcId) {
-        if !self.exited[pid.index()] {
-            self.to_procs[pid.index()].send(ToProc::Exit).ok();
-            self.exited[pid.index()] = true;
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    fn send(
+        &self,
+        worker: usize,
+        cmd: ToWorker<P::Msg>,
+        context: &'static str,
+    ) -> Result<(), RunError> {
+        self.to_workers[worker]
+            .send(cmd)
+            .map_err(|_| RunError::Disconnected { context, worker })
+    }
+
+    fn recv(&self, worker: usize, context: &'static str) -> Result<FromWorker, RunError> {
+        self.from_workers[worker]
+            .recv()
+            .map_err(|_| RunError::Disconnected { context, worker })
+    }
+
+    /// Groups `pids` (slot-ascending) by owning worker, preserving order.
+    fn per_worker(&self, pids: &[ProcId]) -> Vec<Vec<ProcId>> {
+        let mut out: Vec<Vec<ProcId>> = vec![Vec::new(); self.to_workers.len()];
+        for &p in pids {
+            out[self.worker_of[p.index()]].push(p);
+        }
+        out
+    }
+
+    fn bad_slot(worker: usize, slot: u64, context: &'static str) -> RunError {
+        RunError::Protocol {
+            context,
+            detail: format!("worker {worker} was handed unknown slot {slot}"),
         }
     }
+}
 
-    fn send(&self, pid: ProcId, cmd: ToProc, context: &'static str) -> Result<(), RunError> {
-        self.to_procs[pid.index()]
-            .send(cmd)
-            .map_err(|_| RunError::Disconnected {
-                context,
-                worker: pid.index(),
-            })
-    }
-
-    fn recv(&self, pid: ProcId, context: &'static str) -> Result<FromProc, RunError> {
-        self.from_procs[pid.index()]
-            .recv()
-            .map_err(|_| RunError::Disconnected {
-                context,
-                worker: pid.index(),
-            })
+/// The body of one worker thread: serve commands until `Exit` or a dead
+/// channel.
+fn worker_main<P>(
+    proto: P,
+    n: usize,
+    slots: Vec<(u32, Label)>,
+    seeds: SeedTree,
+    rx_cmd: &Receiver<ToWorker<P::Msg>>,
+    tx_rsp: &Sender<FromWorker>,
+) where
+    P: ViewProtocol,
+{
+    let mut state = WorkerState::<P>::new(&proto, n, &slots, &seeds);
+    while let Ok(cmd) = rx_cmd.recv() {
+        match cmd {
+            ToWorker::Compose { round, slots } => {
+                match state.compose_batch(&proto, round, &slots) {
+                    Ok(composed) => {
+                        if tx_rsp.send(FromWorker::Composed(composed)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(slot) => {
+                        tx_rsp.send(FromWorker::BadSlot(slot)).ok();
+                        break;
+                    }
+                }
+            }
+            ToWorker::Deliver { round, groups } => {
+                let mut statuses: Vec<(u64, Status)> = Vec::new();
+                let mut bad = None;
+                for (dsts, inbox) in &groups {
+                    if let Err(slot) = state.apply_group(&proto, round, dsts, inbox, &mut statuses)
+                    {
+                        bad = Some(slot);
+                        break;
+                    }
+                }
+                if let Some(slot) = bad {
+                    tx_rsp.send(FromWorker::BadSlot(slot)).ok();
+                    break;
+                }
+                statuses.sort_unstable_by_key(|&(slot, _)| slot);
+                if tx_rsp.send(FromWorker::Applied(statuses)).is_err() {
+                    break;
+                }
+            }
+            ToWorker::Retire(slot) => state.retire(slot),
+            ToWorker::Exit => break,
+        }
     }
 }
 
@@ -195,25 +262,53 @@ where
         round: Round,
         participants: &[ProcId],
     ) -> Result<Vec<(ProcId, Label, P::Msg)>, RunError> {
-        for &p in participants {
-            self.send(p, ToProc::Compose { round }, "requesting a broadcast")?;
+        let per_worker = self.per_worker(participants);
+        for (w, slots) in per_worker.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let cmd = ToWorker::Compose {
+                round,
+                slots: slots.iter().map(|p| p.0 as u64).collect(),
+            };
+            self.send(w, cmd, "requesting broadcasts")?;
         }
-        self.bytes_by_label.clear();
         let mut outgoing = Vec::with_capacity(participants.len());
-        for &p in participants {
-            let label = self.labels[p.index()];
-            match self.recv(p, "collecting a broadcast")? {
-                FromProc::Composed(bytes) => {
-                    let msg = P::Msg::from_bytes(bytes.clone())
-                        .map_err(|e| RunError::decode(label, e))?;
-                    self.bytes_by_label.insert(label, bytes);
-                    outgoing.push((p, label, msg));
+        for (w, slots) in per_worker.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let context = "collecting broadcasts";
+            match self.recv(w, context)? {
+                FromWorker::Composed(batch) => {
+                    if batch.len() != slots.len() {
+                        return Err(RunError::Protocol {
+                            context,
+                            detail: format!(
+                                "worker {w} composed {} broadcasts, expected {}",
+                                batch.len(),
+                                slots.len()
+                            ),
+                        });
+                    }
+                    for (&p, (slot, bytes)) in slots.iter().zip(batch) {
+                        if slot != p.0 as u64 {
+                            return Err(RunError::Protocol {
+                                context,
+                                detail: format!("worker {w} composed slot {slot}, expected {p}"),
+                            });
+                        }
+                        let label = self.labels[p.index()];
+                        let msg =
+                            P::Msg::from_bytes(bytes).map_err(|e| RunError::decode(label, e))?;
+                        outgoing.push((p, label, msg));
+                    }
                 }
-                FromProc::DecodeFailed(l, e) => return Err(RunError::decode(l, e)),
-                FromProc::Applied(_) => {
+                FromWorker::BadSlot(slot) => return Err(Self::bad_slot(w, slot, context)),
+                FromWorker::Applied(_) => {
                     return Err(RunError::Protocol {
-                        context: "collecting a broadcast",
-                        detail: format!("worker {p} answered Applied to a Compose request"),
+                        context,
+                        detail: format!("worker {w} answered Applied to a Compose request"),
                     })
                 }
             }
@@ -222,8 +317,12 @@ where
     }
 
     fn crashed(&mut self, pid: ProcId) -> Result<(), RunError> {
-        self.exit(pid);
-        Ok(())
+        let w = self.worker_of[pid.index()];
+        self.send(
+            w,
+            ToWorker::Retire(pid.0 as u64),
+            "retiring a crashed process",
+        )
     }
 
     fn apply(
@@ -233,36 +332,67 @@ where
         survivors: &[ProcId],
         msgs: &RoundMessages<P::Msg>,
     ) -> Result<(), RunError> {
-        // Route each survivor its personalized inbox as wire bytes: the
-        // shared inbox for its delivery signature, re-encoded from the
-        // bytes the senders actually produced.
-        for &dst in survivors {
-            let shared = msgs.inbox(dst);
-            let labels = shared.labels();
-            let mut inbox: Vec<(Label, Bytes)> = Vec::with_capacity(labels.len());
-            for label in labels {
-                let bytes = self
-                    .bytes_by_label
-                    .get(label)
-                    .ok_or_else(|| RunError::Protocol {
-                        context: "delivering an inbox",
-                        detail: format!("no composed bytes for sender {label}"),
-                    })?;
-                inbox.push((*label, bytes.clone()));
+        let per_worker = self.per_worker(survivors);
+        for (w, dsts) in per_worker.iter().enumerate() {
+            if dsts.is_empty() {
+                continue;
             }
-            self.send(dst, ToProc::Deliver { round, inbox }, "delivering an inbox")?;
+            // One shared inbox per delivery signature occurring at this
+            // worker, handed over by Arc clone — recipients are listed
+            // with it, so delivery is O(signatures) references per
+            // worker, never a per-recipient byte re-encode.
+            let mut groups: Vec<(SigId, Vec<u64>)> = Vec::new();
+            for &dst in dsts {
+                let sig = msgs.sig_id(dst);
+                match groups.iter_mut().find(|(s, _)| *s == sig) {
+                    Some((_, g)) => g.push(dst.0 as u64),
+                    None => groups.push((sig, vec![dst.0 as u64])),
+                }
+            }
+            let cmd = ToWorker::Deliver {
+                round,
+                groups: groups
+                    .into_iter()
+                    .map(|(sig, g)| (g, msgs.inbox_arc(sig)))
+                    .collect(),
+            };
+            self.send(w, cmd, "delivering inboxes")?;
         }
-        // Collect statuses in slot order; sweep hands them to the
-        // pipeline.
         self.statuses.clear();
-        for &p in survivors {
-            match self.recv(p, "collecting a round status")? {
-                FromProc::Applied(status) => self.statuses.push((p, status)),
-                FromProc::DecodeFailed(l, e) => return Err(RunError::decode(l, e)),
-                FromProc::Composed(_) => {
+        for (w, dsts) in per_worker.iter().enumerate() {
+            if dsts.is_empty() {
+                continue;
+            }
+            let context = "collecting round statuses";
+            match self.recv(w, context)? {
+                FromWorker::Applied(batch) => {
+                    if batch.len() != dsts.len() {
+                        return Err(RunError::Protocol {
+                            context,
+                            detail: format!(
+                                "worker {w} reported {} statuses, expected {}",
+                                batch.len(),
+                                dsts.len()
+                            ),
+                        });
+                    }
+                    for (&p, (slot, status)) in dsts.iter().zip(batch) {
+                        if slot != p.0 as u64 {
+                            return Err(RunError::Protocol {
+                                context,
+                                detail: format!(
+                                    "worker {w} reported status for slot {slot}, expected {p}"
+                                ),
+                            });
+                        }
+                        self.statuses.push((p, status));
+                    }
+                }
+                FromWorker::BadSlot(slot) => return Err(Self::bad_slot(w, slot, context)),
+                FromWorker::Composed(_) => {
                     return Err(RunError::Protocol {
-                        context: "collecting a round status",
-                        detail: format!("worker {p} answered Composed to a Deliver request"),
+                        context,
+                        detail: format!("worker {w} answered Composed to a Deliver request"),
                     })
                 }
             }
@@ -274,17 +404,24 @@ where
         let statuses = std::mem::take(&mut self.statuses);
         for (pid, status) in &statuses {
             if matches!(status, Status::Decided(_)) {
-                self.exit(*pid);
+                let w = self.worker_of[pid.index()];
+                self.send(
+                    w,
+                    ToWorker::Retire(pid.0 as u64),
+                    "retiring a decided process",
+                )?;
             }
         }
         Ok(statuses)
     }
 
     fn shutdown(&mut self) {
-        for pid in 0..self.labels.len() {
-            self.exit(ProcId(pid as u32));
+        for tx in &self.to_workers {
+            tx.send(ToWorker::Exit).ok();
         }
-        self.to_procs.clear();
+        // Dropping the senders unblocks any worker still mid-recv, so
+        // joins cannot hang.
+        self.to_workers.clear();
         for h in self.handles.drain(..) {
             // A worker that panicked mid-run already surfaced as a
             // Disconnected/Protocol error to the driver; teardown only
@@ -294,20 +431,20 @@ where
     }
 }
 
-/// Runs `protocol` on one thread per process, coordinated into lock-step
-/// rounds, and returns the same report the simulator would.
+/// Runs `protocol` on the in-process wire executor (slot-range workers
+/// over channels) and returns the same report the simulator would.
 ///
 /// # Errors
 ///
 /// Returns [`RunError::Config`] if `labels` is empty or contains
-/// duplicates, [`RunError::Decode`] if a wire message fails to decode
+/// duplicates, [`RunError::Decode`] if a broadcast fails to decode
 /// (codec bug or corrupted frame), and [`RunError::Disconnected`] if a
 /// worker thread hangs up mid-run. The transport is torn down before any
 /// error is returned.
 ///
 /// # Panics
 ///
-/// Panics only if a process thread itself panics (a protocol bug).
+/// Panics only if a worker thread itself panics (a protocol bug).
 pub fn run_threaded<P, A>(
     protocol: P,
     labels: Vec<Label>,
@@ -429,6 +566,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sim, threaded);
+    }
+
+    #[test]
+    fn report_is_independent_of_worker_count() {
+        use crate::pipeline::RoundPipeline;
+        use crate::view::NoObserver;
+
+        let ls = labels(11);
+        let adv = || {
+            Scripted::new(vec![
+                ScriptedCrash {
+                    round: Round(0),
+                    victim_index: 2,
+                    modulus: 2,
+                    residue: 0,
+                },
+                ScriptedCrash {
+                    round: Round(1),
+                    victim_index: 4,
+                    modulus: 3,
+                    residue: 1,
+                },
+            ])
+        };
+        let run_with = |workers: usize| {
+            let seeds = SeedTree::new(13);
+            let mut t =
+                ChannelTransport::spawn_with_workers(&UnionRank::rounds(4), &ls, &seeds, workers);
+            assert_eq!(t.workers(), workers.clamp(1, ls.len()));
+            RoundPipeline::new(ls.clone(), adv(), seeds, 1000)
+                .unwrap()
+                .run(&mut t, &mut NoObserver)
+                .unwrap()
+        };
+        let one = run_with(1);
+        for workers in [2, 3, 7, 64] {
+            assert_eq!(one, run_with(workers), "workers = {workers}");
+        }
     }
 
     #[test]

@@ -218,6 +218,39 @@ pub trait ViewProtocol: Sync {
         rng: &mut SmallRng,
     ) -> Self::Msg;
 
+    /// Produce the broadcasts of every ball in `balls` against one shared
+    /// `view`, appending `(ball, message)` pairs to `out` in input order.
+    ///
+    /// `rngs` is parallel to `balls`: `rngs[i]` is ball `balls[i]`'s
+    /// private stream, and each ball's draws must be exactly the draws a
+    /// per-ball [`ViewProtocol::compose`] call would make (streams are
+    /// per-process, so cross-ball interleaving is unobservable). The
+    /// default implementation is that per-ball loop; protocols with a
+    /// sorted columnar view (the balls-into-leaves kernel) override it to
+    /// share per-ball lookup and descent-prefix work across the batch.
+    /// Executors call this once per shared view instead of once per ball.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `balls` and `rngs` have different lengths.
+    fn compose_batch(
+        &self,
+        view: &Self::View,
+        balls: &[Label],
+        round: Round,
+        rngs: &mut [&mut SmallRng],
+        out: &mut Vec<(Label, Self::Msg)>,
+    ) {
+        assert_eq!(
+            balls.len(),
+            rngs.len(),
+            "compose_batch needs one rng per ball"
+        );
+        for (ball, rng) in balls.iter().zip(rngs.iter_mut()) {
+            out.push((*ball, self.compose(view, *ball, round, rng)));
+        }
+    }
+
     /// Fold the round's inbox into the view. `inbox` is sorted by sender
     /// label and contains at most one message per sender (including the
     /// receiver itself).

@@ -1,0 +1,283 @@
+//! Shared worker-side state of the range-partitioned executors.
+//!
+//! The socket executor ([`crate::socket`]) and the threaded executor
+//! ([`crate::threaded`]) have the same worker shape: a few workers, each
+//! owning a contiguous range of process slots, lock-stepped by the
+//! coordinator one command per round. Inside a worker, slots **share
+//! views by delivery history** — the same signature-refined partition
+//! the clustered engine uses: all slots start from one `init_view`
+//! cluster and split off only when a partial delivery hands them a
+//! different inbox than the rest of their cluster. A failure-free run
+//! therefore materializes exactly one view per worker regardless of `n`.
+//!
+//! This module owns that state machine once — the cluster slab, the
+//! batched per-cluster compose sweep, and the group apply with cluster
+//! splitting — so the two executors differ only in how commands and
+//! responses cross the thread boundary (length-prefixed TCP frames vs.
+//! crossbeam channels).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+
+use crate::ids::{Label, ProcId, Round};
+use crate::rng::SeedTree;
+use crate::view::{InboxBuf, Status, ViewProtocol};
+use crate::wire::Wire;
+
+/// One shared view inside a worker: all member slots have witnessed the
+/// same delivery history, and views are pure functions of that history,
+/// so one materialized view stands for every member. Failure-free runs
+/// keep a single cluster per worker for the whole run — O(1) views per
+/// worker instead of one per slot, which is what makes n = 2^16 and
+/// beyond feasible on the wire executors.
+struct ViewCluster<V> {
+    view: V,
+    members: usize,
+}
+
+/// Per-slot worker state: label, private RNG stream, and the slot's
+/// current view cluster. The view itself lives in [`WorkerState::clusters`].
+struct Proc {
+    label: Label,
+    rng: SmallRng,
+    cluster: usize,
+}
+
+/// A worker's slots plus the view clusters they share. Mirrors the
+/// clustered engine's signature-refined partition: slots start in one
+/// cluster and split off only when a round delivers them a different
+/// inbox signature than the rest of their cluster (partial deliveries of
+/// dying broadcasts).
+pub(crate) struct WorkerState<P: ViewProtocol> {
+    procs: BTreeMap<u64, Proc>,
+    /// Cluster slab; `None` entries are free slots kept for reuse.
+    clusters: Vec<Option<ViewCluster<P::View>>>,
+    free: Vec<usize>,
+}
+
+impl<P: ViewProtocol> WorkerState<P> {
+    /// The state of a fresh worker owning `slots`: every slot starts from
+    /// the same `init_view(n)` with an empty delivery history — one
+    /// shared cluster for the whole worker.
+    pub(crate) fn new(proto: &P, n: usize, slots: &[(u32, Label)], seeds: &SeedTree) -> Self {
+        let members = slots.len();
+        let procs: BTreeMap<u64, Proc> = slots
+            .iter()
+            .map(|&(slot, label)| {
+                (
+                    slot as u64,
+                    Proc {
+                        label,
+                        rng: seeds.process_rng(ProcId(slot)),
+                        cluster: 0,
+                    },
+                )
+            })
+            .collect();
+        WorkerState {
+            procs,
+            clusters: vec![Some(ViewCluster {
+                view: proto.init_view(n),
+                members,
+            })],
+            free: Vec::new(),
+        }
+    }
+
+    /// The number of slots this worker still owns.
+    pub(crate) fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    fn cluster(&self, index: usize) -> &ViewCluster<P::View> {
+        // Slab invariant: procs only ever hold indices of live clusters.
+        self.clusters[index].as_ref().expect("live cluster")
+    }
+
+    fn cluster_mut(&mut self, index: usize) -> &mut ViewCluster<P::View> {
+        // Slab invariant: procs only ever hold indices of live clusters.
+        self.clusters[index].as_mut().expect("live cluster")
+    }
+
+    fn alloc(&mut self, view: P::View, members: usize) -> usize {
+        let entry = Some(ViewCluster { view, members });
+        match self.free.pop() {
+            Some(i) => {
+                self.clusters[i] = entry;
+                i
+            }
+            None => {
+                self.clusters.push(entry);
+                self.clusters.len() - 1
+            }
+        }
+    }
+
+    fn leave(&mut self, index: usize, count: usize) {
+        let c = self.cluster_mut(index);
+        debug_assert!(c.members >= count);
+        c.members -= count;
+        if c.members == 0 {
+            // Drop the view eagerly: a fragmented run's dead clusters
+            // must release their trees, not linger until exit.
+            self.clusters[index] = None;
+            self.free.push(index);
+        }
+    }
+
+    /// Removes `slot` from the worker (it crashed or decided). Unknown
+    /// slots are ignored — retirement commands can race a slot that
+    /// already left.
+    pub(crate) fn retire(&mut self, slot: u64) {
+        if let Some(proc) = self.procs.remove(&slot) {
+            self.leave(proc.cluster, 1);
+        }
+    }
+
+    /// Composes the round broadcast of every requested slot, batched as
+    /// **one [`ViewProtocol::compose_batch`] sweep per view cluster**
+    /// (label-ordered within a cluster; per-process RNG streams make that
+    /// ordering unobservable) instead of one tree walk per slot. Returns
+    /// the encoded broadcasts sorted by slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending slot if it is unknown to this worker (or
+    /// requested twice) — commands arrive over a boundary, so a bad slot
+    /// is a reportable fault, never a panic.
+    pub(crate) fn compose_batch(
+        &mut self,
+        proto: &P,
+        round: Round,
+        slots: &[u64],
+    ) -> Result<Vec<(u64, Bytes)>, u64> {
+        // Bucket the requested slots by their current cluster.
+        let mut by_cluster: BTreeMap<usize, Vec<(Label, u64)>> = BTreeMap::new();
+        for &slot in slots {
+            let Some(proc) = self.procs.get(&slot) else {
+                return Err(slot);
+            };
+            by_cluster
+                .entry(proc.cluster)
+                .or_default()
+                .push((proc.label, slot));
+        }
+        // Gather every slot's RNG once so a cluster's draws can happen in
+        // label order while the map is borrowed only here.
+        let WorkerState {
+            procs, clusters, ..
+        } = self;
+        let mut rng_of: BTreeMap<u64, &mut SmallRng> = procs
+            .iter_mut()
+            .map(|(&slot, proc)| (slot, &mut proc.rng))
+            .collect();
+        let mut out: Vec<(u64, Bytes)> = Vec::with_capacity(slots.len());
+        let mut balls: Vec<Label> = Vec::new();
+        let mut gathered: Vec<&mut SmallRng> = Vec::new();
+        let mut composed: Vec<(Label, P::Msg)> = Vec::new();
+        for (ci, mut members) in by_cluster {
+            // Labels are unique across the run, so the sort is strictly
+            // label-ascending — the batched sweep's fast path.
+            members.sort_unstable();
+            balls.clear();
+            balls.extend(members.iter().map(|&(label, _)| label));
+            gathered.clear();
+            for &(_, slot) in &members {
+                let Some(rng) = rng_of.remove(&slot) else {
+                    return Err(slot);
+                };
+                gathered.push(rng);
+            }
+            let view = &clusters[ci]
+                .as_ref()
+                // bil-lint: allow(hot-path-panic): slab invariant — procs only ever hold indices of live clusters; no wire input reaches the index
+                .expect("live cluster")
+                .view;
+            composed.clear();
+            proto.compose_batch(view, &balls, round, &mut gathered, &mut composed);
+            for ((label, msg), &(ball, slot)) in composed.drain(..).zip(&members) {
+                debug_assert_eq!(label, ball);
+                out.push((slot, msg.to_bytes()));
+            }
+        }
+        out.sort_unstable_by_key(|&(slot, _)| slot);
+        Ok(out)
+    }
+
+    /// Folds one shared inbox into the views of `dsts` — all recipients
+    /// of one delivery signature. Partitions them by current cluster: a
+    /// cluster fully contained in the group applies the inbox once, in
+    /// place; a partially-covered cluster splits — the covered slots move
+    /// to a fresh cluster (cloned view) that then applies once. Views are
+    /// pure functions of delivery history, so the shared result is
+    /// exactly what per-slot application would have produced. Pushes each
+    /// recipient's post-apply status onto `statuses` (unsorted; callers
+    /// sort once per round).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending slot if it is unknown to this worker.
+    pub(crate) fn apply_group(
+        &mut self,
+        proto: &P,
+        round: Round,
+        dsts: &[u64],
+        inbox: &InboxBuf<P::Msg>,
+        statuses: &mut Vec<(u64, Status)>,
+    ) -> Result<(), u64> {
+        let mut by_cluster: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for &slot in dsts {
+            let Some(proc) = self.procs.get(&slot) else {
+                return Err(slot);
+            };
+            by_cluster.entry(proc.cluster).or_default().push(slot);
+        }
+        for (ci, members) in by_cluster {
+            let target = if members.len() == self.cluster(ci).members {
+                ci
+            } else {
+                let view = self.cluster(ci).view.clone();
+                self.leave(ci, members.len());
+                let nci = self.alloc(view, members.len());
+                for slot in &members {
+                    self.procs
+                        .get_mut(slot)
+                        // `members` was just drawn from `self.procs`.
+                        .expect("partitioned above")
+                        .cluster = nci;
+                }
+                nci
+            };
+            proto.apply(&mut self.cluster_mut(target).view, round, inbox.as_inbox());
+            let view = &self.cluster(target).view;
+            for slot in members {
+                let label = self.procs[&slot].label;
+                statuses.push((slot, proto.status(view, label, round)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Contiguous slot ranges over `0..n` for `workers` workers, remainder
+/// spread over the first ranges. Returns the range list plus the
+/// slot → worker map; ranges ascend, so concatenating per-worker
+/// responses in worker order yields slot order.
+pub(crate) fn slot_ranges(n: usize, workers: usize) -> (Vec<std::ops::Range<usize>>, Vec<usize>) {
+    let mut worker_of = vec![0usize; n];
+    let mut ranges = Vec::with_capacity(workers);
+    let base = n / workers;
+    let rem = n % workers;
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        for owner in &mut worker_of[start..start + len] {
+            *owner = w;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    (ranges, worker_of)
+}

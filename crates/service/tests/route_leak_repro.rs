@@ -18,7 +18,11 @@ fn released_label_after_failed_epoch() {
     let mut batch = vec![Request::Release(Label(0))];
     batch.extend((1..9).map(|i| Request::Acquire(Label(i))));
     let r1 = svc.step(&batch).unwrap();
-    assert!(r1.shards[0].is_err(), "epoch 1 should stall: {:?}", r1.shards[0]);
+    assert!(
+        r1.shards[0].is_err(),
+        "epoch 1 should stall: {:?}",
+        r1.shards[0]
+    );
     // The release was applied inside the shard (names freed at begin).
     assert_eq!(svc.name_of(Label(0)), None);
     assert_eq!(svc.shard(0).held(), 0, "shard applied the release");

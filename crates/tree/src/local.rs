@@ -256,6 +256,17 @@ impl LocalTree {
         }
     }
 
+    /// The current node of the ball in `slot`, or `None` if the slot is
+    /// vacant or out of range. The slot-resolved form of
+    /// [`LocalTree::current_node`], for callers (the batched compose
+    /// sweep) that already merge-joined the label column.
+    pub fn node_at_slot(&self, slot: usize) -> Option<NodeId> {
+        match self.node_of.get(slot) {
+            Some(&node) if node != VACANT => Some(node),
+            _ => None,
+        }
+    }
+
     /// The sorted label column, including vacant slots (every label this
     /// view has ever admitted). Paired index-for-index with
     /// [`LocalTree::node_column`].
@@ -547,16 +558,32 @@ impl LocalTree {
     /// Returns [`TreeError::UnknownBall`] if absent.
     pub fn rank_at_node(&self, ball: Label) -> Result<usize, TreeError> {
         let slot = self.slot_of(ball).ok_or(TreeError::UnknownBall(ball))?;
+        Ok(self.rank_at_slot(slot))
+    }
+
+    /// The slot-resolved form of [`LocalTree::rank_at_node`]: the rank of
+    /// the ball in (live) `slot` among the balls at its own node. The
+    /// batched compose sweep resolves each ball's slot once and calls
+    /// this directly, skipping the per-ball binary search.
+    ///
+    /// # Panics
+    ///
+    /// May panic (out-of-range index) if `slot` is vacant or out of
+    /// range; callers resolve slots via [`LocalTree::slot_of`] /
+    /// [`LocalTree::node_at_slot`] first.
+    pub fn rank_at_slot(&self, slot: usize) -> usize {
         let node = self.node_of[slot];
+        debug_assert_ne!(node, VACANT, "rank_at_slot on a vacant slot");
         let group = self.at_count[node as usize];
         if group == 1 {
-            return Ok(0);
+            return 0;
         }
         if group as usize == self.live && self.live == self.labels.len() {
             // Every ball sits at this node and no slot is vacant: label
             // order is slot order, so the rank is the slot itself.
-            return Ok(slot);
+            return slot;
         }
+        let ball = self.labels[slot];
         let mut rank = 0;
         let mut cur = self.at_head[node as usize];
         while cur != NIL {
@@ -565,7 +592,7 @@ impl LocalTree {
             }
             cur = self.at_next[cur as usize];
         }
-        Ok(rank)
+        rank
     }
 
     /// The rank of `ball` among **all** balls in the view, in `<R` order

@@ -243,6 +243,27 @@ impl LocalTree {
         let start = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
+        Ok(self.random_path_from(start, rule, rng))
+    }
+
+    /// The node-resolved form of [`LocalTree::random_path`]: the descent
+    /// itself, from a live ball's already-resolved current node. The
+    /// batched compose sweep resolves each ball's slot once (a merge-join
+    /// over the label column) and calls this directly; the RNG draw
+    /// sequence is exactly the wrapper's — one draw per internal node,
+    /// top down, skipped whenever a side has no routing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some internal node on the walk has no capacity below it,
+    /// which the paper's Lemma 1 rules out — reaching it means the view
+    /// was corrupted.
+    pub fn random_path_from<R: Rng + ?Sized>(
+        &self,
+        start: NodeId,
+        rule: CoinRule,
+        rng: &mut R,
+    ) -> PackedPath {
         let topo = *self.topology();
         let mut v = start;
         let mut len = 1u8;
@@ -269,7 +290,7 @@ impl LocalTree {
             v = if go_left { topo.left(v) } else { topo.right(v) };
             len += 1;
         }
-        Ok(PackedPath { leaf: v, len })
+        PackedPath { leaf: v, len }
     }
 
     /// Composes the deterministic path used by the early-terminating
@@ -312,7 +333,18 @@ impl LocalTree {
         let start = self
             .current_node(ball)
             .ok_or(TreeError::UnknownBall(ball))?;
-        let mut slot = self.rank_at_node(ball)? as u32;
+        let rank = self.rank_at_node(ball)? as u32;
+        Ok(self.rank_slot_path_from(start, rank))
+    }
+
+    /// The node-resolved form of [`LocalTree::rank_slot_path`]: the slot
+    /// descent itself, given a live ball's already-resolved current node
+    /// and its rank among the balls there (from
+    /// [`LocalTree::rank_at_slot`]). The batched compose sweep calls this
+    /// directly after its merge-join; the walk is identical to the
+    /// wrapper's.
+    pub fn rank_slot_path_from(&self, start: NodeId, rank: u32) -> PackedPath {
+        let mut slot = rank;
         let topo = *self.topology();
         let mut v = start;
         let mut len = 1u8;
@@ -334,7 +366,7 @@ impl LocalTree {
             }
             len += 1;
         }
-        Ok(PackedPath { leaf: v, len })
+        PackedPath { leaf: v, len }
     }
 
     /// The move-walk (Algorithm 1 lines 12–18): walks `ball` down `path`
